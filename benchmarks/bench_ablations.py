@@ -1,0 +1,169 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ring all-reduce vs naive gather+broadcast on the inner collective;
+* error feedback on/off for high-ratio TopK (accuracy recovered);
+* Paillier packing width (slots per ciphertext) vs HE cost;
+* in-proc vs TCP transport for the RPC communicator;
+* straggler injection vs clean synchronous rounds.
+
+Run:  pytest benchmarks/bench_ablations.py --benchmark-only
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import GrpcCommunicator
+from repro.comm.collectives import CollectiveGroup
+from repro.compression import ErrorFeedback, TopK
+from repro.engine import Engine
+from repro.privacy import HomomorphicEncryption, generate_keypair
+
+PAYLOAD = 100_000
+
+
+def _run_group(n, fn):
+    errors = []
+    threads = [threading.Thread(target=lambda r=r: _safe(fn, r, errors)) for r in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+
+def _safe(fn, r, errors):
+    try:
+        fn(r)
+    except Exception as exc:  # noqa: BLE001
+        errors.append(exc)
+
+
+# ---------------------------------------------------------------- collectives
+@pytest.mark.parametrize("strategy", ["ring_allreduce", "gather_broadcast"])
+def test_allreduce_strategy(benchmark, strategy, rng):
+    world = 8
+    group = CollectiveGroup(world)
+    data = [rng.standard_normal(PAYLOAD).astype(np.float32) for _ in range(world)]
+
+    if strategy == "ring_allreduce":
+        def op(r):
+            group.allreduce(r, data[r], "sum")
+    else:
+        def op(r):
+            gathered = group.gather(r, data[r], dst=0)
+            total = np.sum(gathered, axis=0) if r == 0 else None
+            group.broadcast(r, total, src=0)
+
+    def round_once():
+        _run_group(world, op)
+
+    benchmark.group = "ablation-collective"
+    benchmark.pedantic(round_once, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["bytes_sent_rank0"] = group.bytes_sent_by(0)
+
+
+# ---------------------------------------------------------------- error feedback
+@pytest.mark.parametrize("use_ef", [False, True])
+def test_error_feedback_accuracy(benchmark, use_ef, fresh_port):
+    holder = {}
+
+    def run():
+        comp_fn = (lambda: ErrorFeedback(TopK(ratio=200))) if use_ef else (lambda: TopK(ratio=200))
+        engine = Engine.from_names(
+            topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
+            num_clients=4, global_rounds=5, batch_size=32, seed=0,
+            topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
+            datamodule_kwargs={"train_size": 512, "test_size": 128},
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            eval_every=5,
+        )
+        engine.compressor_fn = None  # engine built; inject per-node below
+        for node in engine.nodes:
+            node.compressor = comp_fn()
+            node.outer_compressor = node.compressor
+        metrics = engine.run()
+        engine.shutdown()
+        holder["accuracy"] = metrics.final_accuracy()
+
+    benchmark.group = "ablation-error-feedback"
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["error_feedback"] = use_ef
+    benchmark.extra_info["final_accuracy"] = holder["accuracy"]
+
+
+# ---------------------------------------------------------------- HE packing
+@pytest.mark.parametrize("packing", ["packed", "one_per_ciphertext"])
+def test_paillier_packing_width(benchmark, packing, rng):
+    keypair = generate_keypair(256, seed=5)
+    he = HomomorphicEncryption(key_bits=256, keypair=keypair)
+    if packing == "one_per_ciphertext":
+        he.slots_per_ciphertext = 1
+    vectors = [rng.standard_normal(256).astype(np.float32) for _ in range(4)]
+
+    def round_once():
+        he.roundtrip_mean(vectors)
+
+    benchmark.group = "ablation-he-packing"
+    benchmark.pedantic(round_once, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["packing"] = packing
+    benchmark.extra_info["slots_per_ciphertext"] = he.slots_per_ciphertext
+
+
+# ---------------------------------------------------------------- transports
+@pytest.mark.parametrize("transport", ["inproc", "tcp"])
+def test_rpc_transport(benchmark, transport, fresh_port, rng):
+    world = 4
+    comms = [
+        GrpcCommunicator(r, world, master_port=fresh_port + 700, transport=transport)
+        for r in range(world)
+    ]
+    for c in comms:
+        c.setup()
+    data = {"u": rng.standard_normal(PAYLOAD // 10).astype(np.float32)}
+
+    def exchange(r):
+        c = comms[r]
+        if r == 0:
+            c.broadcast_state(data)
+            c.gather_states(data)
+        else:
+            c.broadcast_state(None)
+            c.gather_states(data)
+
+    def round_once():
+        _run_group(world, exchange)
+
+    benchmark.group = "ablation-transport"
+    benchmark.pedantic(round_once, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["transport"] = transport
+    for c in comms:
+        c.shutdown()
+
+
+# ---------------------------------------------------------------- stragglers
+@pytest.mark.parametrize("straggler", [False, True])
+def test_straggler_round_time(benchmark, straggler, fresh_port):
+    engine = Engine.from_names(
+        topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
+        num_clients=4, global_rounds=1, batch_size=32, seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
+        datamodule_kwargs={"train_size": 256, "test_size": 64},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        straggler_prob=1.0 if straggler else 0.0,
+        straggler_delay=0.2,
+        eval_every=0,
+    )
+    engine.setup()
+    counter = iter(range(10_000))
+
+    def one_round():
+        engine.run_round(next(counter))
+
+    benchmark.group = "ablation-straggler"
+    benchmark.pedantic(one_round, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["straggler_injected"] = straggler
+    engine.shutdown()

@@ -1,0 +1,58 @@
+"""Fig. 3 — epoch completion time for each FL algorithm on the four models.
+
+Regenerates the paper's series: for every (algorithm, model) pair, the wall
+time of one full federated round (one local epoch on every client plus
+aggregation).  Absolute numbers are CPU/NumPy-scale, but the *relative*
+ordering the paper shows — plain-averaging algorithms cluster, stateful or
+multi-pass ones (Scaffold, Moon, Ditto, FedDyn, DiLoCo) pay extra — is the
+reproduced shape.
+
+Run:  pytest benchmarks/bench_fig3_algorithm_epoch_time.py --benchmark-only
+"""
+
+import pytest
+
+from repro.engine import Engine
+
+ALGORITHMS = [
+    "fedavg", "fedprox", "fedmom", "fednova", "scaffold",
+    "moon", "fedper", "feddyn", "fedbn", "ditto", "diloco",
+]
+
+MODELS = ["resnet18", "vgg11", "alexnet", "mobilenetv3"]
+_DATAMODULE = {"resnet18": "cifar10", "vgg11": "cifar100",
+               "alexnet": "caltech101", "mobilenetv3": "caltech256"}
+
+
+def make_engine(algorithm: str, model: str, port: int) -> Engine:
+    return Engine.from_names(
+        topology="centralized",
+        algorithm=algorithm,
+        model=model,
+        datamodule=_DATAMODULE[model],
+        num_clients=4,
+        global_rounds=1,
+        batch_size=32,
+        seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
+        datamodule_kwargs={"train_size": 256, "test_size": 64},
+        algorithm_kwargs={"lr": 0.01, "local_epochs": 1},
+        eval_every=0,  # Fig. 3 measures epoch time, not accuracy
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_epoch_time(benchmark, algorithm, model, fresh_port):
+    engine = make_engine(algorithm, model, fresh_port)
+    engine.setup()
+    counter = iter(range(10_000))
+
+    def one_round():
+        engine.run_round(next(counter))
+
+    benchmark.group = f"fig3-{model}"
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["model"] = model
+    benchmark.pedantic(one_round, rounds=2, iterations=1, warmup_rounds=0)
+    engine.shutdown()

@@ -1,0 +1,58 @@
+"""Fig. 5 — compression overhead of each technique on model-sized gradients.
+
+Times compress+decompress on gradients sized like the four mini models'
+parameter vectors, across the paper's configurations (TopK 10x/1000x,
+QSGD 8/16-bit, PowerSGD rank 16..64).  Reproduced shape: per-call cost
+orders TopK < QSGD < PowerSGD-high-rank; 1000x TopK is cheaper to move but
+similar to 10x to compute; effective byte ratios land in ``extra_info``.
+
+Run:  pytest benchmarks/bench_fig5_compression_overhead.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import build_compressor
+from repro.models import build_model
+
+CONFIGS = [
+    ("topk", {"ratio": 10}),
+    ("topk", {"ratio": 1000}),
+    ("qsgd", {"bits": 8}),
+    ("qsgd", {"bits": 16}),
+    ("powersgd", {"rank": 16}),
+    ("powersgd", {"rank": 64}),
+    ("dgc", {"ratio": 10}),
+    ("dgc", {"ratio": 1000}),
+    ("redsync", {"ratio": 10}),
+    ("sidco", {"ratio": 10}),
+    ("randomk", {"ratio": 10}),
+]
+
+_N_PARAMS = {}
+
+
+def model_gradient(model_name: str, rng: np.random.Generator) -> np.ndarray:
+    if model_name not in _N_PARAMS:
+        kw = {"num_classes": {"resnet18": 10, "vgg11": 100, "alexnet": 101, "mobilenetv3": 256}[model_name]}
+        _N_PARAMS[model_name] = build_model(model_name, **kw).num_parameters()
+    return rng.standard_normal(_N_PARAMS[model_name]).astype(np.float32)
+
+
+@pytest.mark.parametrize("model_name", ["resnet18", "vgg11", "alexnet", "mobilenetv3"])
+@pytest.mark.parametrize("comp_name,kw", CONFIGS)
+def test_compression_overhead(benchmark, comp_name, kw, model_name, rng):
+    grad = model_gradient(model_name, rng)
+    comp = build_compressor(comp_name, **kw)
+    comp.compress(grad)  # warm-up (PowerSGD's Q cache, einsum paths)
+
+    def roundtrip():
+        payload = comp.compress(grad)
+        comp.decompress(payload)
+        return payload
+
+    benchmark.group = f"fig5-{model_name}"
+    payload = benchmark(roundtrip)
+    benchmark.extra_info["compressor"] = f"{comp_name}-{list(kw.values())[0]}"
+    benchmark.extra_info["n_params"] = int(grad.size)
+    benchmark.extra_info["effective_ratio"] = round(payload.ratio, 2)

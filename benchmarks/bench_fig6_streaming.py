@@ -1,0 +1,51 @@
+"""Fig. 6 — streaming simulation: observed vs target stream-rate.
+
+6a: one client, target rate swept over {32, 64, 128, 256} samples/s — the
+observed median should track the target.
+6b: one shared producer feeding {1, 4, 8, 16} concurrent clients at target
+32/s each — per-client rate degrades gracefully as the single publisher
+saturates, the paper's qualitative result.
+
+Run:  pytest benchmarks/bench_fig6_streaming.py --benchmark-only
+"""
+
+import pytest
+
+from repro.data import build_datamodule
+from repro.streaming import measure_stream_rates
+
+DURATION = 0.8
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_datamodule("blobs", train_size=256, test_size=16).train
+
+
+@pytest.mark.parametrize("target", [32, 64, 128, 256])
+def test_fig6a_effective_stream_rate(benchmark, dataset, target):
+    holder = {}
+
+    def run():
+        holder.update(measure_stream_rates(dataset, target_rate=target, n_clients=1, duration=DURATION))
+
+    benchmark.group = "fig6a-target-rate"
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["target_rate"] = target
+    benchmark.extra_info["observed_median_rate"] = round(holder["median_rate"], 1)
+
+
+@pytest.mark.parametrize("n_clients", [1, 4, 8, 16])
+def test_fig6b_multi_client_stream_rate(benchmark, dataset, n_clients):
+    holder = {}
+
+    def run():
+        holder.update(
+            measure_stream_rates(dataset, target_rate=32, n_clients=n_clients, duration=DURATION)
+        )
+
+    benchmark.group = "fig6b-multi-client"
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["n_clients"] = n_clients
+    benchmark.extra_info["observed_median_rate"] = round(holder["median_rate"], 1)
+    benchmark.extra_info["per_client_rates"] = [round(r, 1) for r in holder["rates"]]

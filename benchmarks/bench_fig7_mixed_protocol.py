@@ -1,0 +1,134 @@
+"""Fig. 7 — cross-facility deployment: inner (collective) vs outer (RPC) cost.
+
+7a's topology: two dense sites over a fast collective fabric, site heads
+connected to a root over WAN RPC.  7b's measurement: per-link-class
+communication cost of one federated round — wall time per operation plus the
+network model's simulated seconds (the laptop cannot show a real WAN gap, so
+simulated cost carries the paper's contrast; see DESIGN.md).
+
+Reproduced shape: inner collective exchange is orders of magnitude cheaper
+than outer RPC.
+
+Run:  pytest benchmarks/bench_fig7_mixed_protocol.py --benchmark-only
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.comm import GrpcCommunicator, TorchDistCommunicator
+from repro.data import build_datamodule
+from repro.engine import Engine
+from repro.models import build_model
+from repro.topology import HierarchicalTopology
+
+PAYLOAD = 50_000  # floats, ~ a small model update
+
+
+def test_full_round_inner_vs_outer(benchmark, fresh_port):
+    """One hierarchical round; inner/outer simulated seconds in extra_info."""
+    topo = HierarchicalTopology(
+        num_sites=2, clients_per_site=3,
+        inner_comm={"backend": "torchdist", "master_port": fresh_port,
+                    "network_preset": "hpc_interconnect"},
+        outer_comm={"backend": "grpc", "master_port": fresh_port + 500,
+                    "transport": "inproc", "network_preset": "wan"},
+    )
+    dm = build_datamodule("blobs", train_size=384, test_size=64)
+    engine = Engine(
+        topology=topo, datamodule=dm,
+        model_fn=lambda: build_model("mlp", in_features=dm.in_features,
+                                     num_classes=dm.num_classes, seed=0),
+        algorithm_fn=lambda: build_algorithm("fedavg", lr=0.05),
+        global_rounds=1, batch_size=32, seed=0, eval_every=0,
+    )
+    engine.setup()
+    counter = iter(range(10_000))
+
+    def one_round():
+        engine.run_round(next(counter))
+
+    benchmark.group = "fig7-full-round"
+    benchmark.pedantic(one_round, rounds=2, iterations=1, warmup_rounds=1)
+    comm = engine.comm_summary()
+    benchmark.extra_info["inner_sim_seconds"] = round(comm["inner"]["sim_seconds"], 8)
+    benchmark.extra_info["outer_sim_seconds"] = round(comm["outer"]["sim_seconds"], 8)
+    benchmark.extra_info["inner_bytes"] = int(comm["inner"]["bytes_sent"])
+    benchmark.extra_info["outer_bytes"] = int(comm["outer"]["bytes_sent"])
+    if comm["inner"]["sim_seconds"] > 0:
+        benchmark.extra_info["outer_over_inner"] = round(
+            comm["outer"]["sim_seconds"] / comm["inner"]["sim_seconds"], 1
+        )
+    engine.shutdown()
+
+
+def _run_group(comms, fn):
+    errors = []
+
+    def work(c, r):
+        try:
+            fn(c, r)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(c, r)) for r, c in enumerate(comms)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+
+def test_inner_collective_allreduce(benchmark, fresh_port, rng):
+    """Micro: ring all-reduce of the payload on the fast inner fabric."""
+    world = 4
+    comms = [
+        TorchDistCommunicator(r, world, master_port=fresh_port,
+                              network_preset="hpc_interconnect")
+        for r in range(world)
+    ]
+    data = rng.standard_normal(PAYLOAD).astype(np.float32)
+
+    def allreduce_round():
+        _run_group(comms, lambda c, r: c.allreduce(data, "mean"))
+
+    benchmark.group = "fig7-micro"
+    benchmark.pedantic(allreduce_round, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["link"] = "inner/hpc_interconnect"
+    benchmark.extra_info["sim_seconds_per_op"] = round(
+        comms[0].sim_clock.read("allreduce"), 6
+    )
+
+
+def test_outer_rpc_gather_broadcast(benchmark, fresh_port, rng):
+    """Micro: server-mediated exchange of the payload over WAN RPC."""
+    world = 3  # root + 2 site heads, as in Fig. 7a
+    comms = [
+        GrpcCommunicator(r, world, master_port=fresh_port + 600, transport="inproc",
+                         network_preset="wan")
+        for r in range(world)
+    ]
+    for c in comms:
+        c.setup()
+    data = {"u": rng.standard_normal(PAYLOAD).astype(np.float32)}
+
+    def exchange(c, r):
+        if r == 0:
+            c.broadcast_state(data)
+            c.gather_states(data)
+        else:
+            c.broadcast_state(None)
+            c.gather_states(data)
+
+    def rpc_round():
+        _run_group(comms, exchange)
+
+    benchmark.group = "fig7-micro"
+    benchmark.pedantic(rpc_round, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["link"] = "outer/wan"
+    benchmark.extra_info["sim_seconds_total"] = round(comms[1].sim_clock.read("rpc"), 6)
+    for c in comms:
+        c.shutdown()

@@ -1,0 +1,83 @@
+"""Table 1 — convergence quality (final test accuracy) per algorithm x model.
+
+Each benchmark times the full multi-round federated run and records the
+final accuracy in ``extra_info`` — regenerating the paper's table rows on
+the synthetic stand-in tasks (see DESIGN.md's substitution notes).  The
+reproduced *shape*: the averaging family (FedAvg/FedProx/FedDyn/FedBN/Moon)
+clusters at the top; methods whose defaults are off-regime here (DiLoCo's
+LLM-tuned outer step, FedPer's never-trained global head evaluated globally,
+aggressive FedMom server momentum) fall behind — as in the paper.
+
+Run:  pytest benchmarks/bench_table1_algorithm_convergence.py --benchmark-only
+"""
+
+import pytest
+
+from repro.engine import Engine
+
+ALGORITHMS = [
+    "fedavg", "fedprox", "fedmom", "fednova", "scaffold",
+    "moon", "fedper", "feddyn", "fedbn", "ditto", "diloco",
+]
+
+# (model, datamodule, datamodule overrides, algorithm overrides): class
+# counts are reduced from the real datasets' (100 -> 20, 101 -> 20,
+# 256 -> 16) because a 5-round CPU budget cannot move a 100-way synthetic
+# task off its 1% floor — the experiment's target is the *algorithm
+# ordering*, which needs tasks that train.  DESIGN.md/EXPERIMENTS.md record
+# this scale substitution.
+PAIRS = [
+    ("resnet18", "cifar10", {"train_size": 512, "test_size": 128},
+     {"lr": 0.05, "local_epochs": 1}),
+    ("vgg11", "cifar100", {"train_size": 640, "test_size": 160, "num_classes": 20, "noise": 0.4},
+     {"lr": 0.05, "local_epochs": 1}),
+    # AlexNet (no normalization layers) needs ~3x this round budget before
+    # its loss breaks away from the plateau; its accuracy column therefore
+    # sits near the floor at CPU scale — recorded as-is in EXPERIMENTS.md
+    ("alexnet", "caltech101", {"train_size": 640, "test_size": 160, "num_classes": 10, "noise": 0.45},
+     {"lr": 0.05, "local_epochs": 2}),
+    ("mobilenetv3", "caltech256", {"train_size": 640, "test_size": 160, "num_classes": 16, "noise": 0.45},
+     {"lr": 0.1, "local_epochs": 2}),
+]
+
+ROUNDS = 5
+
+
+def run_experiment(algorithm: str, model: str, datamodule: str, dm_kwargs: dict,
+                   algo_kwargs: dict, port: int) -> float:
+    engine = Engine.from_names(
+        topology="centralized",
+        algorithm=algorithm,
+        model=model,
+        datamodule=datamodule,
+        num_clients=4,
+        global_rounds=ROUNDS,
+        batch_size=32,
+        seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
+        datamodule_kwargs=dm_kwargs,
+        algorithm_kwargs=algo_kwargs,
+        partition="dirichlet",
+        partition_alpha=0.3,
+        eval_every=ROUNDS,
+    )
+    metrics = engine.run()
+    engine.shutdown()
+    return float(metrics.final_accuracy())
+
+
+@pytest.mark.parametrize("model,datamodule,dm_kwargs,algo_kwargs", PAIRS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_convergence(benchmark, algorithm, model, datamodule, dm_kwargs, algo_kwargs, fresh_port):
+    holder = {}
+
+    def run():
+        holder["accuracy"] = run_experiment(
+            algorithm, model, datamodule, dm_kwargs, algo_kwargs, fresh_port
+        )
+
+    benchmark.group = f"table1-{model}"
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["model"] = model
+    benchmark.extra_info["final_accuracy"] = holder["accuracy"]

@@ -1,0 +1,44 @@
+"""Benchmark fixtures: comm-registry isolation and unique rendezvous ports."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.comm.pubsub import reset_brokers
+from repro.comm.torchdist import reset_rendezvous
+from repro.comm.transport import reset_inproc_registry
+
+_PORTS = itertools.count(40000)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_comm_registries():
+    reset_rendezvous()
+    reset_inproc_registry()
+    reset_brokers()
+    yield
+    reset_rendezvous()
+    reset_inproc_registry()
+    reset_brokers()
+
+
+@pytest.fixture
+def fresh_port() -> int:
+    return next(_PORTS)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+# the four paper models at reproduction scale, with matching datamodules
+PAPER_PAIRS = [
+    ("resnet18", "cifar10"),
+    ("vgg11", "cifar100"),
+    ("alexnet", "caltech101"),
+    ("mobilenetv3", "caltech256"),
+]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Render the paper-shaped tables from a pytest-benchmark JSON dump.
+
+Usage:
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+    python benchmarks/report.py bench_results.json [--markdown]
+
+Groups benchmark entries by their ``group`` tag (one per paper table/figure)
+and prints, for each, the dimensions the paper reports: wall time where the
+paper plots time, accuracy/stream-rate/simulated-seconds where the paper
+reports those (taken from ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+from typing import Any, Dict, List
+
+
+def load(path: str) -> List[Dict[str, Any]]:
+    with open(path) as fh:
+        return json.load(fh)["benchmarks"]
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    return f"{s * 1e3:.1f}ms"
+
+
+def row_label(entry: Dict[str, Any]) -> str:
+    info = entry.get("extra_info", {})
+    for key in ("algorithm", "compressor", "mechanism", "strategy", "link",
+                "transport", "packing"):
+        if key in info:
+            return str(info[key])
+    return entry["name"].split("[")[-1].rstrip("]")
+
+
+def render_group(group: str, entries: List[Dict[str, Any]], markdown: bool) -> str:
+    lines = [f"\n## {group}" if markdown else f"\n=== {group} ==="]
+    # decide extra columns from whatever extra_info the group carries
+    extra_keys: List[str] = []
+    for e in entries:
+        for k in e.get("extra_info", {}):
+            if k not in extra_keys and k not in (
+                "algorithm", "compressor", "mechanism", "strategy", "link",
+                "transport", "packing", "model",
+            ):
+                extra_keys.append(k)
+    header = ["case", "median"] + extra_keys
+    if markdown:
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+    else:
+        lines.append("  ".join(f"{h:>22}" for h in header))
+    for e in sorted(entries, key=lambda x: x["stats"]["median"]):
+        cells = [row_label(e), fmt_seconds(e["stats"]["median"])]
+        info = e.get("extra_info", {})
+        for k in extra_keys:
+            value = info.get(k, "")
+            cells.append(str(value))
+        if markdown:
+            lines.append("| " + " | ".join(cells) + " |")
+        else:
+            lines.append("  ".join(f"{c:>22}" for c in cells))
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path")
+    parser.add_argument("--markdown", action="store_true")
+    args = parser.parse_args(argv)
+
+    benches = load(args.json_path)
+    groups: Dict[str, List[Dict[str, Any]]] = collections.defaultdict(list)
+    for b in benches:
+        groups[b.get("group") or "ungrouped"].append(b)
+    for group in sorted(groups):
+        print(render_group(group, groups[group], args.markdown))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

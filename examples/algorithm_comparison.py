@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare all 11 FL algorithms under one unified configuration (Table 1 style).
+
+Every algorithm runs the same model, data partition, round budget and
+hyperparameter defaults — the point is OmniFed's "swap one line, compare
+fairly" workflow, not tuned accuracy.
+
+Run:  python examples/algorithm_comparison.py [--rounds N] [--clients N]
+"""
+
+import argparse
+import itertools
+import time
+
+from repro.comm.pubsub import reset_brokers
+from repro.comm.torchdist import reset_rendezvous
+from repro.comm.transport import reset_inproc_registry
+from repro.engine import Engine
+
+ALGORITHMS = [
+    "fedavg", "fedprox", "fedmom", "fednova", "scaffold",
+    "moon", "fedper", "feddyn", "fedbn", "ditto", "diloco",
+]
+
+_ports = itertools.count(29900)
+
+
+def run_one(algorithm: str, rounds: int, clients: int) -> dict:
+    reset_rendezvous()
+    reset_inproc_registry()
+    reset_brokers()
+    engine = Engine.from_names(
+        topology="centralized",
+        algorithm=algorithm,
+        model="simple_cnn",
+        datamodule="cifar10",
+        num_clients=clients,
+        global_rounds=rounds,
+        batch_size=32,
+        seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": next(_ports)}},
+        datamodule_kwargs={"train_size": 768, "test_size": 192},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        partition="dirichlet",
+        partition_alpha=0.3,
+        eval_every=rounds,  # evaluate once at the end
+    )
+    start = time.perf_counter()
+    metrics = engine.run()
+    wall = time.perf_counter() - start
+    engine.shutdown()
+    return {
+        "algorithm": algorithm,
+        "accuracy": metrics.final_accuracy(),
+        "median_round_s": metrics.median_round_time(),
+        "total_s": wall,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=4)
+    args = parser.parse_args()
+
+    print(f"{'algorithm':>10} {'final acc':>10} {'median round (s)':>17} {'total (s)':>10}")
+    for algo in ALGORITHMS:
+        row = run_one(algo, args.rounds, args.clients)
+        print(
+            f"{row['algorithm']:>10} {row['accuracy']:>10.4f} "
+            f"{row['median_round_s']:>17.2f} {row['total_s']:>10.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare privacy mechanisms: DP vs HE vs SA (the paper's §3.4.4 / Table 3).
+
+Applies each mechanism to model-update vectors of realistic sizes and
+reports (a) accuracy impact of DP at ε ∈ {1, 10} in a real FL run, and
+(b) the mechanism compute overhead on a fixed update size.
+
+Run:  python examples/privacy_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.engine import Engine
+from repro.comm.torchdist import reset_rendezvous
+from repro.privacy import DifferentialPrivacy, HomomorphicEncryption, SecureAggregation, generate_keypair
+
+
+def dp_accuracy_sweep() -> None:
+    print("=== Table 3a: DP accuracy at eps in {1, 10}, delta=1e-5 ===")
+    # small model + tight clip: per-round DP noise scales with sqrt(d), so a
+    # compact network keeps the eps=1 vs eps=10 contrast visible in few rounds
+    for eps in [1.0, 10.0, None]:
+        reset_rendezvous()
+        engine = Engine.from_names(
+            topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
+            num_clients=8, global_rounds=6, batch_size=32, seed=0,
+            topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": 29950 + int(eps or 0)}},
+            datamodule_kwargs={"train_size": 768, "test_size": 192},
+            model_kwargs={"hidden": [16]},
+            algorithm_kwargs={"lr": 0.1, "local_epochs": 1},
+            dp_fn=None if eps is None else (
+                lambda e=eps: DifferentialPrivacy(epsilon=e, delta=1e-5, clip_norm=0.5, seed=0)
+            ),
+            eval_every=6,
+        )
+        metrics = engine.run()
+        engine.shutdown()
+        label = f"eps={eps:5.1f}" if eps is not None else "no DP    "
+        print(f"  {label}  final accuracy={metrics.final_accuracy():.4f}")
+
+
+def mechanism_overheads(n_params: int = 20000, n_clients: int = 4) -> None:
+    print(f"\n=== Table 3b: compute overhead on a {n_params}-parameter update ===")
+    rng = np.random.default_rng(0)
+    updates = [rng.standard_normal(n_params).astype(np.float32) for _ in range(n_clients)]
+
+    dp = DifferentialPrivacy(epsilon=1.0, delta=1e-5, clip_norm=1.0, seed=0)
+    start = time.perf_counter()
+    for update in updates:
+        dp.apply(update)
+    dp_time = time.perf_counter() - start
+
+    he = HomomorphicEncryption(key_bits=256, keypair=generate_keypair(256, seed=1))
+    start = time.perf_counter()
+    he.roundtrip_mean(updates)
+    he_time = time.perf_counter() - start
+
+    sa = SecureAggregation(n_clients=n_clients)
+    start = time.perf_counter()
+    sa.roundtrip_mean(updates)
+    sa_time = time.perf_counter() - start
+
+    print(f"  DP : {dp_time * 1e3:10.1f} ms")
+    print(f"  HE : {he_time * 1e3:10.1f} ms   ({he_time / dp_time:,.0f}x DP)")
+    print(f"  SA : {sa_time * 1e3:10.1f} ms   ({sa_time / dp_time:,.0f}x DP)")
+    print("  (paper's ordering: DP << HE, SA — cryptographic mechanisms dominate)")
+
+
+if __name__ == "__main__":
+    dp_accuracy_sweep()
+    mechanism_overheads()

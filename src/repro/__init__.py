@@ -1,0 +1,45 @@
+"""OmniFed reproduction: configurable federated learning from edge to HPC.
+
+Top-level convenience surface; see DESIGN.md for the system inventory.
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine.from_names(
+        topology="centralized", algorithm="fedavg",
+        model="resnet18", datamodule="cifar10", num_clients=8,
+        topology_kwargs={"inner_comm": {"backend": "grpc", "master_port": 50051}},
+        global_rounds=2,
+    )
+    metrics = engine.run()
+    print(metrics.summary())
+"""
+
+from repro.algorithms import ALGORITHMS, build_algorithm
+from repro.compression import COMPRESSORS, build_compressor
+from repro.config import ConfigStore, compose, instantiate
+from repro.data import DATAMODULES, build_datamodule
+from repro.engine import Engine
+from repro.models import MODELS, build_model
+from repro.topology import TOPOLOGIES, build_topology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Engine",
+    "ALGORITHMS",
+    "build_algorithm",
+    "COMPRESSORS",
+    "build_compressor",
+    "DATAMODULES",
+    "build_datamodule",
+    "MODELS",
+    "build_model",
+    "TOPOLOGIES",
+    "build_topology",
+    "ConfigStore",
+    "compose",
+    "instantiate",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point: config-driven experiments, the paper's workflow.
+
+Usage::
+
+    python -m repro                                    # default experiment
+    python -m repro algorithm=fedprox +algorithm.mu=0.1
+    python -m repro topology=hierarchical global_rounds=5
+    python -m repro --config-dir my_confs --config-name exp  algorithm=moon
+    python -m repro --list                             # show config groups
+
+Every positional argument is a Hydra-style override (``group=option``,
+``key.path=value``, ``+new.key=value``, ``~key``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.conf import builtin_store
+from repro.config import ConfigStore, compose, dumps
+from repro.engine import Engine
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("overrides", nargs="*", help="Hydra-style overrides (key=value)")
+    parser.add_argument("--config-dir", default=None, help="directory of config groups")
+    parser.add_argument("--config-name", default="experiment", help="primary config name")
+    parser.add_argument("--list", action="store_true", help="list available config groups")
+    parser.add_argument("--dry-run", action="store_true", help="print the composed config and exit")
+    args = parser.parse_args(argv)
+
+    store = ConfigStore(args.config_dir) if args.config_dir else builtin_store()
+
+    if args.list:
+        for group in ["topology", "algorithm", "model", "datamodule", "compression", "privacy"]:
+            options = store.available(group)
+            if options:
+                print(f"{group:12s} {', '.join(options)}")
+        return 0
+
+    cfg = compose(store, args.config_name, overrides=args.overrides)
+    if args.dry_run:
+        print(dumps(cfg.to_container()))
+        return 0
+
+    engine = Engine.from_config(cfg)
+    try:
+        metrics = engine.run()
+        print(metrics.table())
+        print("summary:", metrics.summary())
+        comm = engine.comm_summary()
+        for group, stats in sorted(comm.items()):
+            print(
+                f"comm[{group}]: {int(stats['bytes_sent']):,d} bytes, "
+                f"{stats['sim_seconds']:.4f}s simulated"
+            )
+    finally:
+        engine.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""FL algorithms behind one lifecycle-hook interface (paper §3.4.1).
+
+Swapping algorithms is a one-line config change; each implementation
+overrides only the hooks it needs (``override-what-you-need``):
+
+=============  ==========================================================
+FedAvg         weighted parameter averaging (McMahan et al.)
+FedProx        + proximal term µ/2·||w−w_g||² in the local objective
+FedMom         + server-side momentum on the aggregated pseudo-gradient
+FedNova        normalized averaging of per-client step-normalized updates
+Scaffold       client/server control variates correcting client drift
+Moon           model-contrastive auxiliary loss in feature space
+FedPer         personalization layers: classifier head stays local
+FedDyn         dynamic regularization with per-client linear correction
+FedBN          BatchNorm parameters/statistics stay local
+Ditto          global FedAvg branch + personal prox-regularized models
+DiLoCo         AdamW inner optimization, Nesterov-momentum outer updates
+=============  ==========================================================
+"""
+
+from repro.algorithms.base import ALGORITHMS, Algorithm, build_algorithm
+from repro.algorithms.diloco import DiLoCo
+from repro.algorithms.ditto import Ditto
+from repro.algorithms.fedavg import FedAvg
+from repro.algorithms.fedbn import FedBN
+from repro.algorithms.feddyn import FedDyn
+from repro.algorithms.fedmom import FedMom
+from repro.algorithms.fednova import FedNova
+from repro.algorithms.fedper import FedPer
+from repro.algorithms.fedprox import FedProx
+from repro.algorithms.moon import Moon
+from repro.algorithms.scaffold import Scaffold
+
+__all__ = [
+    "ALGORITHMS",
+    "Algorithm",
+    "build_algorithm",
+    "FedAvg",
+    "FedProx",
+    "FedMom",
+    "FedNova",
+    "Scaffold",
+    "Moon",
+    "FedPer",
+    "FedDyn",
+    "FedBN",
+    "Ditto",
+    "DiLoCo",
+]

@@ -1,0 +1,77 @@
+"""DiLoCo (Douillard et al. 2023): distributed low-communication training.
+
+Designed for LLM pre-training: each worker runs H inner steps of **AdamW**;
+the server treats the averaged parameter delta as an *outer gradient* and
+applies **Nesterov momentum SGD** (outer lr ~0.7, momentum 0.9 in the
+paper).  On small-vision tasks with these defaults the outer step is
+aggressive — the sub-optimal out-of-the-box behaviour the paper's Table 1
+shows and explicitly attributes to DiLoCo being "configured for specific
+settings (e.g. large language models with AdamW ...)".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.module import Module
+from repro.nn.optim import AdamW, Optimizer
+from repro.nn.serialization import clone_state, state_average, state_sub
+
+__all__ = ["DiLoCo"]
+
+
+@ALGORITHMS.register("diloco")
+class DiLoCo(Algorithm):
+    name = "diloco"
+    uploads_full_state = False  # uploads outer-gradient deltas
+
+    def __init__(
+        self,
+        inner_lr: float = 1e-3,
+        inner_weight_decay: float = 0.01,
+        outer_lr: float = 0.7,
+        outer_momentum: float = 0.9,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.inner_lr = float(inner_lr)
+        self.inner_weight_decay = float(inner_weight_decay)
+        self.outer_lr = float(outer_lr)
+        self.outer_momentum = float(outer_momentum)
+        self._outer_buf: Optional[Dict[str, np.ndarray]] = None
+        self._round_start: Dict[str, np.ndarray] = {}
+
+    # inner optimization uses AdamW, not SGD
+    def configure_optimizer(self, model: Module, round_idx: int = 0) -> Optimizer:
+        return AdamW(model.parameters(), lr=self.inner_lr, weight_decay=self.inner_weight_decay)
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        super().on_round_start(node, global_state, round_idx)
+        self._round_start = self._strip_payload(global_state)
+
+    def compute_update(self, node, round_idx: int):
+        # upload the parameter delta (the "outer gradient" contribution)
+        delta = state_sub(self._round_start, node.model.state_dict())
+        return delta, {"num_samples": int(node.num_samples)}
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        outer_grad = state_average([e["state"] for e in clients], self._weights_of(clients))
+        if self._outer_buf is None:
+            self._outer_buf = {k: np.zeros_like(v) for k, v in outer_grad.items()}
+        new_state = clone_state(global_state)
+        for k, g in outer_grad.items():
+            if not np.issubdtype(g.dtype, np.floating):
+                continue
+            buf = self._outer_buf[k]
+            buf *= self.outer_momentum
+            buf += g
+            # Nesterov outer step
+            step = g + self.outer_momentum * buf
+            new_state[k] = (global_state[k] - self.outer_lr * step).astype(g.dtype)
+        return new_state

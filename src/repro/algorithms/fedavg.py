@@ -1,0 +1,15 @@
+"""Federated Averaging (McMahan et al. 2017) — the base class's behaviour,
+registered under its own name."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+
+__all__ = ["FedAvg"]
+
+
+@ALGORITHMS.register("fedavg")
+class FedAvg(Algorithm):
+    """Weighted averaging of full client states by sample count."""
+
+    name = "fedavg"

@@ -1,0 +1,55 @@
+"""FedBN (Li et al. 2021): local batch normalization for non-IID features.
+
+All parameters are aggregated *except* BatchNorm weights, biases and running
+statistics, which stay client-local to absorb per-site feature shift.
+Because each client's BN state is intentionally personal, evaluation is
+per-client (``personalized_eval``) — the global model's BN statistics would
+be meaningless.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Set
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.serialization import clone_state, state_average
+
+__all__ = ["FedBN"]
+
+
+@ALGORITHMS.register("fedbn")
+class FedBN(Algorithm):
+    name = "fedbn"
+    personalized_eval = True
+
+    def __init__(self, **kw) -> None:
+        super().__init__(**kw)
+        self._bn_keys: Set[str] = set()
+
+    def setup_client(self, node) -> None:
+        self._bn_keys = set(node.model.bn_parameter_names())
+
+    def setup_server(self, node) -> None:
+        self._bn_keys = set(node.model.bn_parameter_names())
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        shared = OrderedDict(
+            (k, v)
+            for k, v in self._strip_payload(global_state).items()
+            if k not in self._bn_keys
+        )
+        node.model.load_state_dict(shared, strict=False)
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        avg = state_average([e["state"] for e in clients], self._weights_of(clients))
+        new_state = clone_state(global_state)
+        for k, v in avg.items():
+            if k not in self._bn_keys:
+                new_state[k] = v
+        return new_state

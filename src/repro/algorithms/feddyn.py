@@ -1,0 +1,89 @@
+"""FedDyn (Acar et al. 2021): dynamic regularization.
+
+Each client keeps a linear-correction state h_i (initialized to 0) and
+minimizes
+
+    f_i(w) − ⟨h_i, w⟩ + (α/2)·||w − w_global||²
+
+After local training:  h_i ← h_i − α·(w_i − w_global).
+The server tracks h = mean_i h_i over *all* clients and sets
+
+    w_global ← mean_{i∈S}(w_i) − (1/α)·h̄          (full participation form)
+
+realized here incrementally:  h̄ ← h̄ − α·mean_i(w_i − w_global).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.serialization import clone_state, state_average, state_zeros_like
+
+__all__ = ["FedDyn"]
+
+
+@ALGORITHMS.register("feddyn")
+class FedDyn(Algorithm):
+    name = "feddyn"
+
+    def __init__(self, alpha: float = 0.1, **kw) -> None:
+        super().__init__(**kw)
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = float(alpha)
+        self._h_local: Optional[Dict[str, np.ndarray]] = None
+        self._h_server: Optional[Dict[str, np.ndarray]] = None
+        self._anchor: Dict[str, np.ndarray] = {}
+
+    # -- client ------------------------------------------------------------
+    def setup_client(self, node) -> None:
+        params = OrderedDict((k, p.data) for k, p in node.model.named_parameters())
+        self._h_local = state_zeros_like(params)
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        super().on_round_start(node, global_state, round_idx)
+        self._anchor = OrderedDict(
+            (k, v.copy())
+            for k, v in self._strip_payload(global_state).items()
+        )
+
+    def grad_postprocess(self, node) -> None:
+        if self._h_local is None:
+            return
+        for k, p in node.model.named_parameters():
+            if p.grad is not None:
+                p.grad += -self._h_local[k] + self.alpha * (p.data - self._anchor[k])
+
+    def compute_update(self, node, round_idx: int):
+        assert self._h_local is not None
+        local = node.model.state_dict()
+        for k in self._h_local:
+            self._h_local[k] = self._h_local[k] - self.alpha * (local[k] - self._anchor[k])
+        return local, {"num_samples": int(node.num_samples)}
+
+    # -- server -------------------------------------------------------------
+    def setup_server(self, node) -> None:
+        params = OrderedDict((k, p.data) for k, p in node.model.named_parameters())
+        self._h_server = state_zeros_like(params)
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        avg = state_average([e["state"] for e in clients])  # unweighted, as in the paper
+        assert self._h_server is not None
+        new_state = clone_state(global_state)
+        for k, v in avg.items():
+            if not np.issubdtype(v.dtype, np.floating):
+                new_state[k] = v.copy()
+                continue
+            if k in self._h_server:
+                self._h_server[k] = self._h_server[k] - self.alpha * (v - global_state[k])
+                new_state[k] = (v - self._h_server[k] / self.alpha).astype(v.dtype)
+            else:  # buffers (BN stats) are plainly averaged
+                new_state[k] = v
+        return new_state

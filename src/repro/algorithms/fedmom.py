@@ -1,0 +1,61 @@
+"""FedMom / server momentum (Huo et al. 2020; FedAvgM of Hsu et al.).
+
+The server treats (w_global − w_avg) as a pseudo-gradient and applies
+momentum SGD to the global model:
+
+    d_t = w_global − avg_i(w_i)
+    m_t = β·m_{t−1} + d_t
+    w_global ← w_global − η_server·m_t
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.serialization import clone_state, state_average, state_scale, state_sub
+
+__all__ = ["FedMom"]
+
+
+@ALGORITHMS.register("fedmom", "fedavgm")
+class FedMom(Algorithm):
+    name = "fedmom"
+
+    def __init__(self, server_momentum: float = 0.9, server_lr: float = 1.0, **kw) -> None:
+        super().__init__(**kw)
+        if not (0.0 <= server_momentum < 1.0):
+            raise ValueError("server_momentum must be in [0, 1)")
+        self.server_momentum = float(server_momentum)
+        self.server_lr = float(server_lr)
+        self._momentum_buf: Optional[Dict[str, np.ndarray]] = None
+
+    @staticmethod
+    def _is_statistic(key: str) -> bool:
+        """BatchNorm running statistics must not receive momentum steps —
+        an overshoot can make running_var negative (NaN in the next
+        forward's sqrt); they take the plain client average instead."""
+        return key.endswith(("running_mean", "running_var", "num_batches_tracked"))
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        avg = state_average([e["state"] for e in clients], self._weights_of(clients))
+        pseudo_grad = state_sub(global_state, avg)
+        if self._momentum_buf is None:
+            self._momentum_buf = pseudo_grad
+        else:
+            self._momentum_buf = {
+                k: (self.server_momentum * self._momentum_buf[k] + v if np.issubdtype(v.dtype, np.floating) else v)
+                for k, v in pseudo_grad.items()
+            }
+        step = state_scale(self._momentum_buf, self.server_lr)
+        new_state = state_sub(global_state, step)
+        # buffers (BN statistics, step counters) track the client average
+        for k, v in avg.items():
+            if self._is_statistic(k) or not np.issubdtype(v.dtype, np.floating):
+                new_state[k] = v.copy()
+        return new_state

@@ -1,0 +1,59 @@
+"""FedNova (Wang et al. 2020): normalized averaging.
+
+Heterogeneous clients take different numbers of local steps τ_i; naive
+FedAvg then optimizes an inconsistent objective.  FedNova uploads the
+*step-normalized* update d_i = (w_global − w_i)/τ_i and applies
+
+    w_global ← w_global − τ_eff · Σ_i p_i d_i,     τ_eff = Σ_i p_i τ_i
+
+(the momentum-free form; p_i are data fractions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.serialization import clone_state, state_scale, state_sub
+
+__all__ = ["FedNova"]
+
+
+@ALGORITHMS.register("fednova")
+class FedNova(Algorithm):
+    name = "fednova"
+    uploads_full_state = False  # uploads step-normalized directions
+
+    def __init__(self, **kw) -> None:
+        super().__init__(**kw)
+        self._round_start_state: Dict[str, np.ndarray] = {}
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        super().on_round_start(node, global_state, round_idx)
+        self._round_start_state = self._strip_payload(global_state)
+
+    def compute_update(self, node, round_idx: int):
+        tau = max(1, self._steps_this_round)
+        local = node.model.state_dict()
+        normalized = state_scale(state_sub(self._round_start_state, local), 1.0 / tau)
+        return normalized, {"num_samples": int(node.num_samples), "tau": int(tau)}
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        weights = np.asarray(self._weights_of(clients), dtype=np.float64)
+        p = weights / weights.sum()
+        taus = np.asarray([float(e["meta"].get("tau", 1)) for e in clients])
+        tau_eff = float(np.sum(p * taus))
+        new_state = clone_state(global_state)
+        for k, v in new_state.items():
+            if not np.issubdtype(v.dtype, np.floating):
+                continue
+            combined = np.zeros_like(v, dtype=np.float64)
+            for e, pi in zip(clients, p):
+                combined += pi * np.asarray(e["state"][k], dtype=np.float64)
+            new_state[k] = (v - tau_eff * combined).astype(v.dtype)
+        return new_state

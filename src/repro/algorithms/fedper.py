@@ -1,0 +1,54 @@
+"""FedPer (Arivazhagan et al. 2019): personalization layers.
+
+The feature extractor ("base layers") is shared and aggregated; the
+classifier head ("personalization layers") never leaves the client.  The
+global model's head therefore stays at its initialization — evaluating the
+global model (as the paper's Table 1 does) shows exactly the degradation
+they report, while per-client evaluation shows the personalized benefit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Set
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.serialization import clone_state, state_average
+
+__all__ = ["FedPer"]
+
+
+@ALGORITHMS.register("fedper")
+class FedPer(Algorithm):
+    name = "fedper"
+
+    def __init__(self, **kw) -> None:
+        super().__init__(**kw)
+        self._head_keys: Set[str] = set()
+
+    def setup_client(self, node) -> None:
+        self._head_keys = set(node.model.head_parameter_names())
+
+    def setup_server(self, node) -> None:
+        self._head_keys = set(node.model.head_parameter_names())
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        shared = OrderedDict(
+            (k, v)
+            for k, v in self._strip_payload(global_state).items()
+            if k not in self._head_keys
+        )
+        node.model.load_state_dict(shared, strict=False)
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        avg = state_average([e["state"] for e in clients], self._weights_of(clients))
+        new_state = clone_state(global_state)
+        for k, v in avg.items():
+            if k not in self._head_keys:
+                new_state[k] = v
+        return new_state

@@ -1,0 +1,39 @@
+"""FedProx (Li et al. 2018): proximal term against the round-start global model.
+
+Local objective: f_i(w) + (µ/2)·||w − w_global||², realized as a gradient
+addition µ·(w − w_global) before each optimizer step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+
+__all__ = ["FedProx"]
+
+
+@ALGORITHMS.register("fedprox")
+class FedProx(Algorithm):
+    name = "fedprox"
+
+    def __init__(self, mu: float = 0.01, **kw) -> None:
+        super().__init__(**kw)
+        if mu < 0:
+            raise ValueError("mu must be non-negative")
+        self.mu = float(mu)
+        self._anchor: Optional[List[np.ndarray]] = None
+
+    def on_round_start(self, node, global_state: Dict[str, np.ndarray], round_idx: int) -> None:
+        super().on_round_start(node, global_state, round_idx)
+        # snapshot w_global in parameter order for the proximal gradient
+        self._anchor = [p.data.copy() for p in node.model.parameters()]
+
+    def grad_postprocess(self, node) -> None:
+        if self._anchor is None or self.mu == 0.0:
+            return
+        for p, anchor in zip(node.model.parameters(), self._anchor):
+            if p.grad is not None:
+                p.grad += self.mu * (p.data - anchor)

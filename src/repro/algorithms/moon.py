@@ -1,0 +1,77 @@
+"""MOON: model-contrastive federated learning (Li et al. 2021).
+
+Adds a contrastive term in feature space pulling the local representation z
+toward the global model's z_glob and away from the previous local model's
+z_prev:
+
+    ℓ_con = −log  exp(sim(z, z_glob)/τ) /
+                  (exp(sim(z, z_glob)/τ) + exp(sim(z, z_prev)/τ))
+    loss  = CE + µ·ℓ_con
+
+z_glob/z_prev are computed with frozen copies (no gradients); only z's path
+is differentiated, matching the reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["Moon"]
+
+
+@ALGORITHMS.register("moon")
+class Moon(Algorithm):
+    name = "moon"
+
+    def __init__(self, mu: float = 1.0, temperature: float = 0.5, **kw) -> None:
+        super().__init__(**kw)
+        self.mu = float(mu)
+        self.temperature = float(temperature)
+        self._global_snapshot: Optional[Dict[str, np.ndarray]] = None
+        self._prev_snapshot: Optional[Dict[str, np.ndarray]] = None
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        # previous local model = the state we ended last round with
+        self._prev_snapshot = node.model.state_dict()
+        super().on_round_start(node, global_state, round_idx)
+        self._global_snapshot = self._strip_payload(global_state)
+
+    def _frozen_features(self, node, x: np.ndarray, snapshot: Dict[str, np.ndarray]) -> np.ndarray:
+        """Features under ``snapshot`` weights, restoring the live weights after."""
+        live = node.model.state_dict()
+        node.model.load_state_dict(snapshot, strict=False)
+        was_training = node.model.training
+        node.model.eval()
+        with no_grad():
+            feats = node.model.features(Tensor(x)).data.copy()
+        node.model.load_state_dict(live, strict=False)
+        node.model.train(was_training)
+        return feats
+
+    @staticmethod
+    def _cosine(z: Tensor, other: np.ndarray) -> Tensor:
+        """Row-wise cosine similarity, differentiable in ``z`` only."""
+        other_unit = other / np.maximum(np.linalg.norm(other, axis=1, keepdims=True), 1e-8)
+        z_norm = ((z * z).sum(axis=1, keepdims=True) + 1e-8).sqrt()
+        return (z * other_unit).sum(axis=1, keepdims=True) / z_norm
+
+    def loss_fn(self, node, logits: Tensor, y: np.ndarray, x: np.ndarray) -> Tensor:
+        ce = F.cross_entropy(logits, y)
+        if self.mu == 0.0 or self._global_snapshot is None or self._prev_snapshot is None:
+            return ce
+        z = node.model.features(Tensor(x))
+        z_glob = self._frozen_features(node, x, self._global_snapshot)
+        z_prev = self._frozen_features(node, x, self._prev_snapshot)
+        sim_glob = self._cosine(z, z_glob) * (1.0 / self.temperature)
+        sim_prev = self._cosine(z, z_prev) * (1.0 / self.temperature)
+        # -log softmax over {glob, prev} picking glob, done stably:
+        # ℓ = log(1 + exp(sim_prev - sim_glob))
+        diff = sim_prev - sim_glob
+        contrastive = ((diff.exp() + 1.0).log()).mean()
+        return ce + self.mu * contrastive

@@ -1,0 +1,111 @@
+"""SCAFFOLD (Karimireddy et al. 2020): stochastic controlled averaging.
+
+Control variates correct client drift: the server keeps c, each client keeps
+c_i; local gradients become g + c − c_i.  After K local steps with lr η
+(option II of the paper):
+
+    c_i⁺ = c_i − c + (w_global − w_i) / (K·η)
+    Δy_i = w_i − w_global,      Δc_i = c_i⁺ − c_i
+    w_global ← w_global + mean_i Δy_i
+    c        ← c + mean_i Δc_i            (full participation)
+
+The server's c travels to clients inside the broadcast payload under the
+``__scaffold_c__.`` channel prefix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import ALGORITHMS, Algorithm
+from repro.nn.serialization import clone_state, state_add, state_average, state_sub, state_zeros_like
+
+__all__ = ["Scaffold"]
+
+_CHANNEL = "scaffold_c"
+
+
+@ALGORITHMS.register("scaffold")
+class Scaffold(Algorithm):
+    name = "scaffold"
+    uploads_full_state = False  # uploads (Δy, Δc) deltas
+
+    def __init__(self, **kw) -> None:
+        super().__init__(**kw)
+        self._c_local: Optional[Dict[str, np.ndarray]] = None  # client variate
+        self._c_server: Optional[Dict[str, np.ndarray]] = None  # per-round copy
+        self._c_global_srv: Optional[Dict[str, np.ndarray]] = None  # server's own
+        self._round_start: Dict[str, np.ndarray] = {}
+        self._param_keys: List[str] = []
+
+    # -- client ------------------------------------------------------------
+    def setup_client(self, node) -> None:
+        params = OrderedDict((k, p.data) for k, p in node.model.named_parameters())
+        self._param_keys = list(params.keys())
+        self._c_local = state_zeros_like(params)
+
+    def on_round_start(self, node, global_state, round_idx: int) -> None:
+        model_state = self._strip_payload(global_state)
+        node.model.load_state_dict(model_state, strict=False)
+        self._round_start = model_state
+        server_c = self._extract_channel(global_state, _CHANNEL)
+        self._c_server = server_c if server_c else None
+
+    def grad_postprocess(self, node) -> None:
+        if self._c_server is None or self._c_local is None:
+            return
+        for k, p in node.model.named_parameters():
+            if p.grad is not None:
+                p.grad += self._c_server[k] - self._c_local[k]
+
+    def compute_update(self, node, round_idx: int):
+        assert self._c_local is not None
+        local = node.model.state_dict()
+        k_steps = max(1, self._steps_this_round)
+        eta = self.lr_for_round(round_idx)
+        delta_y = state_sub(local, self._round_start)
+        params = OrderedDict((k, local[k]) for k in self._param_keys)
+        start_params = OrderedDict((k, self._round_start[k]) for k in self._param_keys)
+        c_server = self._c_server or state_zeros_like(params)
+        c_plus = OrderedDict(
+            (
+                k,
+                self._c_local[k] - c_server[k] + (start_params[k] - params[k]) / (k_steps * eta),
+            )
+            for k in self._param_keys
+        )
+        delta_c = OrderedDict((k, c_plus[k] - self._c_local[k]) for k in self._param_keys)
+        self._c_local = c_plus
+        payload = OrderedDict(delta_y)
+        payload.update(self._pack_channel(delta_c, "scaffold_dc"))
+        return payload, {"num_samples": int(node.num_samples)}
+
+    # -- server -------------------------------------------------------------
+    def setup_server(self, node) -> None:
+        params = OrderedDict((k, p.data) for k, p in node.model.named_parameters())
+        self._c_global_srv = state_zeros_like(params)
+
+    def server_payload(self, global_state):
+        payload = OrderedDict(global_state)
+        if self._c_global_srv is not None:
+            payload.update(self._pack_channel(self._c_global_srv, _CHANNEL))
+        return payload
+
+    def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
+        clients = self._client_entries(entries)
+        if not clients:
+            return clone_state(global_state)
+        delta_ys = []
+        delta_cs = []
+        for e in clients:
+            delta_ys.append(self._strip_payload(e["state"]))
+            delta_cs.append(self._extract_channel(e["state"], "scaffold_dc"))
+        mean_dy = state_average(delta_ys)  # unweighted mean, as in the paper
+        new_state = state_add(global_state, mean_dy)
+        if self._c_global_srv is not None and delta_cs[0]:
+            mean_dc = state_average(delta_cs)
+            self._c_global_srv = state_add(self._c_global_srv, mean_dc)
+        return new_state

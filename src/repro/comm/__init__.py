@@ -1,0 +1,43 @@
+"""Communication substrate: the paper's ``Communicator`` module.
+
+One abstract API (:class:`~repro.comm.base.Communicator`) over several
+protocols, selected purely by configuration — the paper's core claim:
+
+* :class:`~repro.comm.torchdist.TorchDistCommunicator` — MPI-style
+  collectives (ring all-reduce, all-gather, tree broadcast) over an
+  in-process rendezvous group; the "fast inner" protocol.
+* :class:`~repro.comm.rpc.GrpcCommunicator` — client/server RPC with a real
+  length-prefixed wire format over in-proc queues or TCP sockets; the
+  "slow outer" protocol.
+* :class:`~repro.comm.pubsub.MqttCommunicator` /
+  :class:`~repro.comm.pubsub.AmqpCommunicator` — publish/subscribe and
+  queue-with-ack middleware semantics over an in-memory broker.
+
+Every communicator accounts bytes moved and *simulated* seconds (latency +
+size/bandwidth per its :class:`~repro.comm.network.NetworkModel`) so
+laptop-scale runs still expose the paper's inner-vs-outer cost gap (Fig. 7).
+"""
+
+from repro.comm.base import CommStats, Communicator
+from repro.comm.collectives import CollectiveGroup
+from repro.comm.network import LINK_PRESETS, NetworkModel
+from repro.comm.pubsub import AmqpCommunicator, Broker, MqttCommunicator
+from repro.comm.rpc import GrpcCommunicator, RpcServer
+from repro.comm.torchdist import TorchDistCommunicator
+from repro.comm.wire import decode_message, encode_message
+
+__all__ = [
+    "Communicator",
+    "CommStats",
+    "CollectiveGroup",
+    "NetworkModel",
+    "LINK_PRESETS",
+    "TorchDistCommunicator",
+    "GrpcCommunicator",
+    "RpcServer",
+    "MqttCommunicator",
+    "AmqpCommunicator",
+    "Broker",
+    "encode_message",
+    "decode_message",
+]

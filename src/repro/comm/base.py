@@ -1,0 +1,144 @@
+"""The unified Communicator API (the paper's central abstraction).
+
+Every protocol backend exposes the same primitives, so algorithms and
+topologies never see which transport moves their bytes:
+
+* ``broadcast_state`` / ``gather_states`` — model-state movement between an
+  aggregator (rank 0 by convention) and workers;
+* ``allreduce`` — in-place mean/sum of a flat vector across the group;
+* ``send`` / ``recv`` — tagged point-to-point payloads;
+* ``barrier`` — group synchronization.
+
+Backends account every transfer into :class:`CommStats` (bytes, wall
+seconds, simulated seconds under their :class:`NetworkModel`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.comm.network import NetworkModel
+from repro.utils.timer import SimClock
+
+__all__ = ["Communicator", "CommStats"]
+
+
+@dataclass
+class CommStats:
+    """Per-communicator transfer accounting (thread-safe)."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    ops: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, sent: int = 0, received: int = 0, wall: float = 0.0, sim: float = 0.0) -> None:
+        with self._lock:
+            self.bytes_sent += int(sent)
+            self.bytes_received += int(received)
+            self.ops += 1
+            self.wall_seconds += wall
+            self.sim_seconds += sim
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "ops": self.ops,
+                "wall_seconds": self.wall_seconds,
+                "sim_seconds": self.sim_seconds,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.ops = 0
+            self.wall_seconds = 0.0
+            self.sim_seconds = 0.0
+
+
+class Communicator:
+    """Abstract protocol backend.
+
+    Subclasses are constructed once per participating node with that node's
+    ``rank`` and the group's ``world_size``; rank 0 plays the
+    server/aggregator role for client-server protocols.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        world_size: int,
+        network: Optional[NetworkModel] = None,
+        sim_clock: Optional[SimClock] = None,
+    ) -> None:
+        if not (0 <= rank < world_size):
+            raise ValueError(f"rank {rank} out of range for world size {world_size}")
+        self.rank = rank
+        self.world_size = world_size
+        self.network = network if network is not None else NetworkModel.from_preset("ideal")
+        self.sim_clock = sim_clock if sim_clock is not None else SimClock()
+        self.stats = CommStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    def setup(self) -> None:
+        """Connect/bind; called by the engine before round 0."""
+
+    def shutdown(self) -> None:
+        """Release transport resources."""
+
+    # -- accounting helper ---------------------------------------------------
+    def _account(self, nbytes: int, direction: str = "send", label: str = "comm") -> None:
+        sim = self.network.transfer_time(nbytes)
+        self.sim_clock.advance(sim, label)
+        if direction == "send":
+            self.stats.record(sent=nbytes, sim=sim)
+        else:
+            self.stats.record(received=nbytes, sim=sim)
+
+    # -- primitives (must be implemented) -------------------------------------
+    def broadcast_state(self, state: Optional[Mapping[str, np.ndarray]], src: int = 0) -> Dict[str, np.ndarray]:
+        """Distribute a state dict from ``src`` to all ranks; returns it everywhere."""
+        raise NotImplementedError
+
+    def gather_states(
+        self, state: Mapping[str, np.ndarray], meta: Optional[Dict[str, Any]] = None, dst: int = 0
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Collect every rank's (state, meta) at ``dst``; None elsewhere.
+
+        Returns a list of dicts ``{"rank", "state", "meta"}`` ordered by rank.
+        """
+        raise NotImplementedError
+
+    def allreduce(self, vector: np.ndarray, op: str = "mean") -> np.ndarray:
+        """Elementwise sum/mean of ``vector`` across all ranks."""
+        raise NotImplementedError
+
+    def send(self, payload: Dict[str, Any], dst: int, tag: int = 0) -> None:
+        raise NotImplementedError
+
+    def recv(self, src: int, tag: int = 0, timeout: Optional[float] = None) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    # -- conveniences shared by backends -----------------------------------------
+    @staticmethod
+    def _state_nbytes(state: Mapping[str, np.ndarray]) -> int:
+        return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(rank={self.rank}/{self.world_size}, "
+            f"network={self.network.name})"
+        )

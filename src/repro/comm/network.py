@@ -1,0 +1,65 @@
+"""Simulated network model: latency + bandwidth per link class.
+
+The reproduction runs on one machine, so *wall* time cannot show the gap
+between an HPC interconnect and a cross-facility WAN.  Communicators instead
+charge each transfer ``latency + nbytes / bandwidth`` seconds of *simulated*
+time into a :class:`~repro.utils.timer.SimClock` (no sleeping).  Presets
+bracket the deployments the paper targets (DGX NVLink-class inner fabric,
+datacenter Ethernet, WAN, edge wireless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["NetworkModel", "LINK_PRESETS"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Transfer-time model for one link class.
+
+    Attributes:
+        latency_s: one-way message latency in seconds.
+        bandwidth_bps: usable bandwidth in *bytes* per second.
+        jitter: fractional stddev applied multiplicatively when an RNG is
+            given (0 disables).
+    """
+
+    latency_s: float = 1e-4
+    bandwidth_bps: float = 1e9
+    jitter: float = 0.0
+    name: str = "custom"
+
+    def transfer_time(self, nbytes: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Seconds to move ``nbytes`` over this link once."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        base = self.latency_s + nbytes / self.bandwidth_bps
+        if self.jitter > 0.0 and rng is not None:
+            base *= float(max(0.1, 1.0 + self.jitter * rng.standard_normal()))
+        return base
+
+    @staticmethod
+    def from_preset(name: str) -> "NetworkModel":
+        try:
+            return LINK_PRESETS[name]
+        except KeyError:
+            raise KeyError(f"unknown link preset {name!r}; have {sorted(LINK_PRESETS)}") from None
+
+
+LINK_PRESETS: Dict[str, NetworkModel] = {
+    # DGX-class intra-node fabric (NVLink/NVSwitch): ~2us, ~200 GB/s usable
+    "hpc_interconnect": NetworkModel(2e-6, 200e9, 0.0, "hpc_interconnect"),
+    # datacenter 10GbE: ~50us, ~1.1 GB/s usable
+    "datacenter": NetworkModel(5e-5, 1.1e9, 0.0, "datacenter"),
+    # cross-facility WAN: ~30ms, ~12 MB/s usable
+    "wan": NetworkModel(3e-2, 12e6, 0.0, "wan"),
+    # edge wireless: ~20ms, ~3 MB/s usable
+    "edge_wireless": NetworkModel(2e-2, 3e6, 0.0, "edge_wireless"),
+    # ideal link for unit tests (zero cost)
+    "ideal": NetworkModel(0.0, float("inf"), 0.0, "ideal"),
+}

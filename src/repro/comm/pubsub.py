@@ -1,0 +1,401 @@
+"""Publish/subscribe middleware backends (MQTT and AMQP substitutes).
+
+An in-memory :class:`Broker` (one per broker URL, process-global registry)
+provides both messaging models the paper targets for middleware deployments:
+
+* **topics** with fan-out to live subscribers and QoS-0 semantics (late
+  subscribers miss messages, full subscriber buffers drop) —
+  :class:`MqttCommunicator`;
+* **named queues** with acknowledgement and redelivery of un-acked messages —
+  :class:`AmqpCommunicator` ("clients push updates to a queue, which is
+  subsequently pulled by the aggregator Node").
+
+All payloads travel as wire-format frames so byte accounting matches the RPC
+backend's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.base import Communicator
+from repro.comm.network import NetworkModel
+from repro.comm.wire import decode_message, encode_message
+from repro.utils.timer import SimClock
+
+__all__ = ["Broker", "MqttCommunicator", "AmqpCommunicator", "reset_brokers"]
+
+_BROKERS: Dict[str, "Broker"] = {}
+_BROKERS_LOCK = threading.Lock()
+
+
+def get_broker(url: str) -> "Broker":
+    """Return (creating if needed) the broker registered at ``url``."""
+    with _BROKERS_LOCK:
+        broker = _BROKERS.get(url)
+        if broker is None:
+            broker = Broker(url)
+            _BROKERS[url] = broker
+        return broker
+
+
+def reset_brokers() -> None:
+    with _BROKERS_LOCK:
+        _BROKERS.clear()
+
+
+class _Subscription:
+    """A subscriber's buffered view of one topic."""
+
+    def __init__(self, topic: str, maxlen: int) -> None:
+        self.topic = topic
+        self.buffer: Deque[bytes] = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def push(self, frame: bytes) -> None:
+        if self.buffer.maxlen is not None and len(self.buffer) == self.buffer.maxlen:
+            self.dropped += 1  # QoS 0: overflow drops oldest
+        self.buffer.append(frame)
+
+
+class Broker:
+    """In-memory message broker with topics (pub/sub) and queues (ack)."""
+
+    def __init__(self, url: str = "inproc://broker") -> None:
+        self.url = url
+        self._cond = threading.Condition()
+        self._topics: Dict[str, List[_Subscription]] = {}
+        self._queues: Dict[str, Deque[Tuple[int, bytes]]] = {}
+        self._unacked: Dict[str, Dict[int, bytes]] = {}
+        self._delivery_ids = itertools.count(1)
+        self.messages_published = 0
+
+    # -- topics (MQTT-style) -------------------------------------------------
+    def subscribe(self, topic: str, maxlen: int = 1024) -> _Subscription:
+        sub = _Subscription(topic, maxlen)
+        with self._cond:
+            self._topics.setdefault(topic, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: _Subscription) -> None:
+        with self._cond:
+            subs = self._topics.get(sub.topic, [])
+            if sub in subs:
+                subs.remove(sub)
+
+    @staticmethod
+    def _matches(pattern: str, topic: str) -> bool:
+        """MQTT-style matching: exact, or trailing ``/#`` multi-level wildcard."""
+        if pattern == topic:
+            return True
+        if pattern.endswith("/#"):
+            return topic.startswith(pattern[:-1]) or topic == pattern[:-2]
+        return False
+
+    def publish(self, topic: str, frame: bytes) -> int:
+        """Fan out to current (incl. wildcard) subscribers; returns count reached."""
+        with self._cond:
+            reached = 0
+            for pattern, subs in self._topics.items():
+                if self._matches(pattern, topic):
+                    for sub in subs:
+                        sub.push(frame)
+                        reached += 1
+            self.messages_published += 1
+            self._cond.notify_all()
+            return reached
+
+    def poll(self, sub: _Subscription, timeout: float = 30.0) -> bytes:
+        """Blocking read of the next buffered frame for ``sub``."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while not sub.buffer:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"no message on topic {sub.topic!r} within {timeout}s")
+                self._cond.wait(timeout=min(remaining, 0.5))
+            return sub.buffer.popleft()
+
+    # -- queues (AMQP-style) ----------------------------------------------------
+    def declare_queue(self, name: str) -> None:
+        with self._cond:
+            self._queues.setdefault(name, deque())
+            self._unacked.setdefault(name, {})
+
+    def enqueue(self, name: str, frame: bytes) -> None:
+        with self._cond:
+            self._queues.setdefault(name, deque()).append((next(self._delivery_ids), frame))
+            self._unacked.setdefault(name, {})
+            self.messages_published += 1
+            self._cond.notify_all()
+
+    def consume(self, name: str, timeout: float = 30.0) -> Tuple[int, bytes]:
+        """Pop the next message; it stays un-acked until :meth:`ack`."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while not self._queues.get(name):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"queue {name!r} empty after {timeout}s")
+                self._cond.wait(timeout=min(remaining, 0.5))
+            delivery_id, frame = self._queues[name].popleft()
+            self._unacked[name][delivery_id] = frame
+            return delivery_id, frame
+
+    def ack(self, name: str, delivery_id: int) -> None:
+        with self._cond:
+            self._unacked.get(name, {}).pop(delivery_id, None)
+
+    def nack(self, name: str, delivery_id: int) -> None:
+        """Redeliver an un-acked message to the front of the queue."""
+        with self._cond:
+            frame = self._unacked.get(name, {}).pop(delivery_id, None)
+            if frame is not None:
+                self._queues[name].appendleft((delivery_id, frame))
+                self._cond.notify_all()
+
+    def queue_depth(self, name: str) -> int:
+        with self._cond:
+            return len(self._queues.get(name, ()))
+
+
+class _PubSubBase(Communicator):
+    """Shared group-op plumbing for broker-backed communicators."""
+
+    def __init__(
+        self,
+        rank: int,
+        world_size: int,
+        broker_url: str,
+        group: str = "fl",
+        network: Optional[NetworkModel] = None,
+        network_preset: Optional[str] = None,
+        sim_clock: Optional[SimClock] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        if network is None and network_preset is not None:
+            network = NetworkModel.from_preset(network_preset)
+        super().__init__(rank, world_size, network, sim_clock)
+        self.broker = get_broker(broker_url)
+        self.group = group
+        self.timeout = timeout
+        # group ops are generation-tagged: a fast client may publish round
+        # k+1's update before the aggregator drained round k's, so collection
+        # filters by generation and stashes early arrivals.
+        self._gather_gen = 0
+        self._pending_gathers: Dict[int, List[Dict[str, Any]]] = {}
+
+    def _frame(self, meta: Dict[str, Any], arrays: Mapping[str, np.ndarray], kind: str = "data") -> bytes:
+        frame = encode_message(kind, meta, dict(arrays))
+        self._account(len(frame), "send", "pubsub")
+        return frame
+
+    def _open(self, frame: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+        self.stats.record(received=len(frame))
+        return decode_message(frame)
+
+    def allreduce(self, vector: np.ndarray, op: str = "mean") -> np.ndarray:
+        """Aggregator-mediated reduction (gather to rank 0, broadcast back)."""
+        shape = np.shape(vector)
+        flat = np.asarray(vector, dtype=np.float32).ravel()
+        entries = self.gather_states({"v": flat}, meta={"op": op}, dst=0)
+        if self.rank == 0:
+            total = np.sum([e["state"]["v"].astype(np.float64) for e in entries], axis=0)
+            if op == "mean":
+                total = total / self.world_size
+            result = self.broadcast_state({"v": total.astype(np.float32)}, src=0)
+        else:
+            result = self.broadcast_state(None, src=0)
+        return result["v"].reshape(shape)
+
+
+class MqttCommunicator(_PubSubBase):
+    """QoS-0 topic pub/sub communicator.
+
+    Topic layout: ``{group}/bcast`` (model distribution), ``{group}/agg``
+    (update collection at the aggregator), ``{group}/barrier``,
+    ``{group}/p2p/{dst}/{tag}``.
+    """
+
+    def setup(self) -> None:
+        # subscriptions must exist before any publish (QoS 0 has no replay),
+        # so point-to-point uses a wildcard subscription per rank
+        if self.rank != 0:
+            self._bcast_sub = self.broker.subscribe(f"{self.group}/bcast")
+            self._release_sub = self.broker.subscribe(f"{self.group}/barrier/release")
+        else:
+            self._agg_sub = self.broker.subscribe(f"{self.group}/agg", maxlen=4096)
+            self._barrier_sub = self.broker.subscribe(f"{self.group}/barrier", maxlen=4096)
+        self._p2p_sub = self.broker.subscribe(f"{self.group}/p2p/{self.rank}/#", maxlen=4096)
+        self._p2p_pending: Dict[int, List[Dict[str, Any]]] = {}
+
+    def broadcast_state(self, state: Optional[Mapping[str, np.ndarray]], src: int = 0) -> Dict[str, np.ndarray]:
+        if self.rank == src:
+            assert state is not None, "broadcast source must provide a state"
+            payload = OrderedDict((k, np.array(v, copy=True)) for k, v in state.items())
+            frame = self._frame({"src": src}, payload)
+            self.broker.publish(f"{self.group}/bcast", frame)
+            return payload
+        _, _, arrays = self._open(self.broker.poll(self._bcast_sub, self.timeout))
+        return OrderedDict(arrays)
+
+    def gather_states(
+        self, state: Mapping[str, np.ndarray], meta: Optional[Dict[str, Any]] = None, dst: int = 0
+    ) -> Optional[List[Dict[str, Any]]]:
+        gen = self._gather_gen
+        self._gather_gen += 1
+        if self.rank != dst:
+            frame = self._frame({"rank": self.rank, "gen": gen, "client_meta": _safe(meta)}, dict(state))
+            self.broker.publish(f"{self.group}/agg", frame)
+            return None
+        entries = [{"rank": self.rank, "state": OrderedDict((k, np.array(v, copy=True)) for k, v in state.items()), "meta": dict(meta or {})}]
+        entries.extend(self._pending_gathers.pop(gen, []))
+        while len(entries) < self.world_size:
+            _, rmeta, arrays = self._open(self.broker.poll(self._agg_sub, self.timeout))
+            entry = {"rank": int(rmeta["rank"]), "state": OrderedDict(arrays), "meta": rmeta.get("client_meta", {})}
+            msg_gen = int(rmeta.get("gen", gen))
+            if msg_gen == gen:
+                entries.append(entry)
+            else:  # early arrival from a future generation
+                self._pending_gathers.setdefault(msg_gen, []).append(entry)
+        return sorted(entries, key=lambda e: e["rank"])
+
+    def barrier(self) -> None:
+        if self.rank == 0:
+            for _ in range(self.world_size - 1):
+                self._open(self.broker.poll(self._barrier_sub, self.timeout))
+            self.broker.publish(f"{self.group}/barrier/release", self._frame({}, {}, kind="control"))
+        else:
+            self.broker.publish(f"{self.group}/barrier", self._frame({"rank": self.rank}, {}, kind="control"))
+            self._open(self.broker.poll(self._release_sub, self.timeout))
+
+    def send(self, payload: Dict[str, Any], dst: int, tag: int = 0) -> None:
+        meta, arrays = _split(payload)
+        self.broker.publish(
+            f"{self.group}/p2p/{dst}/{tag}",
+            self._frame({"payload_meta": _safe(meta), "tag": tag}, arrays),
+        )
+
+    def recv(self, src: int, tag: int = 0, timeout: Optional[float] = None) -> Dict[str, Any]:
+        pending = self._p2p_pending.get(tag)
+        if pending:
+            return pending.pop(0)
+        while True:
+            _, meta, arrays = self._open(self.broker.poll(self._p2p_sub, timeout or self.timeout))
+            out: Dict[str, Any] = dict(meta.get("payload_meta", {}))
+            out.update(arrays)
+            msg_tag = int(meta.get("tag", 0))
+            if msg_tag == tag:
+                return out
+            self._p2p_pending.setdefault(msg_tag, []).append(out)
+
+
+class AmqpCommunicator(_PubSubBase):
+    """Queue-with-ack communicator.
+
+    Queue layout: ``{group}.updates`` (clients -> aggregator),
+    ``{group}.model.{rank}`` (aggregator -> each client),
+    ``{group}.p2p.{dst}.{tag}``.
+    """
+
+    def setup(self) -> None:
+        self.broker.declare_queue(f"{self.group}.updates")
+        for r in range(self.world_size):
+            self.broker.declare_queue(f"{self.group}.model.{r}")
+            self.broker.declare_queue(f"{self.group}.barrier.{r}")
+
+    def broadcast_state(self, state: Optional[Mapping[str, np.ndarray]], src: int = 0) -> Dict[str, np.ndarray]:
+        if self.rank == src:
+            assert state is not None, "broadcast source must provide a state"
+            payload = OrderedDict((k, np.array(v, copy=True)) for k, v in state.items())
+            for r in range(self.world_size):
+                if r == src:
+                    continue
+                self.broker.enqueue(f"{self.group}.model.{r}", self._frame({"src": src}, payload))
+            return payload
+        delivery, frame = self.broker.consume(f"{self.group}.model.{self.rank}", self.timeout)
+        _, _, arrays = self._open(frame)
+        self.broker.ack(f"{self.group}.model.{self.rank}", delivery)
+        return OrderedDict(arrays)
+
+    def gather_states(
+        self, state: Mapping[str, np.ndarray], meta: Optional[Dict[str, Any]] = None, dst: int = 0
+    ) -> Optional[List[Dict[str, Any]]]:
+        gen = self._gather_gen
+        self._gather_gen += 1
+        if self.rank != dst:
+            self.broker.enqueue(
+                f"{self.group}.updates",
+                self._frame({"rank": self.rank, "gen": gen, "client_meta": _safe(meta)}, dict(state)),
+            )
+            return None
+        entries = [{"rank": self.rank, "state": OrderedDict((k, np.array(v, copy=True)) for k, v in state.items()), "meta": dict(meta or {})}]
+        entries.extend(self._pending_gathers.pop(gen, []))
+        while len(entries) < self.world_size:
+            delivery, frame = self.broker.consume(f"{self.group}.updates", self.timeout)
+            _, rmeta, arrays = self._open(frame)
+            self.broker.ack(f"{self.group}.updates", delivery)
+            entry = {"rank": int(rmeta["rank"]), "state": OrderedDict(arrays), "meta": rmeta.get("client_meta", {})}
+            msg_gen = int(rmeta.get("gen", gen))
+            if msg_gen == gen:
+                entries.append(entry)
+            else:
+                self._pending_gathers.setdefault(msg_gen, []).append(entry)
+        return sorted(entries, key=lambda e: e["rank"])
+
+    def barrier(self) -> None:
+        if self.rank == 0:
+            for _ in range(self.world_size - 1):
+                delivery, _frame = self.broker.consume(f"{self.group}.barrier.0", self.timeout)
+                self.broker.ack(f"{self.group}.barrier.0", delivery)
+            for r in range(1, self.world_size):
+                self.broker.enqueue(f"{self.group}.barrier.{r}", self._frame({}, {}, kind="control"))
+        else:
+            self.broker.enqueue(f"{self.group}.barrier.0", self._frame({"rank": self.rank}, {}, kind="control"))
+            delivery, _frame = self.broker.consume(f"{self.group}.barrier.{self.rank}", self.timeout)
+            self.broker.ack(f"{self.group}.barrier.{self.rank}", delivery)
+
+    def send(self, payload: Dict[str, Any], dst: int, tag: int = 0) -> None:
+        meta, arrays = _split(payload)
+        name = f"{self.group}.p2p.{dst}.{tag}"
+        self.broker.declare_queue(name)
+        self.broker.enqueue(name, self._frame({"payload_meta": _safe(meta)}, arrays))
+
+    def recv(self, src: int, tag: int = 0, timeout: Optional[float] = None) -> Dict[str, Any]:
+        name = f"{self.group}.p2p.{self.rank}.{tag}"
+        self.broker.declare_queue(name)
+        delivery, frame = self.broker.consume(name, timeout or self.timeout)
+        _, meta, arrays = self._open(frame)
+        self.broker.ack(name, delivery)
+        out: Dict[str, Any] = dict(meta.get("payload_meta", {}))
+        out.update(arrays)
+        return out
+
+
+def _split(payload: Mapping[str, Any]) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    meta: Dict[str, Any] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for k, v in payload.items():
+        if isinstance(v, np.ndarray):
+            arrays[k] = v
+        else:
+            meta[k] = v
+    return meta, arrays
+
+
+def _safe(meta: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for k, v in (meta or {}).items():
+        if isinstance(v, (np.integer,)):
+            out[k] = int(v)
+        elif isinstance(v, (np.floating,)):
+            out[k] = float(v)
+        else:
+            out[k] = v
+    return out

@@ -1,0 +1,46 @@
+"""Gradient/update compression plugins (the paper's §3.4.2 suite).
+
+All compressors operate on flat float32 vectors (the framework's update
+currency) and return a :class:`~repro.compression.base.CompressedPayload`
+whose ``compressed_bytes`` drive communication accounting.
+
+Sparsification: :class:`TopK`, :class:`RandomK`, :class:`DGC`,
+:class:`RedSync`, :class:`SIDCo` (these pair with all-gather collectives).
+Quantization: :class:`QSGD` (8/16-bit, all-reduce compatible).
+Low-rank: :class:`PowerSGD` (rank-r power iteration, all-reduce compatible).
+
+:class:`ErrorFeedback` wraps any compressor with residual accumulation
+(Stich et al.), which TopK/PowerSGD need for convergence at high ratios.
+"""
+
+from repro.compression.base import (
+    COMPRESSORS,
+    CompressedPayload,
+    Compressor,
+    IdentityCompressor,
+    build_compressor,
+)
+from repro.compression.dgc import DGC
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.powersgd import PowerSGD
+from repro.compression.qsgd import QSGD
+from repro.compression.randomk import RandomK
+from repro.compression.redsync import RedSync
+from repro.compression.sidco import SIDCo
+from repro.compression.topk import TopK
+
+__all__ = [
+    "COMPRESSORS",
+    "Compressor",
+    "CompressedPayload",
+    "IdentityCompressor",
+    "build_compressor",
+    "TopK",
+    "RandomK",
+    "DGC",
+    "RedSync",
+    "SIDCo",
+    "QSGD",
+    "PowerSGD",
+    "ErrorFeedback",
+]

@@ -1,0 +1,48 @@
+"""Error-feedback wrapper (Stich et al. 2018; Karimireddy et al. 2019).
+
+Accumulates the compression residual locally and adds it to the next update
+before compressing: ``c_t = C(g_t + e_{t-1})``, ``e_t = (g_t + e_{t-1}) -
+decompress(c_t)``.  Biased compressors (TopK at high ratios, PowerSGD at low
+rank) need this for convergence; the wrapper composes with any compressor,
+mirroring OmniFed's plugin stacking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import COMPRESSORS, CompressedPayload, Compressor
+
+__all__ = ["ErrorFeedback"]
+
+
+@COMPRESSORS.register("error_feedback", "ef")
+class ErrorFeedback(Compressor):
+    def __init__(self, inner: Compressor) -> None:
+        self.inner = inner
+        self.collective_hint = inner.collective_hint
+        self._residual: Optional[np.ndarray] = None
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        flat = self._flat32(vector)
+        if self._residual is not None and self._residual.size == flat.size:
+            corrected = flat + self._residual
+        else:
+            corrected = flat.copy()
+        payload = self.inner.compress(corrected)
+        reconstructed = self.inner.decompress(payload)
+        self._residual = corrected - reconstructed
+        return payload
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return self.inner.decompress(payload)
+
+    @property
+    def residual_norm(self) -> float:
+        return float(np.linalg.norm(self._residual)) if self._residual is not None else 0.0
+
+    def reset(self) -> None:
+        self._residual = None
+        self.inner.reset()

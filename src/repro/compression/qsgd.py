@@ -1,0 +1,62 @@
+"""QSGD stochastic quantization (Alistarh et al. 2017).
+
+Each entry is quantized to one of ``s = 2^bits - 1`` non-negative levels of
+|x|/||x||2 with stochastic rounding, making the quantizer *unbiased*:
+E[decompress(compress(x))] = x (property-tested).  Levels travel as
+uint8/uint16 with signs packed as bits, so 8-bit QSGD moves ~4x fewer bytes
+than float32 and 16-bit ~2x — matching the paper's "2x and 4x" factors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import COMPRESSORS, CompressedPayload, Compressor
+
+__all__ = ["QSGD"]
+
+
+@COMPRESSORS.register("qsgd")
+class QSGD(Compressor):
+    collective_hint = "allreduce"
+
+    def __init__(self, bits: int = 8, seed: int = 0) -> None:
+        if bits not in (2, 4, 8, 16):
+            raise ValueError("bits must be one of 2, 4, 8, 16")
+        self.bits = int(bits)
+        self.levels = (1 << bits) - 1
+        self._rng = np.random.default_rng(seed)
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        flat = self._flat32(vector)
+        norm = float(np.linalg.norm(flat))
+        if norm == 0.0:
+            levels = np.zeros(flat.size, dtype=np.uint8 if self.bits <= 8 else np.uint16)
+            signs = np.zeros((flat.size + 7) // 8, dtype=np.uint8)
+            return CompressedPayload(
+                {"levels": levels, "signs": signs, "norm": np.asarray([0.0], np.float32)},
+                {"n": int(flat.size), "bits": self.bits},
+                flat.nbytes,
+            )
+        scaled = np.abs(flat) / norm * self.levels
+        floor = np.floor(scaled)
+        prob = scaled - floor
+        levels = floor + (self._rng.random(flat.size) < prob)
+        dtype = np.uint8 if self.bits <= 8 else np.uint16
+        levels = levels.astype(dtype)
+        signs = np.packbits((flat < 0).astype(np.uint8))
+        return CompressedPayload(
+            {"levels": levels, "signs": signs, "norm": np.asarray([norm], np.float32)},
+            {"n": int(flat.size), "bits": self.bits},
+            flat.nbytes,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        n = int(payload.meta["n"])
+        norm = float(payload.arrays["norm"][0])
+        levels = payload.arrays["levels"].astype(np.float32)
+        signs = np.unpackbits(payload.arrays["signs"], count=n).astype(np.float32)
+        magnitude = levels / self.levels * norm
+        return np.where(signs > 0, -magnitude, magnitude).astype(np.float32)

@@ -1,0 +1,68 @@
+"""RandomK sparsification: keep a uniformly random k-subset, rescaled.
+
+With shared seeds both ends can re-derive the index set, so only values (and
+the seed) need travel — the payload here carries the 8-byte seed instead of
+the index array, which is RandomK's bandwidth advantage over TopK.
+Entries are scaled by n/k so the compressed vector is an unbiased estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import COMPRESSORS, CompressedPayload, Compressor
+
+__all__ = ["RandomK"]
+
+
+@COMPRESSORS.register("randomk")
+class RandomK(Compressor):
+    collective_hint = "allgather"
+
+    def __init__(self, ratio: float = 10.0, k: Optional[int] = None, seed: int = 0, unbiased: bool = True) -> None:
+        if k is None and ratio < 1.0:
+            raise ValueError("ratio must be >= 1")
+        self.ratio = float(ratio)
+        self.k = k
+        self.seed = int(seed)
+        self.unbiased = unbiased
+        self._round = 0
+
+    def _k_for(self, n: int) -> int:
+        if self.k is not None:
+            return max(1, min(int(self.k), n))
+        return max(1, int(round(n / self.ratio)))
+
+    @staticmethod
+    def _indices(n: int, k: int, seed: int, round_id: int) -> np.ndarray:
+        rng = np.random.default_rng(np.random.SeedSequence([seed, round_id]))
+        return rng.choice(n, size=k, replace=False).astype(np.int64)
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        flat = self._flat32(vector)
+        k = self._k_for(flat.size)
+        round_id = self._round
+        self._round += 1
+        idx = self._indices(flat.size, k, self.seed, round_id)
+        values = flat[idx]
+        if self.unbiased and k < flat.size:
+            values = values * (flat.size / k)
+        return CompressedPayload(
+            {"values": values.astype(np.float32), "seed": np.asarray([self.seed, round_id], dtype=np.int64)},
+            {"n": int(flat.size), "k": int(k), "unbiased": bool(self.unbiased)},
+            flat.nbytes,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        n = int(payload.meta["n"])
+        k = int(payload.meta["k"])
+        seed, round_id = (int(v) for v in payload.arrays["seed"])
+        idx = self._indices(n, k, seed, round_id)
+        out = np.zeros(n, dtype=np.float32)
+        out[idx] = payload.arrays["values"]
+        return out
+
+    def reset(self) -> None:
+        self._round = 0

@@ -1,0 +1,25 @@
+"""Built-in configuration store (the framework's shipped config groups).
+
+``builtin_store()`` returns a :class:`~repro.config.compose.ConfigStore`
+over this package's YAML tree, so experiments compose exactly as in the
+paper's Fig. 2::
+
+    from repro.conf import builtin_store
+    from repro.config import compose
+
+    cfg = compose(builtin_store(), "experiment",
+                  overrides=["algorithm=fedprox", "+algorithm.mu=0.1",
+                             "topology.num_clients=16"])
+"""
+
+import os
+
+from repro.config.compose import ConfigStore
+
+__all__ = ["builtin_store", "CONF_DIR"]
+
+CONF_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def builtin_store() -> ConfigStore:
+    return ConfigStore(CONF_DIR)

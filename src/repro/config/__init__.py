@@ -1,0 +1,30 @@
+"""Configuration substrate: a Hydra/OmegaConf/YAML substitute.
+
+The paper drives every experiment from Hydra-based YAML files (its Fig. 2).
+The offline environment ships neither Hydra nor PyYAML, so this package
+implements the subset the framework needs:
+
+* :mod:`repro.config.yaml` — parser/dumper for a practical YAML subset
+  (block + flow collections, scalars, comments, anchors are *not* supported).
+* :mod:`repro.config.node` — ``ConfigNode``: attribute/dotted access, deep
+  merge, ``${a.b}`` interpolation, conversion to plain containers.
+* :mod:`repro.config.compose` — Hydra-style config groups with a
+  ``defaults:`` list, ``override`` entries, and ``key=value`` CLI overrides.
+* :mod:`repro.config.instantiate` — recursive ``_target_`` instantiation.
+"""
+
+from repro.config.compose import ConfigStore, compose
+from repro.config.instantiate import instantiate
+from repro.config.node import ConfigNode
+from repro.config.yaml import YamlError, dump, dumps, load, loads
+
+__all__ = [
+    "ConfigStore",
+    "compose",
+    "instantiate",
+    "ConfigNode",
+    "YamlError",
+    "dump",
+    "load",
+    "loads",
+]

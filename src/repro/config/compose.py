@@ -1,0 +1,213 @@
+"""Hydra-style configuration composition.
+
+A *config store* is a directory tree (or in-memory mapping) of YAML files:
+
+```
+conf/
+  experiment.yaml          # primary config with a `defaults:` list
+  topology/centralized.yaml
+  topology/ring.yaml
+  algorithm/fedavg.yaml
+  algorithm/fedprox.yaml
+  model/resnet18.yaml
+  datamodule/cifar10.yaml
+```
+
+The primary config's ``defaults:`` list selects one option per group::
+
+    defaults:
+      - topology: centralized
+      - algorithm: fedavg
+      - override algorithm: fedprox   # later entries win
+      - _self_                        # where the file's own body merges
+
+Composition order follows Hydra: each defaults entry merges the group file
+under its group key; ``_self_`` (implicitly last) merges the primary body;
+finally dotted command-line overrides apply:
+
+* ``algorithm.lr=0.05``  — change a value (must exist unless prefixed ``+``)
+* ``+algorithm.mu=0.1``  — add a new value
+* ``~algorithm.mu``      — delete a value
+* ``algorithm=fedprox``  — re-select a config group option
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import yaml as _yaml
+from repro.config.node import ConfigNode
+
+__all__ = ["ConfigStore", "compose", "parse_override", "ComposeError"]
+
+
+class ComposeError(ValueError):
+    """Raised on malformed defaults lists or overrides."""
+
+
+class ConfigStore:
+    """Loads group configs either from a directory or an in-memory dict.
+
+    In-memory registration is handy for tests and for the built-in configs
+    shipped under :mod:`repro.conf`.
+    """
+
+    def __init__(self, config_dir: Optional[str] = None) -> None:
+        self.config_dir = config_dir
+        self._memory: Dict[str, Dict[str, Any]] = {}
+
+    # -- registration ------------------------------------------------------
+    def store(self, name: str, node: Union[dict, ConfigNode], group: Optional[str] = None) -> None:
+        """Register an in-memory config under ``group/name``."""
+        key = f"{group}/{name}" if group else name
+        if isinstance(node, ConfigNode):
+            node = node.to_container(resolve=False)
+        self._memory[key] = node
+
+    # -- loading -----------------------------------------------------------
+    def _candidates(self, ref: str) -> List[str]:
+        return [ref, f"{ref}.yaml", f"{ref}.yml"]
+
+    def load(self, ref: str) -> Dict[str, Any]:
+        """Load ``group/name`` (or a bare primary name) as a plain dict."""
+        if ref in self._memory:
+            value = self._memory[ref]
+            return dict(value) if isinstance(value, dict) else value
+        if self.config_dir is not None:
+            for cand in self._candidates(ref):
+                path = os.path.join(self.config_dir, cand)
+                if os.path.isfile(path):
+                    loaded = _yaml.load(path)
+                    if loaded is None:
+                        return {}
+                    if not isinstance(loaded, dict):
+                        raise ComposeError(f"config {ref!r} must be a mapping, got {type(loaded).__name__}")
+                    return loaded
+        raise ComposeError(f"config {ref!r} not found (dir={self.config_dir!r}, memory={sorted(self._memory)})")
+
+    def available(self, group: str) -> List[str]:
+        """List option names available for ``group``."""
+        names = {k.split("/", 1)[1] for k in self._memory if k.startswith(group + "/")}
+        if self.config_dir is not None:
+            gdir = os.path.join(self.config_dir, group)
+            if os.path.isdir(gdir):
+                for fn in os.listdir(gdir):
+                    if fn.endswith((".yaml", ".yml")):
+                        names.add(fn.rsplit(".", 1)[0])
+        return sorted(names)
+
+
+def _parse_defaults(defaults: Sequence[Any]) -> List[Tuple[str, Optional[str], bool]]:
+    """Normalize a defaults list to ``(group, option, is_override)`` tuples.
+
+    ``_self_`` is encoded as ``("_self_", None, False)``.
+    """
+    out: List[Tuple[str, Optional[str], bool]] = []
+    for entry in defaults:
+        if entry == "_self_":
+            out.append(("_self_", None, False))
+            continue
+        if isinstance(entry, str):
+            # bare file include, e.g. "base"
+            out.append((entry, None, False))
+            continue
+        if isinstance(entry, dict) and len(entry) == 1:
+            (key, option), = entry.items()
+            is_override = False
+            group = str(key)
+            if group.startswith("override "):
+                is_override = True
+                group = group[len("override "):].strip()
+            if option is None:
+                out.append((group, None, is_override))
+            else:
+                out.append((group, str(option), is_override))
+            continue
+        raise ComposeError(f"malformed defaults entry: {entry!r}")
+    return out
+
+
+def parse_override(text: str) -> Tuple[str, str, Optional[str]]:
+    """Parse one CLI override into ``(action, path, raw_value)``.
+
+    Actions: ``"set"``, ``"add"`` (``+path=...``), ``"del"`` (``~path``).
+    """
+    text = text.strip()
+    if text.startswith("~"):
+        return "del", text[1:], None
+    action = "set"
+    if text.startswith("+"):
+        action = "add"
+        text = text[1:]
+    if "=" not in text:
+        raise ComposeError(f"override {text!r} must look like key=value (or ~key)")
+    path, raw = text.split("=", 1)
+    return action, path.strip(), raw.strip()
+
+
+def compose(
+    store: ConfigStore,
+    config_name: str,
+    overrides: Sequence[str] = (),
+) -> ConfigNode:
+    """Compose a full configuration from a primary config + overrides."""
+    primary = store.load(config_name)
+    defaults = primary.pop("defaults", [])
+    entries = _parse_defaults(defaults)
+
+    # group -> chosen option; later entries (and `override`) win.
+    choices: Dict[str, Optional[str]] = {}
+    order: List[str] = []
+    saw_self = False
+    for group, option, is_override in entries:
+        if group == "_self_":
+            saw_self = True
+            order.append("_self_")
+            continue
+        if is_override and group not in choices:
+            raise ComposeError(f"override of group {group!r} that was never selected")
+        if group not in choices:
+            order.append(group)
+        choices[group] = option
+
+    # group re-selections from CLI (e.g. algorithm=fedprox) apply before load.
+    value_overrides: List[Tuple[str, str, Optional[str]]] = []
+    for text in overrides:
+        action, path, raw = parse_override(text)
+        if action == "set" and path in choices and raw is not None and "." not in path:
+            choices[path] = raw
+        else:
+            value_overrides.append((action, path, raw))
+
+    cfg = ConfigNode()
+    if not saw_self:
+        order.append("_self_")
+    for group in order:
+        if group == "_self_":
+            cfg.merge(primary)
+            continue
+        option = choices[group]
+        if option in (None, "null", "none"):
+            continue
+        loaded = store.load(f"{group}/{option}")
+        package = loaded.pop("_package_", group) if isinstance(loaded, dict) else group
+        if package in ("_global_", ""):
+            cfg.merge(loaded)
+        else:
+            cfg.merge({package: loaded})
+
+    for action, path, raw in value_overrides:
+        if action == "del":
+            cfg.delete_at(path)
+            continue
+        value = _yaml.parse_scalar(raw) if raw is not None else None
+        if action == "set":
+            try:
+                cfg.select(path)
+            except KeyError:
+                raise ComposeError(
+                    f"override {path!r} does not exist; prefix with '+' to add new keys"
+                ) from None
+        cfg.update_at(path, value)
+    return cfg

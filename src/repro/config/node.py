@@ -1,0 +1,227 @@
+"""``ConfigNode``: an OmegaConf-style nested configuration container.
+
+Features the framework relies on:
+
+* attribute access (``cfg.algorithm.lr``) and dotted access
+  (``cfg.select("algorithm.lr")``);
+* deep merge where later values win (used by composition and overrides);
+* ``${a.b.c}`` interpolation resolved against the root node;
+* conversion to plain dict/list containers for instantiation.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+_INTERP_RE = re.compile(r"\$\{([^}]+)\}")
+
+_MISSING = object()
+_RESOLVING = threading.local()
+
+
+class ConfigNode:
+    """Nested mapping with attribute access and interpolation.
+
+    >>> cfg = ConfigNode({"a": {"b": 1}, "c": "${a.b}"})
+    >>> cfg.a.b
+    1
+    >>> cfg.c
+    1
+    """
+
+    __slots__ = ("_data", "_root")
+
+    def __init__(self, data: Optional[Dict[str, Any]] = None, _root: Optional["ConfigNode"] = None):
+        object.__setattr__(self, "_data", {})
+        object.__setattr__(self, "_root", _root)
+        if data:
+            for k, v in data.items():
+                self._data[k] = self._wrap(v)
+
+    # -- wrapping ----------------------------------------------------------
+    def _wrap(self, value: Any) -> Any:
+        root = self._root if self._root is not None else self
+        if isinstance(value, ConfigNode):
+            return ConfigNode(value.to_container(resolve=False), _root=root)
+        if isinstance(value, dict):
+            child = ConfigNode(_root=root)
+            for k, v in value.items():
+                child._data[k] = child._wrap(v)
+            return child
+        if isinstance(value, (list, tuple)):
+            return [self._wrap(v) for v in value]
+        return value
+
+    def _effective_root(self) -> "ConfigNode":
+        return self._root if self._root is not None else self
+
+    # -- access ------------------------------------------------------------
+    def __getattr__(self, key: str) -> Any:
+        if key.startswith("_"):
+            raise AttributeError(key)
+        try:
+            return self[key]
+        except KeyError as exc:
+            raise AttributeError(str(exc)) from None
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        self._data[key] = self._wrap(value)
+
+    def __getitem__(self, key: str) -> Any:
+        if key not in self._data:
+            raise KeyError(f"missing config key {key!r}; have {sorted(self._data)}")
+        return self._resolve(self._data[key])
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = self._wrap(value)
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for k in self._data:
+            yield k, self[k]
+
+    def values(self):
+        for k in self._data:
+            yield self[k]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    # -- dotted access -----------------------------------------------------
+    def select(self, path: str, default: Any = _MISSING) -> Any:
+        """Return the value at dotted ``path`` (e.g. ``"algorithm.lr"``)."""
+        node: Any = self
+        for part in path.split("."):
+            if isinstance(node, ConfigNode) and part in node:
+                node = node[part]
+            elif isinstance(node, list):
+                try:
+                    node = node[int(part)]
+                except (ValueError, IndexError):
+                    if default is not _MISSING:
+                        return default
+                    raise KeyError(f"no config value at {path!r}") from None
+            else:
+                if default is not _MISSING:
+                    return default
+                raise KeyError(f"no config value at {path!r}")
+        return node
+
+    def update_at(self, path: str, value: Any) -> None:
+        """Set ``path`` to ``value``, creating intermediate mappings."""
+        parts = path.split(".")
+        node = self
+        for part in parts[:-1]:
+            if part not in node._data or not isinstance(node._data[part], ConfigNode):
+                node._data[part] = ConfigNode(_root=self._effective_root())
+            node = node._data[part]
+        node._data[parts[-1]] = node._wrap(value)
+
+    def delete_at(self, path: str) -> None:
+        parts = path.split(".")
+        node = self
+        for part in parts[:-1]:
+            nxt = node._data.get(part)
+            if not isinstance(nxt, ConfigNode):
+                raise KeyError(f"no config value at {path!r}")
+            node = nxt
+        if parts[-1] not in node._data:
+            raise KeyError(f"no config value at {path!r}")
+        del node._data[parts[-1]]
+
+    # -- interpolation -----------------------------------------------------
+    def _resolve(self, value: Any) -> Any:
+        if isinstance(value, str):
+            return self._interpolate(value)
+        return value
+
+    def _interpolate(self, text: str, _depth: int = 0) -> Any:
+        # depth alone cannot catch cycles crossing node accesses (a -> b -> a
+        # restarts the counter), so track in-flight expressions per thread
+        stack: set = getattr(_RESOLVING, "stack", None)
+        if stack is None:
+            stack = set()
+            _RESOLVING.stack = stack
+        key = (id(self._effective_root()), text)
+        if key in stack or _depth > 16:
+            raise ValueError(f"interpolation cycle while resolving {text!r}")
+        match = _INTERP_RE.fullmatch(text)
+        root = self._effective_root()
+        stack.add(key)
+        try:
+            if match:
+                resolved = root.select(match.group(1))
+                if isinstance(resolved, str):
+                    return self._interpolate(resolved, _depth + 1)
+                return resolved
+
+            def sub(m: "re.Match[str]") -> str:
+                return str(root.select(m.group(1)))
+
+            if _INTERP_RE.search(text):
+                return self._interpolate(_INTERP_RE.sub(sub, text), _depth + 1)
+            return text
+        finally:
+            stack.discard(key)
+
+    # -- merge / convert ---------------------------------------------------
+    def merge(self, other: Any) -> "ConfigNode":
+        """Deep-merge ``other`` into self (other wins); returns self."""
+        if isinstance(other, ConfigNode):
+            other = other.to_container(resolve=False)
+        if not isinstance(other, dict):
+            raise TypeError(f"can only merge mappings, got {type(other).__name__}")
+        for k, v in other.items():
+            existing = self._data.get(k)
+            if isinstance(existing, ConfigNode) and isinstance(v, (dict, ConfigNode)):
+                existing.merge(v)
+            else:
+                self._data[k] = self._wrap(v)
+        return self
+
+    def to_container(self, resolve: bool = True) -> Dict[str, Any]:
+        """Convert to plain ``dict``/``list`` containers."""
+
+        def conv(value: Any) -> Any:
+            if isinstance(value, ConfigNode):
+                return {k: conv(value[k] if resolve else value._data[k]) for k in value._data}
+            if isinstance(value, list):
+                return [conv(v) for v in value]
+            if resolve and isinstance(value, str):
+                return self._interpolate(value)
+            return value
+
+        return conv(self)
+
+    def copy(self) -> "ConfigNode":
+        return ConfigNode(copy.deepcopy(self.to_container(resolve=False)))
+
+    def __repr__(self) -> str:
+        return f"ConfigNode({self.to_container(resolve=False)!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ConfigNode):
+            return self.to_container(resolve=False) == other.to_container(resolve=False)
+        if isinstance(other, dict):
+            return self.to_container(resolve=False) == other
+        return NotImplemented

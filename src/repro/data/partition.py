@@ -1,0 +1,115 @@
+"""Client partitioners: IID, Dirichlet, label-skew shards, quantity skew.
+
+All partitioners return a list of ``n_clients`` index arrays that exactly
+partition ``range(len(labels))`` (property-tested): every sample is assigned
+to exactly one client and no client is empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "iid_partition",
+    "dirichlet_partition",
+    "label_skew_partition",
+    "quantity_skew_partition",
+]
+
+
+def _ensure_nonempty(parts: List[np.ndarray], rng: np.random.Generator) -> List[np.ndarray]:
+    """Rebalance so no client ends up empty (steal one sample from the largest)."""
+    parts = [np.asarray(p, dtype=np.int64) for p in parts]
+    for i, p in enumerate(parts):
+        while len(parts[i]) == 0:
+            donor = int(np.argmax([len(q) for q in parts]))
+            if len(parts[donor]) <= 1:
+                raise ValueError("not enough samples to give every client at least one")
+            take = rng.integers(0, len(parts[donor]))
+            parts[i] = np.append(parts[i], parts[donor][take])
+            parts[donor] = np.delete(parts[donor], take)
+    return parts
+
+
+def iid_partition(n_samples: int, n_clients: int, rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
+    """Shuffle and split as evenly as possible."""
+    if n_clients <= 0:
+        raise ValueError("n_clients must be positive")
+    if n_samples < n_clients:
+        raise ValueError(f"cannot split {n_samples} samples across {n_clients} clients")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    order = rng.permutation(n_samples)
+    return [np.sort(part).astype(np.int64) for part in np.array_split(order, n_clients)]
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    n_clients: int,
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Label-distribution skew: per class, split indices by Dirichlet(alpha) weights.
+
+    Small ``alpha`` (e.g. 0.1) concentrates each class on few clients — the
+    standard non-IID benchmark protocol (Hsu et al.).
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    labels = np.asarray(labels)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    parts: List[List[int]] = [[] for _ in range(n_clients)]
+    for cls in np.unique(labels):
+        idx = np.flatnonzero(labels == cls)
+        rng.shuffle(idx)
+        weights = rng.dirichlet([alpha] * n_clients)
+        # cumulative shares -> contiguous chunks of the shuffled class indices
+        cuts = (np.cumsum(weights)[:-1] * len(idx)).astype(int)
+        for client, chunk in enumerate(np.split(idx, cuts)):
+            parts[client].extend(chunk.tolist())
+    arrays = [np.sort(np.asarray(p, dtype=np.int64)) for p in parts]
+    return _ensure_nonempty(arrays, rng)
+
+
+def label_skew_partition(
+    labels: np.ndarray,
+    n_clients: int,
+    classes_per_client: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Pathological non-IID of McMahan et al.: each client sees few classes.
+
+    Implemented by sorting by label into ``n_clients * classes_per_client``
+    shards and dealing shards to clients.
+    """
+    labels = np.asarray(labels)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n_shards = n_clients * classes_per_client
+    if len(labels) < n_shards:
+        raise ValueError(f"need at least {n_shards} samples for {n_shards} shards")
+    by_label = np.argsort(labels, kind="stable")
+    shards = np.array_split(by_label, n_shards)
+    shard_order = rng.permutation(n_shards)
+    parts = []
+    for client in range(n_clients):
+        mine = shard_order[client * classes_per_client : (client + 1) * classes_per_client]
+        parts.append(np.sort(np.concatenate([shards[s] for s in mine])).astype(np.int64))
+    return _ensure_nonempty(parts, rng)
+
+
+def quantity_skew_partition(
+    n_samples: int,
+    n_clients: int,
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Same label mix everywhere, very different shard *sizes* (Dirichlet sizes)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    order = rng.permutation(n_samples)
+    weights = rng.dirichlet([alpha] * n_clients)
+    cuts = (np.cumsum(weights)[:-1] * n_samples).astype(int)
+    parts = [np.sort(chunk).astype(np.int64) for chunk in np.split(order, cuts)]
+    return _ensure_nonempty(parts, rng)

@@ -1,0 +1,170 @@
+"""Datamodules: train/test splits plus client partitioning, by name.
+
+``cifar10``/``cifar100``/``caltech101``/``caltech256`` build synthetic tasks
+with the real datasets' class counts and channel layout (see DESIGN.md's
+substitution table).  Sizes are scaled for CPU training and overridable from
+YAML configs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Subset
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_skew_partition,
+    quantity_skew_partition,
+)
+from repro.data.synthetic import SyntheticImageDataset, make_tabular_classification
+from repro.data.dataset import ArrayDataset
+from repro.utils.registry import Registry
+
+__all__ = ["DataModule", "DATAMODULES", "build_datamodule"]
+
+DATAMODULES: Registry["DataModule"] = Registry("datamodule")
+
+
+class DataModule:
+    """Bundle of train/test datasets plus federation metadata.
+
+    ``partition(n_clients, strategy, ...)`` returns per-client train Subsets;
+    ``feature_shift_for(client)`` gives the per-site channel distortion used
+    when ``feature_noniid > 0`` (exercises FedBN's use case).
+    """
+
+    def __init__(
+        self,
+        train: Dataset,
+        test: Dataset,
+        num_classes: int,
+        in_channels: int = 3,
+        image_size: int = 16,
+        in_features: Optional[int] = None,
+        name: str = "datamodule",
+        seed: int = 0,
+    ) -> None:
+        self.train = train
+        self.test = test
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.image_size = image_size
+        self.in_features = in_features
+        self.name = name
+        self.seed = seed
+
+    def partition(
+        self,
+        n_clients: int,
+        strategy: str = "iid",
+        alpha: float = 0.5,
+        classes_per_client: int = 2,
+        seed: Optional[int] = None,
+    ) -> List[Subset]:
+        """Split the train set into ``n_clients`` shards."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        if strategy == "iid":
+            parts = iid_partition(len(self.train), n_clients, rng)
+        elif strategy == "dirichlet":
+            parts = dirichlet_partition(self.train.labels, n_clients, alpha, rng)
+        elif strategy == "label_skew":
+            parts = label_skew_partition(self.train.labels, n_clients, classes_per_client, rng)
+        elif strategy == "quantity_skew":
+            parts = quantity_skew_partition(len(self.train), n_clients, alpha, rng)
+        else:
+            raise ValueError(
+                f"unknown partition strategy {strategy!r}; "
+                "expected iid | dirichlet | label_skew | quantity_skew"
+            )
+        return [Subset(self.train, p) for p in parts]
+
+    def feature_shift_for(self, client: int, scale: float = 0.3) -> Tuple[np.ndarray, np.ndarray]:
+        """Deterministic per-client channel gain/offset (non-IID features)."""
+        rng = np.random.default_rng((self.seed, client, 0xFEA7))
+        gain = 1.0 + scale * rng.standard_normal(self.in_channels)
+        offset = scale * rng.standard_normal(self.in_channels)
+        return gain.astype(np.float32), offset.astype(np.float32)
+
+
+def _image_module(
+    name: str,
+    num_classes: int,
+    train_size: int,
+    test_size: int,
+    image_size: int,
+    noise: float,
+    seed: int,
+) -> DataModule:
+    train = SyntheticImageDataset(
+        train_size, num_classes=num_classes, image_size=image_size, channels=3, noise=noise, seed=seed
+    )
+    test = train.spawn(test_size, seed=seed + 1)
+    return DataModule(
+        train,
+        test,
+        num_classes=num_classes,
+        in_channels=3,
+        image_size=image_size,
+        name=name,
+        seed=seed,
+    )
+
+
+@DATAMODULES.register("cifar10")
+def cifar10(train_size: int = 2048, test_size: int = 512, num_classes: int = 10,
+            image_size: int = 16, noise: float = 0.6, seed: int = 0) -> DataModule:
+    """CIFAR10-like: 10 classes, 3-channel small images."""
+    return _image_module("cifar10", num_classes, train_size, test_size, image_size, noise, seed)
+
+
+@DATAMODULES.register("cifar100")
+def cifar100(train_size: int = 4096, test_size: int = 1024, num_classes: int = 100,
+             image_size: int = 16, noise: float = 0.5, seed: int = 1) -> DataModule:
+    """CIFAR100-like: 100 classes (fine labels)."""
+    return _image_module("cifar100", num_classes, train_size, test_size, image_size, noise, seed)
+
+
+@DATAMODULES.register("caltech101")
+def caltech101(train_size: int = 3072, test_size: int = 768, num_classes: int = 101,
+               image_size: int = 16, noise: float = 0.5, seed: int = 2) -> DataModule:
+    """Caltech101-like: 101 object categories."""
+    return _image_module("caltech101", num_classes, train_size, test_size, image_size, noise, seed)
+
+
+@DATAMODULES.register("caltech256")
+def caltech256(train_size: int = 4096, test_size: int = 1024, num_classes: int = 256,
+               image_size: int = 16, noise: float = 0.45, seed: int = 3) -> DataModule:
+    """Caltech256-like: 256 object categories."""
+    return _image_module("caltech256", num_classes, train_size, test_size, image_size, noise, seed)
+
+
+@DATAMODULES.register("blobs", "tabular")
+def blobs(train_size: int = 1024, test_size: int = 256, num_classes: int = 10,
+          n_features: int = 32, separation: float = 2.5, noise: float = 1.0,
+          seed: int = 0) -> DataModule:
+    """Gaussian-blob tabular task for fast MLP experiments and tests."""
+    rng = np.random.default_rng(seed)
+    x_tr, y_tr, centers = make_tabular_classification(
+        train_size, num_classes, n_features, separation, noise, rng
+    )
+    x_te, y_te, _ = make_tabular_classification(
+        test_size, num_classes, n_features, separation, noise, rng, centers=centers
+    )
+    return DataModule(
+        ArrayDataset(x_tr, y_tr),
+        ArrayDataset(x_te, y_te),
+        num_classes=num_classes,
+        in_channels=1,
+        image_size=0,
+        in_features=n_features,
+        name="blobs",
+        seed=seed,
+    )
+
+
+def build_datamodule(name: str, **kwargs) -> DataModule:
+    """Build a registered datamodule by name."""
+    return DATAMODULES.build(name, **kwargs)

@@ -1,0 +1,63 @@
+"""Per-sample transforms (numpy equivalents of the usual torchvision ones)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "RandomHorizontalFlip", "RandomCrop"]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x)
+        return x
+
+
+class Normalize:
+    """Per-channel standardization of a (C, H, W) sample."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be nonzero")
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.rng.random() < self.p:
+            return x[..., ::-1].copy()
+        return x
+
+
+class RandomCrop:
+    """Pad reflectively by ``padding`` then crop back to the original size."""
+
+    def __init__(self, padding: int = 2, rng: Optional[np.random.Generator] = None) -> None:
+        self.padding = padding
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        p = self.padding
+        if p == 0:
+            return x
+        c, h, w = x.shape
+        padded = np.pad(x, ((0, 0), (p, p), (p, p)), mode="reflect")
+        top = int(self.rng.integers(0, 2 * p + 1))
+        left = int(self.rng.integers(0, 2 * p + 1))
+        return padded[:, top : top + h, left : left + w].copy()

@@ -1,0 +1,14 @@
+"""Engine: orchestration of rounds, nodes, resources and metrics.
+
+The paper's Engine "launches and coordinates all distributed experiments,
+manages node lifecycle and resource allocation, and collects report
+metrics".  Here nodes run as thread actors (the Ray substitute); the engine
+spawns one per :class:`~repro.topology.base.NodeSpec`, drives synchronized
+rounds, and aggregates metrics and communication statistics.
+"""
+
+from repro.engine.actor import ActorHandle, ThreadActor
+from repro.engine.engine import Engine
+from repro.engine.metrics import MetricsCollector, RoundRecord
+
+__all__ = ["Engine", "ThreadActor", "ActorHandle", "MetricsCollector", "RoundRecord"]

@@ -1,0 +1,347 @@
+"""The Engine: builds nodes from a topology and drives synchronized rounds.
+
+Construction mirrors the paper's flow: a Hydra-style config (or direct
+Python objects) names the topology, algorithm, model and datamodule; the
+engine instantiates node actors, wires their communicators, partitions data,
+runs ``global_rounds`` rounds, and collects metrics.
+
+Plugins compose exactly as in OmniFed: a ``compressor`` applies to client
+uploads (or, in hierarchical deployments, ``outer_compressor`` only to the
+slow cross-site link — the paper's §3.4.5 trick), and ``dp`` privatizes
+updates before they leave the node.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, build_algorithm
+from repro.comm.factory import build_communicator
+from repro.compression.base import Compressor, build_compressor
+from repro.data.registry import DataModule, build_datamodule
+from repro.engine.actor import ThreadActor, wait_all
+from repro.engine.metrics import MetricsCollector, RoundRecord
+from repro.models.base import FederatedModel
+from repro.models.registry import build_model
+from repro.node.node import Node
+from repro.privacy.dp import DifferentialPrivacy
+from repro.topology.base import NodeRole, Topology, build_topology
+from repro.utils.logging import get_logger
+from repro.utils.timer import SimClock
+
+__all__ = ["Engine"]
+
+_LOG = get_logger("engine")
+
+
+class Engine:
+    """Orchestrates one federated experiment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        datamodule: DataModule,
+        model_fn: Callable[[], FederatedModel],
+        algorithm_fn: Callable[[], Algorithm],
+        global_rounds: int = 5,
+        batch_size: int = 32,
+        seed: int = 0,
+        partition: str = "dirichlet",
+        partition_alpha: float = 0.5,
+        eval_every: int = 1,
+        eval_max_batches: Optional[int] = None,
+        compressor_fn: Optional[Callable[[], Compressor]] = None,
+        outer_compressor_fn: Optional[Callable[[], Compressor]] = None,
+        dp_fn: Optional[Callable[[], DifferentialPrivacy]] = None,
+        client_fraction: float = 1.0,
+        drop_prob: float = 0.0,
+        straggler_prob: float = 0.0,
+        straggler_delay: float = 0.0,
+        feature_noniid: float = 0.0,
+    ) -> None:
+        if global_rounds < 1:
+            raise ValueError("global_rounds must be >= 1")
+        if not (0.0 < client_fraction <= 1.0):
+            raise ValueError("client_fraction must be in (0, 1]")
+        topology.validate()
+        self.topology = topology
+        self.datamodule = datamodule
+        self.global_rounds = int(global_rounds)
+        self.eval_every = int(eval_every)
+        self.eval_max_batches = eval_max_batches
+        self.client_fraction = float(client_fraction)
+        self.seed = int(seed)
+        self.metrics = MetricsCollector()
+        self.sim_clock = SimClock()
+        self._round_rng = np.random.default_rng((seed, 0x5E1EC7))
+
+        specs = topology.specs()
+        n_trainers = topology.trainer_count()
+        shards = datamodule.partition(n_trainers, partition, alpha=partition_alpha, seed=seed)
+
+        self.nodes: List[Node] = []
+        self.actors: List[ThreadActor] = []
+        for spec in specs:
+            model = model_fn()
+            algorithm = algorithm_fn()
+            train_ds = None
+            if spec.shard is not None:
+                train_ds = shards[spec.shard]
+                if feature_noniid > 0.0 and hasattr(train_ds.dataset, "spawn"):
+                    # regenerate this client's shard with a per-site feature
+                    # shift (non-IID features; FedBN's setting)
+                    shift = datamodule.feature_shift_for(spec.shard, feature_noniid)
+                    train_ds = train_ds.dataset.spawn(
+                        len(train_ds), seed=seed + 1000 + spec.shard, feature_shift=shift
+                    )
+            node = Node(
+                spec=spec,
+                model=model,
+                algorithm=algorithm,
+                train_dataset=train_ds,
+                test_dataset=datamodule.test,
+                batch_size=batch_size,
+                seed=seed,
+                dp=dp_fn() if (dp_fn is not None and spec.role.trains()) else None,
+                compressor=compressor_fn() if compressor_fn is not None else None,
+                outer_compressor=outer_compressor_fn() if outer_compressor_fn is not None else None,
+                drop_prob=drop_prob if spec.role.trains() else 0.0,
+                straggler_prob=straggler_prob if spec.role.trains() else 0.0,
+                straggler_delay=straggler_delay,
+            )
+            for gname, gspec in spec.groups.items():
+                node.comms[gname] = build_communicator(
+                    gspec.comm_config, gspec.rank, gspec.world_size, self.sim_clock
+                )
+            self.nodes.append(node)
+            self.actors.append(ThreadActor(node, name=spec.name))
+
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_names(
+        cls,
+        topology: str = "centralized",
+        algorithm: str = "fedavg",
+        model: str = "simple_cnn",
+        datamodule: str = "cifar10",
+        num_clients: int = 4,
+        topology_kwargs: Optional[Dict[str, Any]] = None,
+        algorithm_kwargs: Optional[Dict[str, Any]] = None,
+        model_kwargs: Optional[Dict[str, Any]] = None,
+        datamodule_kwargs: Optional[Dict[str, Any]] = None,
+        compressor: Optional[str] = None,
+        compressor_kwargs: Optional[Dict[str, Any]] = None,
+        **engine_kwargs: Any,
+    ) -> "Engine":
+        """Registry-name convenience constructor (what examples use)."""
+        topo_kw = dict(topology_kwargs or {})
+        topo_kw.setdefault("num_clients", num_clients)
+        if topology in ("hierarchical", "tree", "hub_spoke"):
+            topo_kw.pop("num_clients", None)
+        topo = build_topology(topology, **topo_kw)
+        dm = build_datamodule(datamodule, **(datamodule_kwargs or {}))
+        seed = int(engine_kwargs.get("seed", 0))
+        model_kw = dict(model_kwargs or {})
+        model_kw.setdefault("num_classes", dm.num_classes)
+        if model == "mlp" and dm.in_features is not None:
+            model_kw.setdefault("in_features", dm.in_features)
+        elif dm.in_channels:
+            model_kw.setdefault("in_channels", dm.in_channels)
+        model_kw.setdefault("seed", seed)
+        algo_kw = dict(algorithm_kwargs or {})
+        comp_fn = None
+        if compressor is not None:
+            comp_kw = dict(compressor_kwargs or {})
+            comp_fn = lambda: build_compressor(compressor, **comp_kw)  # noqa: E731
+        return cls(
+            topology=topo,
+            datamodule=dm,
+            model_fn=lambda: build_model(model, **model_kw),
+            algorithm_fn=lambda: build_algorithm(algorithm, **algo_kw),
+            compressor_fn=comp_fn,
+            **engine_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, cfg: Any) -> "Engine":
+        """Build an engine from a composed config (the paper's Fig. 2 flow).
+
+        Expects the layout of ``repro/conf/experiment.yaml``: ``topology``,
+        ``algorithm``, ``model``, ``datamodule`` nodes (each with a
+        ``_target_``) plus scalar engine settings; optional ``compression``
+        and ``privacy`` nodes configure the plugins.
+        """
+        from repro.config.instantiate import instantiate
+        from repro.config.node import ConfigNode
+
+        if isinstance(cfg, ConfigNode):
+            cfg = cfg.to_container(resolve=True)
+        topo = instantiate(cfg["topology"])
+        dm = instantiate(cfg["datamodule"])
+        seed = int(cfg.get("seed", 0))
+
+        model_cfg = dict(cfg["model"])
+        model_cfg.setdefault("num_classes", dm.num_classes)
+        if dm.in_features is not None and "mlp" in str(model_cfg.get("_target_", "")):
+            model_cfg.setdefault("in_features", dm.in_features)
+        elif dm.in_channels:
+            model_cfg.setdefault("in_channels", dm.in_channels)
+        model_cfg.setdefault("seed", seed)
+        algo_cfg = dict(cfg["algorithm"])
+
+        comp_cfg = cfg.get("compression")
+        dp_cfg = cfg.get("privacy")
+        return cls(
+            topology=topo,
+            datamodule=dm,
+            model_fn=lambda: instantiate(dict(model_cfg)),
+            algorithm_fn=lambda: instantiate(dict(algo_cfg)),
+            compressor_fn=(lambda: instantiate(dict(comp_cfg))) if comp_cfg else None,
+            dp_fn=(lambda: instantiate(dict(dp_cfg))) if dp_cfg else None,
+            global_rounds=int(cfg.get("global_rounds", 2)),
+            batch_size=int(cfg.get("batch_size", 32)),
+            seed=seed,
+            partition=str(cfg.get("partition", "dirichlet")),
+            partition_alpha=float(cfg.get("partition_alpha", 0.5)),
+            eval_every=int(cfg.get("eval_every", 1)),
+            client_fraction=float(cfg.get("client_fraction", 1.0)),
+        )
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        if self._setup_done:
+            return
+        # the RPC server (rank 0) must bind before clients dial in, so set up
+        # aggregators first, then everyone else in parallel
+        for node, actor in zip(self.nodes, self.actors):
+            if node.role.aggregates():
+                actor.call("setup", timeout=30)
+        futures = [
+            actor.submit("setup")
+            for node, actor in zip(self.nodes, self.actors)
+            if not node.role.aggregates()
+        ]
+        wait_all(futures, timeout=60)
+        self._setup_done = True
+        _LOG.info("engine ready: %s", self.topology.describe())
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_idx: int) -> RoundRecord:
+        self.setup()
+        pattern = self.topology.pattern
+        participants = self._select_participants(round_idx)
+        start = time.perf_counter()
+        futures = [
+            actor.submit("run_round", round_idx, pattern, node.spec.index in participants)
+            for node, actor in zip(self.nodes, self.actors)
+        ]
+        results = wait_all(futures, timeout=600)
+        wall = time.perf_counter() - start
+
+        record = RoundRecord(round_idx=round_idx, wall_seconds=wall)
+        losses, accs, weights = [], [], []
+        for node, res in zip(self.nodes, results):
+            record.per_node[node.name] = {k: v for k, v in res.items() if isinstance(v, (int, float))}
+            if res.get("participated") and "loss" in res:
+                losses.append(res["loss"] * res.get("samples", 1.0))
+                accs.append(res["accuracy"] * res.get("samples", 1.0))
+                weights.append(res.get("samples", 1.0))
+        total_w = sum(weights)
+        if total_w > 0:
+            record.train_loss = sum(losses) / total_w
+            record.train_accuracy = sum(accs) / total_w
+        record.sim_comm_seconds = self.sim_clock.total
+        record.bytes_sent = sum(
+            int(s["bytes_sent"]) for node in self.nodes for s in node.comm_stats().values()
+        )
+        if self.eval_every > 0 and ((round_idx + 1) % self.eval_every == 0 or round_idx == self.global_rounds - 1):
+            record.eval_loss, record.eval_accuracy = self.evaluate()
+        self.metrics.add(record)
+        return record
+
+    def run(self, rounds: Optional[int] = None) -> MetricsCollector:
+        """Run the full experiment; returns the metrics history."""
+        n = rounds if rounds is not None else self.global_rounds
+        for r in range(n):
+            rec = self.run_round(r)
+            _LOG.info(
+                "round %d: loss=%.4f acc=%.4f eval=%s (%.2fs)",
+                r, rec.train_loss, rec.train_accuracy,
+                f"{rec.eval_accuracy:.4f}" if rec.eval_accuracy is not None else "-",
+                rec.wall_seconds,
+            )
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def _select_participants(self, round_idx: int) -> set:
+        trainer_idxs = [n.spec.index for n in self.nodes if n.role.trains()]
+        everyone = {n.spec.index for n in self.nodes}
+        if self.client_fraction >= 1.0:
+            return everyone
+        k = max(1, int(round(self.client_fraction * len(trainer_idxs))))
+        chosen = set(self._round_rng.choice(trainer_idxs, size=k, replace=False).tolist())
+        # aggregators/relays always participate
+        return chosen | {n.spec.index for n in self.nodes if not n.role.trains()}
+
+    # ------------------------------------------------------------------
+    def global_state(self) -> Dict[str, np.ndarray]:
+        for node in self.nodes:
+            if node.role is NodeRole.AGGREGATOR and node.global_state is not None:
+                return node.global_state
+        # gossip topologies: consensus average is approximated by node 0
+        return self.nodes[0].model.state_dict()
+
+    def evaluate(self) -> tuple:
+        """(loss, accuracy) under the algorithm's evaluation convention."""
+        personalized = any(
+            n.algorithm.personalized_eval for n in self.nodes if n.role.trains()
+        )
+        if personalized:
+            futures = [
+                actor.submit("evaluate", None, self.eval_max_batches)
+                for node, actor in zip(self.nodes, self.actors)
+                if node.role.trains()
+            ]
+            results = wait_all(futures, timeout=300)
+            losses = [r[0] for r in results]
+            accs = [r[1] for r in results]
+            return float(np.mean(losses)), float(np.mean(accs))
+        state = self.global_state()
+        evaluator = next(
+            (i for i, n in enumerate(self.nodes) if n.role is NodeRole.AGGREGATOR),
+            0,
+        )
+        return self.actors[evaluator].call(
+            "evaluate", state, self.eval_max_batches, timeout=300
+        )
+
+    # ------------------------------------------------------------------
+    def comm_summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate communication statistics per group name."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for node in self.nodes:
+            for gname, snap in node.comm_stats().items():
+                bucket = totals.setdefault(gname, {})
+                for k, v in snap.items():
+                    bucket[k] = bucket.get(k, 0.0) + v
+        return totals
+
+    def shutdown(self) -> None:
+        futures = [actor.submit("shutdown") for actor in self.actors]
+        wait_all(futures, timeout=30)
+        for actor in self.actors:
+            actor.stop()
+
+    def __enter__(self) -> "Engine":
+        self.setup()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

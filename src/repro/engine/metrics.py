@@ -1,0 +1,87 @@
+"""Round-level metrics collection and reporting."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RoundRecord", "MetricsCollector"]
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured in one global round."""
+
+    round_idx: int
+    train_loss: float = 0.0
+    train_accuracy: float = 0.0
+    eval_accuracy: Optional[float] = None
+    eval_loss: Optional[float] = None
+    wall_seconds: float = 0.0
+    sim_comm_seconds: float = 0.0
+    bytes_sent: int = 0
+    per_node: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round_idx,
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "eval_accuracy": self.eval_accuracy,
+            "eval_loss": self.eval_loss,
+            "wall_seconds": self.wall_seconds,
+            "sim_comm_seconds": self.sim_comm_seconds,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class MetricsCollector:
+    """Accumulates :class:`RoundRecord` history and computes summaries."""
+
+    def __init__(self) -> None:
+        self.history: List[RoundRecord] = []
+
+    def add(self, record: RoundRecord) -> None:
+        self.history.append(record)
+
+    @property
+    def last(self) -> Optional[RoundRecord]:
+        return self.history[-1] if self.history else None
+
+    def final_accuracy(self) -> Optional[float]:
+        for rec in reversed(self.history):
+            if rec.eval_accuracy is not None:
+                return rec.eval_accuracy
+        return None
+
+    def best_accuracy(self) -> Optional[float]:
+        accs = [r.eval_accuracy for r in self.history if r.eval_accuracy is not None]
+        return max(accs) if accs else None
+
+    def median_round_time(self) -> float:
+        times = [r.wall_seconds for r in self.history]
+        return statistics.median(times) if times else 0.0
+
+    def total_bytes(self) -> int:
+        return sum(r.bytes_sent for r in self.history)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "rounds": len(self.history),
+            "final_accuracy": self.final_accuracy(),
+            "best_accuracy": self.best_accuracy(),
+            "median_round_seconds": self.median_round_time(),
+            "total_bytes_sent": self.total_bytes(),
+            "total_sim_comm_seconds": sum(r.sim_comm_seconds for r in self.history),
+        }
+
+    def table(self) -> str:
+        """Plain-text round table for logs and example scripts."""
+        lines = [f"{'round':>5} {'loss':>8} {'train_acc':>9} {'eval_acc':>8} {'secs':>7}"]
+        for r in self.history:
+            eval_txt = f"{r.eval_accuracy:8.4f}" if r.eval_accuracy is not None else "       -"
+            lines.append(
+                f"{r.round_idx:>5} {r.train_loss:8.4f} {r.train_accuracy:9.4f} {eval_txt} {r.wall_seconds:7.2f}"
+            )
+        return "\n".join(lines)

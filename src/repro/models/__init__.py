@@ -1,0 +1,45 @@
+"""Model zoo: mini versions of the paper's four DNNs plus simple baselines.
+
+The paper trains torchvision's ResNet18, VGG11, AlexNet and MobileNetV3.
+These re-implementations keep the architectural features each FL algorithm is
+sensitive to — residual blocks and BatchNorm (FedBN), a separable
+feature-extractor/classifier split (FedPer, Moon), depthwise-separable
+convolutions with squeeze-excitation (MobileNetV3) — at widths a CPU NumPy
+substrate can train.
+
+Every model implements the :class:`FederatedModel` protocol:
+
+* ``forward(x)``            — logits;
+* ``features(x)``           — pooled embedding (Moon's contrastive space);
+* ``head_parameter_names()``— dotted names of personalization-head entries
+                              (FedPer keeps these local);
+* ``bn_parameter_names()``  — dotted names of BatchNorm entries (FedBN keeps
+                              these local).
+"""
+
+from repro.models.alexnet import AlexNetMini, alexnet_mini
+from repro.models.base import FederatedModel
+from repro.models.cnn import SimpleCNN, simple_cnn
+from repro.models.mlp import MLP, mlp
+from repro.models.mobilenet import MobileNetV3Mini, mobilenetv3_mini
+from repro.models.registry import MODELS, build_model
+from repro.models.resnet import ResNet18Mini, resnet18_mini
+from repro.models.vgg import VGG11Mini, vgg11_mini
+
+__all__ = [
+    "FederatedModel",
+    "MODELS",
+    "build_model",
+    "ResNet18Mini",
+    "resnet18_mini",
+    "VGG11Mini",
+    "vgg11_mini",
+    "AlexNetMini",
+    "alexnet_mini",
+    "MobileNetV3Mini",
+    "mobilenetv3_mini",
+    "MLP",
+    "mlp",
+    "SimpleCNN",
+    "simple_cnn",
+]

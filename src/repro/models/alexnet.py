@@ -1,0 +1,98 @@
+"""Mini AlexNet: Krizhevsky et al.'s five-conv network, small-image variant.
+
+Faithful to the original in structure (5 convs, 3 max-pools, dropout MLP
+head, *no* BatchNorm — which makes FedBN degenerate to FedAvg on this model,
+as with torchvision's AlexNet) but sized for small synthetic images.
+
+Weights use He-*normal* initialization: without normalization layers, the
+PyTorch-default ``kaiming_uniform(a=sqrt(5))`` gain is ~3x too small and the
+signal dies through five convolutions at these tiny widths (verified: the
+default-init net cannot reduce its loss at all).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.models.registry import MODELS
+from repro.nn import init as nn_init
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    Conv2d,
+    Dropout,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+__all__ = ["AlexNetMini", "alexnet_mini"]
+
+
+class AlexNetMini(FederatedModel):
+    def __init__(
+        self,
+        num_classes: int = 101,
+        in_channels: int = 3,
+        base_width: int = 8,
+        hidden_dim: int = 64,
+        dropout: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        w = base_width
+        self.backbone = Sequential(
+            Conv2d(in_channels, 2 * w, 3, stride=1, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(2 * w, 4 * w, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(4 * w, 6 * w, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(6 * w, 6 * w, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(6 * w, 4 * w, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        self.pool = AdaptiveAvgPool2d(1)
+        self.embedding_dim = 4 * w
+        self.classifier = Sequential(
+            Dropout(dropout, rng=rng),
+            Linear(4 * w, hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, hidden_dim, rng=rng),
+            ReLU(),
+            Linear(hidden_dim, num_classes, rng=rng),
+        )
+
+        self._he_normal_init(rng)
+
+    def _he_normal_init(self, rng: np.random.Generator) -> None:
+        for module in self.modules():
+            if isinstance(module, (Conv2d, Linear)):
+                module.weight.data[...] = nn_init.kaiming_normal(module.weight.data.shape, rng)
+                if module.bias is not None:
+                    module.bias.data[...] = 0.0
+
+    def features(self, x: Tensor) -> Tensor:
+        return self.pool(self.backbone(x)).flatten(1)
+
+    def classify(self, feats: Tensor) -> Tensor:
+        return self.classifier(feats)
+
+
+@MODELS.register("alexnet", "alexnet_mini")
+def alexnet_mini(num_classes: int = 101, in_channels: int = 3, base_width: int = 8,
+                 hidden_dim: int = 64, dropout: float = 0.5, seed: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> AlexNetMini:
+    """Build a mini AlexNet (registry name ``alexnet``)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return AlexNetMini(num_classes, in_channels, base_width, hidden_dim, dropout, rng)

@@ -1,0 +1,51 @@
+"""A two-conv CNN for fast integration tests and the quickstart example."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.models.registry import MODELS
+from repro.nn import functional as F
+from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, MaxPool2d, Sequential
+from repro.nn.tensor import Tensor
+
+__all__ = ["SimpleCNN", "simple_cnn"]
+
+
+class SimpleCNN(FederatedModel):
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(width, 2 * width, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(2 * width)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.embedding_dim = 2 * width
+        self.classifier = Linear(2 * width, num_classes, rng=rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        h = self.pool1(F.relu(self.bn1(self.conv1(x))))
+        h = F.relu(self.bn2(self.conv2(h)))
+        return self.pool(h).flatten(1)
+
+    def classify(self, feats: Tensor) -> Tensor:
+        return self.classifier(feats)
+
+
+@MODELS.register("simple_cnn", "cnn")
+def simple_cnn(num_classes: int = 10, in_channels: int = 3, width: int = 8, seed: int = 0,
+               rng: Optional[np.random.Generator] = None) -> SimpleCNN:
+    """Build a SimpleCNN (registry name ``simple_cnn``)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return SimpleCNN(num_classes, in_channels, width, rng)

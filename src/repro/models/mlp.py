@@ -1,0 +1,62 @@
+"""Plain multi-layer perceptron — the quickstart/test workhorse."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.models.registry import MODELS
+from repro.nn.layers import BatchNorm1d, Linear, ReLU, Sequential
+from repro.nn.tensor import Tensor
+
+__all__ = ["MLP", "mlp"]
+
+
+class MLP(FederatedModel):
+    """``in -> hidden... -> features``, linear classifier head.
+
+    ``batch_norm=True`` inserts BatchNorm1d after each hidden linear so FedBN
+    has state to personalize even on tabular tasks.
+    """
+
+    def __init__(
+        self,
+        in_features: int = 32,
+        num_classes: int = 10,
+        hidden: Sequence[int] = (64, 64),
+        batch_norm: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers: List = []
+        prev = in_features
+        for width in hidden:
+            layers.append(Linear(prev, width, rng=rng))
+            if batch_norm:
+                layers.append(BatchNorm1d(width))
+            layers.append(ReLU())
+            prev = width
+        self.backbone = Sequential(*layers)
+        self.embedding_dim = prev
+        self.in_features = in_features
+        self.classifier = Linear(prev, num_classes, rng=rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.flatten(1)
+        return self.backbone(x)
+
+    def classify(self, feats: Tensor) -> Tensor:
+        return self.classifier(feats)
+
+
+@MODELS.register("mlp")
+def mlp(in_features: int = 32, num_classes: int = 10, hidden: Sequence[int] = (64, 64),
+        batch_norm: bool = False, seed: int = 0,
+        rng: Optional[np.random.Generator] = None) -> MLP:
+    """Build an MLP (registry name ``mlp``)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return MLP(in_features, num_classes, tuple(hidden), batch_norm, rng)

@@ -1,0 +1,151 @@
+"""Mini MobileNetV3: inverted residual blocks with SE and h-swish.
+
+Keeps the Howard et al. ingredients — expand/1×1, depthwise/3×3,
+squeeze-excitation, project/1×1 with residual, hard-swish activations —
+over a reduced block plan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.models.registry import MODELS
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    Sequential,
+)
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["SqueezeExcite", "InvertedResidual", "MobileNetV3Mini", "mobilenetv3_mini"]
+
+
+class SqueezeExcite(Module):
+    """Channel attention: pool -> reduce -> ReLU -> expand -> hard-sigmoid -> scale."""
+
+    def __init__(self, channels: int, reduction: int = 4, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        hidden = max(2, channels // reduction)
+        self.fc1 = Linear(channels, hidden, rng=rng)
+        self.fc2 = Linear(hidden, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c = x.shape[0], x.shape[1]
+        squeezed = F.adaptive_avg_pool2d(x).flatten(1)
+        gate = F.hard_sigmoid(self.fc2(F.relu(self.fc1(squeezed))))
+        return x * gate.reshape(n, c, 1, 1)
+
+
+class InvertedResidual(Module):
+    """MobileNetV3 block: expand -> depthwise -> (SE) -> project."""
+
+    def __init__(
+        self,
+        in_ch: int,
+        expand_ch: int,
+        out_ch: int,
+        stride: int,
+        use_se: bool,
+        use_hswish: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.use_res = stride == 1 and in_ch == out_ch
+        self.use_se = use_se
+        self.use_hswish = use_hswish
+        self.expand = in_ch != expand_ch
+        if self.expand:
+            self.expand_conv = Conv2d(in_ch, expand_ch, 1, bias=False, rng=rng)
+            self.expand_bn = BatchNorm2d(expand_ch)
+        self.dw_conv = Conv2d(expand_ch, expand_ch, 3, stride=stride, padding=1,
+                              groups=expand_ch, bias=False, rng=rng)
+        self.dw_bn = BatchNorm2d(expand_ch)
+        if use_se:
+            self.se = SqueezeExcite(expand_ch, rng=rng)
+        self.project_conv = Conv2d(expand_ch, out_ch, 1, bias=False, rng=rng)
+        self.project_bn = BatchNorm2d(out_ch)
+
+    def _act(self, x: Tensor) -> Tensor:
+        return F.hard_swish(x) if self.use_hswish else F.relu(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = x
+        if self.expand:
+            h = self._act(self.expand_bn(self.expand_conv(h)))
+        h = self._act(self.dw_bn(self.dw_conv(h)))
+        if self.use_se:
+            h = self.se(h)
+        h = self.project_bn(self.project_conv(h))
+        return h + x if self.use_res else h
+
+
+# (expand, out, stride, use_se, use_hswish) scaled by width multiplier
+_PLAN: List[Tuple[int, int, int, bool, bool]] = [
+    (16, 16, 1, True, False),
+    (48, 24, 2, False, False),
+    (72, 24, 1, False, False),
+    (72, 40, 2, True, True),
+    (120, 40, 1, True, True),
+    (240, 48, 2, True, True),
+]
+
+
+class MobileNetV3Mini(FederatedModel):
+    def __init__(
+        self,
+        num_classes: int = 256,
+        in_channels: int = 3,
+        width_mult: float = 0.5,
+        hidden_dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        def scale(c: int) -> int:
+            return max(4, int(round(c * width_mult)))
+
+        stem_ch = scale(16)
+        self.stem_conv = Conv2d(in_channels, stem_ch, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(stem_ch)
+        blocks: List[Module] = []
+        ch = stem_ch
+        for expand, out, stride, use_se, use_hswish in _PLAN:
+            blocks.append(InvertedResidual(ch, scale(expand), scale(out), stride, use_se, use_hswish, rng))
+            ch = scale(out)
+        self.blocks = Sequential(*blocks)
+        head_ch = scale(96)
+        self.head_conv = Conv2d(ch, head_ch, 1, bias=False, rng=rng)
+        self.head_bn = BatchNorm2d(head_ch)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.embedding_dim = head_ch
+        self.classifier = Sequential(
+            Linear(head_ch, hidden_dim, rng=rng),
+            Linear(hidden_dim, num_classes, rng=rng),
+        )
+
+    def features(self, x: Tensor) -> Tensor:
+        h = F.hard_swish(self.stem_bn(self.stem_conv(x)))
+        h = self.blocks(h)
+        h = F.hard_swish(self.head_bn(self.head_conv(h)))
+        return self.pool(h).flatten(1)
+
+    def classify(self, feats: Tensor) -> Tensor:
+        return self.classifier(feats)
+
+
+@MODELS.register("mobilenetv3", "mobilenetv3_mini", "mobilenet")
+def mobilenetv3_mini(num_classes: int = 256, in_channels: int = 3, width_mult: float = 0.5,
+                     hidden_dim: int = 64, seed: int = 0,
+                     rng: Optional[np.random.Generator] = None) -> MobileNetV3Mini:
+    """Build a mini MobileNetV3 (registry name ``mobilenetv3``)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return MobileNetV3Mini(num_classes, in_channels, width_mult, hidden_dim, rng)

@@ -1,0 +1,21 @@
+"""Model registry shared by configs, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.utils.registry import Registry
+
+MODELS: Registry[FederatedModel] = Registry("model")
+
+
+def build_model(name: str, **kwargs) -> FederatedModel:
+    """Build a registered model by name (e.g. ``"resnet18"``).
+
+    ``seed``/``rng`` kwargs control weight initialization; FL engines pass
+    the same seed to every node so all clients start from identical weights.
+    """
+    return MODELS.build(name, **kwargs)

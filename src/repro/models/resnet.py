@@ -1,0 +1,92 @@
+"""Mini ResNet-18: the CIFAR-style residual network of He et al. (2015).
+
+Structure matches torchvision's ResNet-18 — four stages of two BasicBlocks,
+stride-2 downsampling with 1×1 projection shortcuts — at a configurable base
+width (default 8 vs torchvision's 64) and a 3×3 stem suited to small images.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.models.registry import MODELS
+from repro.nn import functional as F
+from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, Sequential
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["BasicBlock", "ResNet18Mini", "resnet18_mini"]
+
+
+class BasicBlock(Module):
+    """conv3x3-BN-ReLU-conv3x3-BN with identity (or projected) shortcut."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut_conv = Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_ch)
+            self._project = True
+        else:
+            self._project = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        shortcut = self.shortcut_bn(self.shortcut_conv(x)) if self._project else x
+        return F.relu(out + shortcut)
+
+
+class ResNet18Mini(FederatedModel):
+    """Four-stage BasicBlock ResNet with global average pooling head."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        base_width: int = 8,
+        blocks_per_stage: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        widths = [base_width, base_width * 2, base_width * 4, base_width * 8]
+        self.stem_conv = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        stages: List[Module] = []
+        in_ch = widths[0]
+        for stage, out_ch in enumerate(widths):
+            stride = 1 if stage == 0 else 2
+            blocks = [BasicBlock(in_ch, out_ch, stride, rng)]
+            for _ in range(blocks_per_stage - 1):
+                blocks.append(BasicBlock(out_ch, out_ch, 1, rng))
+            stages.append(Sequential(*blocks))
+            in_ch = out_ch
+        self.stages = Sequential(*stages)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.embedding_dim = widths[-1]
+        self.classifier = Linear(widths[-1], num_classes, rng=rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        h = F.relu(self.stem_bn(self.stem_conv(x)))
+        h = self.stages(h)
+        return self.pool(h).flatten(1)
+
+    def classify(self, feats: Tensor) -> Tensor:
+        return self.classifier(feats)
+
+
+@MODELS.register("resnet18", "resnet18_mini", "resnet")
+def resnet18_mini(num_classes: int = 10, in_channels: int = 3, base_width: int = 8,
+                  blocks_per_stage: int = 2, seed: int = 0,
+                  rng: Optional[np.random.Generator] = None) -> ResNet18Mini:
+    """Build a mini ResNet-18 (registry name ``resnet18``)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return ResNet18Mini(num_classes, in_channels, base_width, blocks_per_stage, rng)

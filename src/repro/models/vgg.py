@@ -1,0 +1,84 @@
+"""Mini VGG-11: Simonyan & Zisserman's configuration A with BatchNorm.
+
+Same conv plan as torchvision's ``vgg11_bn`` — [64, M, 128, M, 256, 256, M,
+512, 512, M, 512, 512, M] — scaled by ``width_divisor`` (default 8) and with
+an adaptive-pool head so any input resolution works.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.models.base import FederatedModel
+from repro.models.registry import MODELS
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+
+__all__ = ["VGG11Mini", "vgg11_mini"]
+
+_PLAN: List[Union[int, str]] = [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"]
+
+
+class VGG11Mini(FederatedModel):
+    def __init__(
+        self,
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_divisor: int = 8,
+        hidden_dim: int = 64,
+        dropout: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers: List = []
+        ch = in_channels
+        pools = 0
+        for item in _PLAN:
+            if item == "M":
+                # cap pooling so tiny inputs (16x16) keep a spatial extent
+                if pools < 4:
+                    layers.append(MaxPool2d(2))
+                    pools += 1
+                continue
+            out_ch = max(4, int(item) // width_divisor)
+            layers.append(Conv2d(ch, out_ch, 3, padding=1, bias=False, rng=rng))
+            layers.append(BatchNorm2d(out_ch))
+            layers.append(ReLU())
+            ch = out_ch
+        self.backbone = Sequential(*layers)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.embedding_dim = ch
+        self.classifier = Sequential(
+            Linear(ch, hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, num_classes, rng=rng),
+        )
+
+    def features(self, x: Tensor) -> Tensor:
+        return self.pool(self.backbone(x)).flatten(1)
+
+    def classify(self, feats: Tensor) -> Tensor:
+        return self.classifier(feats)
+
+
+@MODELS.register("vgg11", "vgg11_mini", "vgg")
+def vgg11_mini(num_classes: int = 100, in_channels: int = 3, width_divisor: int = 8,
+               hidden_dim: int = 64, dropout: float = 0.5, seed: int = 0,
+               rng: Optional[np.random.Generator] = None) -> VGG11Mini:
+    """Build a mini VGG-11-BN (registry name ``vgg11``)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    return VGG11Mini(num_classes, in_channels, width_divisor, hidden_dim, dropout, rng)

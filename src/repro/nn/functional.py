@@ -1,0 +1,438 @@
+"""Fused functional ops: activations, convolution, pooling, norm, losses.
+
+Convolution uses a stride-tricks ``sliding_window_view`` im2col with an
+einsum contraction; its backward scatters through a KH×KW loop (the classic
+vectorized col2im) instead of ``np.add.at`` which is an order of magnitude
+slower.  BatchNorm and cross-entropy get hand-written backwards to keep the
+tape short on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.tensor import Tensor, _as_array, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "hard_sigmoid",
+    "hard_swish",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "batch_norm",
+    "dropout",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+]
+
+_Pair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: _Pair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+    data = np.where(mask, x.data, 0.0).astype(x.data.dtype, copy=False)
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(data, (x,), _bw)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope).astype(x.data.dtype)
+    data = x.data * scale
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * scale)
+
+    return Tensor._make(data, (x,), _bw)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * data * (1.0 - data))
+
+    return Tensor._make(data.astype(x.data.dtype, copy=False), (x,), _bw)
+
+
+def hard_sigmoid(x: Tensor) -> Tensor:
+    """Piecewise-linear sigmoid used by MobileNetV3: clip(x/6 + 0.5, 0, 1)."""
+    data = np.clip(x.data / 6.0 + 0.5, 0.0, 1.0).astype(x.data.dtype, copy=False)
+    mask = ((x.data > -3.0) & (x.data < 3.0)).astype(x.data.dtype) / 6.0
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(data, (x,), _bw)
+
+
+def hard_swish(x: Tensor) -> Tensor:
+    """x * hard_sigmoid(x) — MobileNetV3's h-swish."""
+    hs = np.clip(x.data / 6.0 + 0.5, 0.0, 1.0)
+    data = (x.data * hs).astype(x.data.dtype, copy=False)
+    inner = ((x.data > -3.0) & (x.data < 3.0)).astype(x.data.dtype) / 6.0
+    deriv = hs + x.data * inner
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * deriv)
+
+    return Tensor._make(data, (x,), _bw)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        dot = (g * data).sum(axis=axis, keepdims=True)
+        x._accumulate(data * (g - dot))
+
+    return Tensor._make(data.astype(x.data.dtype, copy=False), (x,), _bw)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - logsumexp
+    soft = np.exp(data)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        x._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(data.astype(x.data.dtype, copy=False), (x,), _bw)
+
+
+# ---------------------------------------------------------------------------
+# Linear / convolution
+# ---------------------------------------------------------------------------
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight.T + bias`` with (out_features, in_features) weight layout."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Return windows of shape (N, C, OH, OW, KH, KW) as a *view* when possible."""
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    return windows, (windows.shape[2], windows.shape[3])
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: _Pair = 1,
+    padding: _Pair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D cross-correlation (PyTorch convention) with grouped support.
+
+    Shapes: x (N, C, H, W), weight (F, C/groups, KH, KW) -> (N, F, OH, OW).
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.data.shape
+    f, c_per_group, kh, kw = weight.data.shape
+    if c != c_per_group * groups:
+        raise ValueError(f"conv2d channel mismatch: x has {c}, weight implies {c_per_group * groups}")
+    if f % groups:
+        raise ValueError(f"out_channels {f} not divisible by groups {groups}")
+
+    cols, (oh, ow) = _im2col(x.data, kh, kw, sh, sw, ph, pw)
+
+    if groups == 1:
+        out = np.einsum("nchwij,fcij->nfhw", cols, weight.data, optimize=True)
+    elif groups == c and c_per_group == 1:
+        # depthwise fast path
+        out = np.einsum("nchwij,cij->nchw", cols, weight.data[:, 0], optimize=True)
+        if f != c:  # depth multiplier > 1 unsupported by the fast path
+            raise ValueError("depthwise conv requires out_channels == in_channels")
+    else:
+        f_per_group = f // groups
+        out = np.empty((n, f, oh, ow), dtype=x.data.dtype)
+        for g in range(groups):
+            cs = slice(g * c_per_group, (g + 1) * c_per_group)
+            fs = slice(g * f_per_group, (g + 1) * f_per_group)
+            out[:, fs] = np.einsum("nchwij,fcij->nfhw", cols[:, cs], weight.data[fs], optimize=True)
+    out = np.ascontiguousarray(out)
+    if bias is not None:
+        out += bias.data.reshape(1, -1, 1, 1)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        if weight.requires_grad:
+            if groups == 1:
+                gw = np.einsum("nfhw,nchwij->fcij", g, cols, optimize=True)
+            elif groups == c and c_per_group == 1:
+                gw = np.einsum("nchw,nchwij->cij", g, cols, optimize=True)[:, None, :, :]
+            else:
+                f_per_group = f // groups
+                gw = np.empty_like(weight.data)
+                for gi in range(groups):
+                    cs = slice(gi * c_per_group, (gi + 1) * c_per_group)
+                    fs = slice(gi * f_per_group, (gi + 1) * f_per_group)
+                    gw[fs] = np.einsum("nfhw,nchwij->fcij", g[:, fs], cols[:, cs], optimize=True)
+            weight._accumulate(gw)
+        if x.requires_grad:
+            # grad w.r.t. the im2col windows, then scatter back (col2im)
+            if groups == 1:
+                gcols = np.einsum("nfhw,fcij->nchwij", g, weight.data, optimize=True)
+            elif groups == c and c_per_group == 1:
+                gcols = np.einsum("nchw,cij->nchwij", g, weight.data[:, 0], optimize=True)
+            else:
+                f_per_group = f // groups
+                gcols = np.empty((n, c, oh, ow, kh, kw), dtype=x.data.dtype)
+                for gi in range(groups):
+                    cs = slice(gi * c_per_group, (gi + 1) * c_per_group)
+                    fs = slice(gi * f_per_group, (gi + 1) * f_per_group)
+                    gcols[:, cs] = np.einsum("nfhw,fcij->nchwij", g[:, fs], weight.data[fs], optimize=True)
+            gx = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.data.dtype)
+            for i in range(kh):
+                for j in range(kw):
+                    gx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += gcols[:, :, :, :, i, j]
+            if ph or pw:
+                gx = gx[:, :, ph : ph + h, pw : pw + w]
+            x._accumulate(gx)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g.sum(axis=(0, 2, 3)))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, _bw)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+def max_pool2d(x: Tensor, kernel_size: _Pair, stride: Optional[_Pair] = None) -> Tensor:
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.data.shape
+    if h < kh or w < kw:
+        return x  # input already smaller than the window (deep nets on tiny images)
+    windows, (oh, ow) = _im2col(x.data, kh, kw, sh, sw, 0, 0)
+    flat = windows.reshape(n, c, oh, ow, kh * kw)
+    arg = flat.argmax(axis=-1)
+    data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        gx = np.zeros((n, c, h, w), dtype=x.data.dtype)
+        ki, kj = np.divmod(arg, kw)
+        oh_idx, ow_idx = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+        rows = oh_idx[None, None] * sh + ki
+        cols_ = ow_idx[None, None] * sw + kj
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(gx, (n_idx, c_idx, rows, cols_), g)
+        x._accumulate(gx)
+
+    return Tensor._make(np.ascontiguousarray(data), (x,), _bw)
+
+
+def avg_pool2d(x: Tensor, kernel_size: _Pair, stride: Optional[_Pair] = None) -> Tensor:
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride if stride is not None else kernel_size)
+    n, c, h, w = x.data.shape
+    if h < kh or w < kw:
+        return x  # input already smaller than the window
+    windows, (oh, ow) = _im2col(x.data, kh, kw, sh, sw, 0, 0)
+    data = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kh * kw)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad) * scale
+        gx = np.zeros((n, c, h, w), dtype=x.data.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                gx[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
+        x._accumulate(gx)
+
+    return Tensor._make(np.ascontiguousarray(data), (x,), _bw)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Global average pooling when ``output_size == 1`` (the only case used)."""
+    if output_size != 1:
+        raise NotImplementedError("only global (1x1) adaptive pooling is implemented")
+    n, c, h, w = x.data.shape
+    data = x.data.mean(axis=(2, 3), keepdims=True)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad) / (h * w)
+        x._accumulate(np.broadcast_to(g, x.data.shape))
+
+    return Tensor._make(data, (x,), _bw)
+
+
+# ---------------------------------------------------------------------------
+# Normalization / regularization
+# ---------------------------------------------------------------------------
+
+
+def batch_norm(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over all axes except channel (axis 1 for 4-D, -1 for 2-D).
+
+    ``running_mean``/``running_var`` are updated in place during training,
+    matching PyTorch's exponential-moving-average convention.
+    """
+    if x.data.ndim == 4:
+        axes: Tuple[int, ...] = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.data.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {x.data.ndim}-D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        m = x.data.size / x.data.shape[1]
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var * (m / max(m - 1.0, 1.0))  # unbiased, as torch
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    data = x_hat * weight.data.reshape(shape) + bias.data.reshape(shape)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        if weight.requires_grad:
+            weight._accumulate((g * x_hat).sum(axis=axes))
+        if bias.requires_grad:
+            bias._accumulate(g.sum(axis=axes))
+        if x.requires_grad:
+            w = weight.data.reshape(shape)
+            if training:
+                m = x.data.size / x.data.shape[1]
+                gxhat = g * w
+                term1 = gxhat
+                term2 = gxhat.mean(axis=axes, keepdims=True)
+                term3 = x_hat * (gxhat * x_hat).mean(axis=axes, keepdims=True)
+                x._accumulate((term1 - term2 - term3) * inv_std.reshape(shape))
+            else:
+                x._accumulate(g * w * inv_std.reshape(shape))
+
+    return Tensor._make(data.astype(x.data.dtype, copy=False), (x, weight, bias), _bw)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    data = x.data * mask
+
+    def _bw(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(data, (x,), _bw)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+
+def cross_entropy(logits: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy against integer class labels (fused backward)."""
+    target = np.asarray(target)
+    if target.ndim != 1:
+        raise ValueError("target must be a 1-D array of class indices")
+    n = logits.data.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - logsumexp
+    losses = -log_probs[np.arange(n), target]
+    if reduction == "mean":
+        value = losses.mean()
+    elif reduction == "sum":
+        value = losses.sum()
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+    soft = np.exp(log_probs)
+
+    def _bw(grad: np.ndarray) -> None:
+        g = float(np.asarray(grad))
+        delta = soft.copy()
+        delta[np.arange(n), target] -= 1.0
+        if reduction == "mean":
+            delta /= n
+        logits._accumulate(delta * g)
+
+    return Tensor._make(np.asarray(value, dtype=logits.data.dtype), (logits,), _bw)
+
+
+def nll_loss(log_probs: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over precomputed log-probabilities."""
+    target = np.asarray(target)
+    n = log_probs.data.shape[0]
+    picked = log_probs[np.arange(n), target]
+    loss = -(picked.sum() if reduction == "sum" else picked.mean())
+    return loss
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray], reduction: str = "mean") -> Tensor:
+    target_t = target if isinstance(target, Tensor) else Tensor(_as_array(target, pred.data.dtype))
+    diff = pred - target_t
+    sq = diff * diff
+    return sq.mean() if reduction == "mean" else sq.sum()

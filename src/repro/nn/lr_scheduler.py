@@ -1,0 +1,86 @@
+"""Learning-rate schedules mirroring ``torch.optim.lr_scheduler``.
+
+The paper's training setups use MultiStepLR (decay 0.1/0.2 at fixed epochs)
+and StepLR (decay 0.1 every 40 epochs); cosine and exponential are included
+for the extension configs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "MultiStepLR", "ExponentialLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base class; subclasses define ``compute_lr(epoch)``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's lr."""
+        self.last_epoch += 1
+        self.optimizer.lr = self.compute_lr(self.last_epoch)
+
+    def get_last_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(LRScheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply lr by ``gamma`` at each epoch in ``milestones``."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones: List[int] = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma**passed
+
+
+class ExponentialLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, gamma: float) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base_lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def compute_lr(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * t / self.t_max))

@@ -1,0 +1,193 @@
+"""``Module``/``Parameter`` containers with state_dict semantics.
+
+The contract mirrors the slice of ``torch.nn.Module`` that FL frameworks
+lean on: recursive parameter/buffer discovery with dotted names, train/eval
+modes, ``state_dict``/``load_state_dict`` round-trips (parameters *and*
+buffers such as BatchNorm running statistics — FedBN depends on the
+distinction), and in-place ``zero_grad``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor; discovered automatically when set on a Module."""
+
+    def __init__(self, data: Any) -> None:
+        super().__init__(data, requires_grad=True)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute routing ---------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self.__dict__.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self.__dict__.pop(name, None)
+        else:
+            if name in self._parameters:
+                del self._parameters[name]
+            if name in self._modules:
+                del self._modules[name]
+            object.__setattr__(self, name, value)
+
+    def __getattr__(self, name: str) -> Any:
+        for store in ("_parameters", "_buffers", "_modules"):
+            d = self.__dict__.get(store)
+            if d is not None and name in d:
+                return d[name]
+        raise AttributeError(f"{type(self).__name__!r} has no attribute {name!r}")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved in ``state_dict`` (e.g. BN stats)."""
+        self._buffers[name] = np.asarray(value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+
+    # -- traversal -------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def buffers(self) -> List[np.ndarray]:
+        return [b for _, b in self.named_buffers()]
+
+    # -- state dict --------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of all parameters and buffers keyed by dotted name."""
+        out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.named_parameters():
+            out[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            out[name] = buf.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter/buffer values in place (shapes must match)."""
+        params = dict(self.named_parameters())
+        own_buffers: Dict[str, Tuple[Module, str]] = {}
+        for mod_name, module in self.named_modules():
+            for bname in module._buffers:
+                full = f"{mod_name}.{bname}" if mod_name else bname
+                own_buffers[full] = (module, bname)
+        missing = (set(params) | set(own_buffers)) - set(state)
+        unexpected = set(state) - (set(params) | set(own_buffers))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if name in params:
+                target = params[name]
+                if target.data.shape != np.shape(value):
+                    raise ValueError(f"shape mismatch for {name!r}: {target.data.shape} vs {np.shape(value)}")
+                target.data[...] = value
+            elif name in own_buffers:
+                module, bname = own_buffers[name]
+                buf = module._buffers[bname]
+                if buf.shape != np.shape(value):
+                    raise ValueError(f"shape mismatch for buffer {name!r}")
+                buf[...] = value
+
+    # -- modes / grads -------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        for m in self.modules():
+            fn(m)
+        return self
+
+    def num_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.parameters()))
+
+    # -- forward ----------------------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any) -> Any:
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [type(self).__name__ + "("]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}()"
+
+
+class ModuleList(Module):
+    """Holds submodules in a list; indexable and iterable."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        for i, m in enumerate(modules or []):
+            self.add_module(str(i), m)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)

@@ -1,0 +1,161 @@
+"""Flat-vector packing of parameter trees — the currency of FL.
+
+Every algorithm, compressor, privacy mechanism and communicator in this repo
+exchanges model state as either a *state dict* (``OrderedDict[str, ndarray]``)
+or a single flat ``float32`` vector plus a spec describing how to unflatten.
+Pack/unpack are exact inverses (property-tested).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "StateSpec",
+    "state_dict_to_vector",
+    "vector_to_state_dict",
+    "spec_of",
+    "state_add",
+    "state_sub",
+    "state_scale",
+    "state_zeros_like",
+    "state_average",
+    "state_norm",
+    "clone_state",
+]
+
+StateDict = "OrderedDict[str, np.ndarray]"
+
+
+class StateSpec:
+    """Shapes/dtypes/order of a state dict, enough to invert flattening."""
+
+    def __init__(self, entries: Sequence[Tuple[str, Tuple[int, ...], np.dtype]]) -> None:
+        self.entries = list(entries)
+        self.total = int(sum(int(np.prod(shape)) for _, shape, _ in self.entries))
+
+    @property
+    def keys(self) -> List[str]:
+        return [k for k, _, _ in self.entries]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateSpec):
+            return NotImplemented
+        return [(k, tuple(s), np.dtype(d)) for k, s, d in self.entries] == [
+            (k, tuple(s), np.dtype(d)) for k, s, d in other.entries
+        ]
+
+    def __repr__(self) -> str:
+        return f"StateSpec({len(self.entries)} tensors, {self.total} scalars)"
+
+
+def spec_of(state: Mapping[str, np.ndarray]) -> StateSpec:
+    return StateSpec([(k, tuple(v.shape), v.dtype) for k, v in state.items()])
+
+
+def state_dict_to_vector(state: Mapping[str, np.ndarray], keys: Optional[Iterable[str]] = None) -> Tuple[np.ndarray, StateSpec]:
+    """Flatten selected entries (default: all) into one float32 vector."""
+    selected = list(keys) if keys is not None else list(state.keys())
+    entries = [(k, tuple(state[k].shape), state[k].dtype) for k in selected]
+    spec = StateSpec(entries)
+    if not selected:
+        return np.zeros(0, dtype=np.float32), spec
+    vec = np.concatenate([np.asarray(state[k], dtype=np.float32).ravel() for k in selected])
+    return vec, spec
+
+
+def vector_to_state_dict(vector: np.ndarray, spec: StateSpec) -> "OrderedDict[str, np.ndarray]":
+    """Inverse of :func:`state_dict_to_vector` (restores shapes and dtypes)."""
+    if vector.size != spec.total:
+        raise ValueError(f"vector has {vector.size} scalars but spec expects {spec.total}")
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    offset = 0
+    for key, shape, dtype in spec.entries:
+        size = int(np.prod(shape))
+        chunk = vector[offset : offset + size].reshape(shape)
+        out[key] = chunk.astype(dtype, copy=True) if np.dtype(dtype) != np.float32 else chunk.copy()
+        offset += size
+    return out
+
+
+def clone_state(state: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict((k, np.array(v, copy=True)) for k, v in state.items())
+
+
+def state_zeros_like(state: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict((k, np.zeros_like(v)) for k, v in state.items())
+
+
+def state_add(a: Mapping[str, np.ndarray], b: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    """Elementwise ``a + b``; integer buffers are carried from ``a`` unchanged."""
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for k, v in a.items():
+        if np.issubdtype(v.dtype, np.floating):
+            out[k] = v + b[k]
+        else:
+            out[k] = v.copy()
+    return out
+
+
+def state_sub(a: Mapping[str, np.ndarray], b: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for k, v in a.items():
+        if np.issubdtype(v.dtype, np.floating):
+            out[k] = v - b[k]
+        else:
+            out[k] = v.copy()
+    return out
+
+
+def state_scale(state: Mapping[str, np.ndarray], factor: float) -> "OrderedDict[str, np.ndarray]":
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for k, v in state.items():
+        if np.issubdtype(v.dtype, np.floating):
+            out[k] = v * factor
+        else:
+            out[k] = v.copy()
+    return out
+
+
+def state_average(
+    states: Sequence[Mapping[str, np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
+) -> "OrderedDict[str, np.ndarray]":
+    """Weighted average of homogeneous state dicts (FedAvg's core op).
+
+    Integer entries (e.g. BatchNorm's ``num_batches_tracked``) take the first
+    state's value — averaging step counters is meaningless.
+    """
+    if not states:
+        raise ValueError("cannot average zero states")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("weights length must match states length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    norm = [w / total for w in weights]
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    first = states[0]
+    for k, v in first.items():
+        if np.issubdtype(v.dtype, np.floating):
+            acc = np.zeros_like(v, dtype=np.float64)
+            for s, w in zip(states, norm):
+                acc += np.asarray(s[k], dtype=np.float64) * w
+            out[k] = acc.astype(v.dtype)
+        else:
+            out[k] = v.copy()
+    return out
+
+
+def state_norm(state: Mapping[str, np.ndarray]) -> float:
+    """Global L2 norm over the floating entries."""
+    total = 0.0
+    for v in state.values():
+        if np.issubdtype(v.dtype, np.floating):
+            total += float(np.sum(np.asarray(v, dtype=np.float64) ** 2))
+    return float(np.sqrt(total))

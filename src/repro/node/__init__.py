@@ -1,0 +1,11 @@
+"""Node: a federation participant (paper §3.3).
+
+A Node owns local model state, data, and communicators; it executes the
+Algorithm's lifecycle hooks and the per-round coordination protocol for its
+role (trainer / aggregator / relay) under the topology's pattern.
+"""
+
+from repro.node.codec import decode_update, encode_update
+from repro.node.node import Node
+
+__all__ = ["Node", "encode_update", "decode_update"]

@@ -1,0 +1,271 @@
+"""Node implementation: role dispatch for every coordination pattern.
+
+The engine spawns one Node per :class:`~repro.topology.base.NodeSpec` inside
+a thread actor and calls ``run_round`` on all of them concurrently; group
+communicator operations inside align across nodes by construction (every
+role executes matching broadcast/gather/mixing sequences).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.comm.base import Communicator
+from repro.compression.base import Compressor
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.models.base import FederatedModel
+from repro.node.codec import decode_update, encode_update
+from repro.nn import functional as F
+from repro.nn.serialization import state_dict_to_vector, vector_to_state_dict
+from repro.nn.tensor import Tensor, no_grad
+from repro.privacy.dp import DifferentialPrivacy
+from repro.topology.base import NodeRole, NodeSpec
+from repro.utils.logging import get_logger
+
+__all__ = ["Node"]
+
+_LOG = get_logger("node")
+
+
+class Node:
+    """One federation participant; all round protocols live here."""
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        model: FederatedModel,
+        algorithm: Algorithm,
+        train_dataset: Optional[Dataset] = None,
+        test_dataset: Optional[Dataset] = None,
+        batch_size: int = 32,
+        seed: int = 0,
+        dp: Optional[DifferentialPrivacy] = None,
+        compressor: Optional[Compressor] = None,
+        outer_compressor: Optional[Compressor] = None,
+        drop_prob: float = 0.0,
+        straggler_prob: float = 0.0,
+        straggler_delay: float = 0.0,
+    ) -> None:
+        self.spec = spec
+        self.model = model
+        self.algorithm = algorithm
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.batch_size = batch_size
+        self.dp = dp
+        self.compressor = compressor
+        self.outer_compressor = outer_compressor if outer_compressor is not None else compressor
+        self.drop_prob = float(drop_prob)
+        self.straggler_prob = float(straggler_prob)
+        self.straggler_delay = float(straggler_delay)
+        self.comms: Dict[str, Communicator] = {}
+        self._rng = np.random.default_rng((seed, spec.index, 0xA110))
+        self._loader_rng = np.random.default_rng((seed, spec.index, 0xDA7A))
+        self.global_state: Optional[Dict[str, np.ndarray]] = None
+        self.last_train_stats: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def role(self) -> NodeRole:
+        return self.spec.role
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.train_dataset) if self.train_dataset is not None else 0
+
+    def train_loader(self) -> DataLoader:
+        if self.train_dataset is None:
+            raise RuntimeError(f"node {self.name} has no training data")
+        return DataLoader(self.train_dataset, self.batch_size, shuffle=True, rng=self._loader_rng)
+
+    def setup(self) -> None:
+        for comm in self.comms.values():
+            comm.setup()
+        if self.role.aggregates():
+            self.algorithm.setup_server(self)
+            self.global_state = self.model.state_dict()
+        if self.role.trains():
+            self.algorithm.setup_client(self)
+
+    def shutdown(self) -> None:
+        for comm in self.comms.values():
+            comm.shutdown()
+
+    def comm_stats(self) -> Dict[str, Dict[str, float]]:
+        return {name: c.stats.snapshot() for name, c in self.comms.items()}
+
+    # ------------------------------------------------------------------
+    # round dispatch
+    # ------------------------------------------------------------------
+    def run_round(self, round_idx: int, pattern: str, participate: bool = True) -> Dict[str, Any]:
+        start = time.perf_counter()
+        if pattern == "server":
+            stats = self._round_server(round_idx, participate)
+        elif pattern == "gossip":
+            stats = self._round_gossip(round_idx, participate)
+        elif pattern == "hierarchical":
+            stats = self._round_hierarchical(round_idx, participate)
+        else:
+            raise ValueError(f"unknown coordination pattern {pattern!r}")
+        stats["round_seconds"] = time.perf_counter() - start
+        return stats
+
+    # -- centralized: broadcast -> train -> gather -> aggregate ------------
+    def _round_server(self, round_idx: int, participate: bool) -> Dict[str, Any]:
+        comm = self.comms["inner"]
+        if self.role.aggregates():
+            assert self.global_state is not None
+            payload = self.algorithm.server_payload(self.global_state)
+            comm.broadcast_state(payload, src=0)
+            entries = comm.gather_states(OrderedDict(), meta={"num_samples": 0}, dst=0)
+            assert entries is not None
+            decoded = self._decode_entries(entries, self.compressor, self.global_state)
+            self.global_state = self.algorithm.aggregate(decoded, self.global_state, round_idx)
+            return {"aggregated": len(decoded) - 1}
+        return self._trainer_turn(comm, round_idx, participate, self.compressor)
+
+    def _trainer_turn(
+        self, comm: Communicator, round_idx: int, participate: bool, compressor: Optional[Compressor]
+    ) -> Dict[str, Any]:
+        payload = comm.broadcast_state(None, src=0)
+        dropped = (not participate) or (self.drop_prob > 0 and self._rng.random() < self.drop_prob)
+        if dropped:
+            # non-participants still join the collective with a zero-weight
+            # placeholder so group operations stay aligned
+            comm.gather_states(OrderedDict(), meta={"num_samples": 0}, dst=0)
+            return {"participated": False}
+        if self.straggler_prob > 0 and self._rng.random() < self.straggler_prob:
+            time.sleep(self.straggler_delay)
+        self.algorithm.on_round_start(self, payload, round_idx)
+        stats = self.algorithm.local_train(self, round_idx)
+        update, meta = self.algorithm.compute_update(self, round_idx)
+        reference = (
+            self.algorithm._strip_payload(payload)
+            if self.algorithm.uploads_full_state
+            else None
+        )
+        wire, extra = encode_update(update, compressor, self.dp, reference)
+        meta = dict(meta)
+        meta.update(extra)
+        comm.gather_states(wire, meta=meta, dst=0)
+        self.algorithm.on_round_end(self, round_idx)
+        self.last_train_stats = stats
+        return {"participated": True, **stats}
+
+    @staticmethod
+    def _decode_entries(
+        entries: List[Dict[str, Any]],
+        compressor: Optional[Compressor],
+        reference: Optional[Dict[str, np.ndarray]] = None,
+    ) -> List[Dict[str, Any]]:
+        out = []
+        for e in entries:
+            state = decode_update(e["state"], e.get("meta", {}), compressor, reference)
+            out.append({"rank": e["rank"], "state": state, "meta": e.get("meta", {})})
+        return out
+
+    # -- gossip: train -> exchange with neighbors -> mix --------------------
+    def _round_gossip(self, round_idx: int, participate: bool) -> Dict[str, Any]:
+        comm = self.comms["inner"]
+        self.algorithm.on_round_start(self, self.model.state_dict(), round_idx)
+        stats = self.algorithm.local_train(self, round_idx) if participate else {}
+        state = self.model.state_dict()
+        vec, spec = state_dict_to_vector(state)
+
+        mixing = dict(self.spec.mixing)
+        my_rank = self.spec.inner.rank if self.spec.inner else 0
+        neighbors = sorted(j for j in mixing if j != my_rank)
+        # symmetric exchange: send to every neighbor, then receive from each;
+        # the receiver applies *its own* mixing weight for the sender
+        for j in neighbors:
+            comm.send({"vec": vec, "src": my_rank}, dst=j, tag=round_idx)
+        mixed = vec * mixing.get(my_rank, 0.0)
+        received = 0
+        for _ in neighbors:
+            msg = comm.recv(src=-1, tag=round_idx)
+            sender = int(msg["src"])
+            mixed = mixed + np.asarray(msg["vec"]) * float(mixing[sender])
+            received += 1
+        new_state = vector_to_state_dict(mixed.astype(np.float32), spec)
+        for k, v in state.items():  # integer buffers stay local
+            if not np.issubdtype(v.dtype, np.floating):
+                new_state[k] = v
+        self.model.load_state_dict(new_state, strict=False)
+        comm.barrier()
+        self.last_train_stats = stats
+        return {"participated": participate, "neighbors": received, **stats}
+
+    # -- hierarchical: outer root <-> site heads <-> inner trainers ----------
+    def _round_hierarchical(self, round_idx: int, participate: bool) -> Dict[str, Any]:
+        if self.role is NodeRole.AGGREGATOR:  # global root
+            outer = self.comms["outer"]
+            assert self.global_state is not None
+            payload = self.algorithm.server_payload(self.global_state)
+            outer.broadcast_state(payload, src=0)
+            entries = outer.gather_states(OrderedDict(), meta={"num_samples": 0}, dst=0)
+            assert entries is not None
+            decoded = self._decode_entries(entries, self.outer_compressor, self.global_state)
+            self.global_state = self.algorithm.aggregate(decoded, self.global_state, round_idx)
+            return {"aggregated_sites": len(decoded) - 1}
+        if self.role is NodeRole.RELAY:  # site head
+            outer = self.comms["outer"]
+            inner = self.comms["inner"]
+            payload = outer.broadcast_state(None, src=0)
+            inner.broadcast_state(payload, src=0)
+            entries = inner.gather_states(OrderedDict(), meta={"num_samples": 0}, dst=0)
+            assert entries is not None
+            reference = self.algorithm._strip_payload(payload)
+            decoded = self._decode_entries(entries, self.compressor, reference)
+            site_state = self.algorithm.aggregate(decoded, reference, round_idx)
+            site_samples = int(sum(e["meta"].get("num_samples", 0) for e in decoded))
+            # compression applies only on the slow cross-facility link
+            # (paper §3.4.5), delta-coded against the round's global state
+            site_ref = reference if self.algorithm.uploads_full_state else None
+            wire, extra = encode_update(site_state, self.outer_compressor, None, site_ref)
+            meta = {"num_samples": site_samples, **extra}
+            outer.gather_states(wire, meta=meta, dst=0)
+            return {"site_samples": site_samples, "site_clients": len(decoded) - 1}
+        # trainer inside a site
+        return self._trainer_turn(self.comms["inner"], round_idx, participate, self.compressor)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, state: Optional[Mapping[str, np.ndarray]] = None, max_batches: Optional[int] = None) -> Tuple[float, float]:
+        """(loss, accuracy) of ``state`` (default: the node's current model)
+        on the node's test dataset."""
+        if self.test_dataset is None:
+            raise RuntimeError(f"node {self.name} has no test data")
+        restore: Optional[Dict[str, np.ndarray]] = None
+        if state is not None:
+            restore = self.model.state_dict()
+            self.model.load_state_dict(self.algorithm._strip_payload(dict(state)), strict=False)
+        was_training = self.model.training
+        self.model.eval()
+        loader = DataLoader(self.test_dataset, self.batch_size)
+        total_loss, total, correct = 0.0, 0, 0
+        with no_grad():
+            for b, (x, y) in enumerate(loader):
+                if max_batches is not None and b >= max_batches:
+                    break
+                logits = self.model(Tensor(x))
+                loss = F.cross_entropy(logits, y)
+                total_loss += float(loss.item()) * len(y)
+                correct += int((logits.data.argmax(axis=1) == y).sum())
+                total += len(y)
+        self.model.train(was_training)
+        if restore is not None:
+            self.model.load_state_dict(restore, strict=False)
+        return total_loss / max(total, 1), correct / max(total, 1)

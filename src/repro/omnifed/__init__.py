@@ -1,0 +1,13 @@
+"""Compatibility namespace matching the paper's ``src.omnifed.*`` layout.
+
+The paper's Fig. 2 config references targets like
+``src.omnifed.topology.CentralizedTopology`` and
+``src.omnifed.communicator.GrpcCommunicator``;
+:func:`repro.config.instantiate` rewrites the ``src.omnifed.`` prefix to
+``repro.omnifed.``, and this package re-exports every public class under
+those names — so the paper's YAML runs verbatim.
+"""
+
+from repro.omnifed import algorithm, communicator, privacy, topology
+
+__all__ = ["topology", "communicator", "algorithm", "privacy"]

@@ -1,0 +1,27 @@
+"""``src.omnifed.algorithm`` compatibility aliases."""
+
+from repro.algorithms.diloco import DiLoCo
+from repro.algorithms.ditto import Ditto
+from repro.algorithms.fedavg import FedAvg
+from repro.algorithms.fedbn import FedBN
+from repro.algorithms.feddyn import FedDyn
+from repro.algorithms.fedmom import FedMom
+from repro.algorithms.fednova import FedNova
+from repro.algorithms.fedper import FedPer
+from repro.algorithms.fedprox import FedProx
+from repro.algorithms.moon import Moon
+from repro.algorithms.scaffold import Scaffold
+
+__all__ = [
+    "FedAvg",
+    "FedProx",
+    "FedMom",
+    "FedNova",
+    "Scaffold",
+    "Moon",
+    "FedPer",
+    "FedDyn",
+    "FedBN",
+    "Ditto",
+    "DiLoCo",
+]

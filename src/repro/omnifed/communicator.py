@@ -1,0 +1,35 @@
+"""``src.omnifed.communicator`` compatibility aliases (incl. compression)."""
+
+from repro.comm.pubsub import AmqpCommunicator, MqttCommunicator
+from repro.comm.rpc import GrpcCommunicator
+from repro.comm.torchdist import TorchDistCommunicator
+
+# the paper nests compressors under src.omnifed.communicator.compression
+from repro.compression.dgc import DGC
+from repro.compression.powersgd import PowerSGD
+from repro.compression.qsgd import QSGD
+from repro.compression.randomk import RandomK
+from repro.compression.redsync import RedSync
+from repro.compression.sidco import SIDCo
+from repro.compression.topk import TopK
+
+
+class compression:  # noqa: N801 - mirrors the paper's module path
+    """Namespace matching ``src.omnifed.communicator.compression.TopK``."""
+
+    TopK = TopK
+    RandomK = RandomK
+    DGC = DGC
+    RedSync = RedSync
+    SIDCo = SIDCo
+    QSGD = QSGD
+    PowerSGD = PowerSGD
+
+
+__all__ = [
+    "TorchDistCommunicator",
+    "GrpcCommunicator",
+    "MqttCommunicator",
+    "AmqpCommunicator",
+    "compression",
+]

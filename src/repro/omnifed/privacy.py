@@ -1,0 +1,7 @@
+"""``src.omnifed.privacy`` compatibility aliases."""
+
+from repro.privacy.dp import DifferentialPrivacy
+from repro.privacy.he import HomomorphicEncryption
+from repro.privacy.secure_agg import SecureAggregation
+
+__all__ = ["DifferentialPrivacy", "HomomorphicEncryption", "SecureAggregation"]

@@ -1,0 +1,18 @@
+"""``src.omnifed.topology`` compatibility aliases."""
+
+from repro.topology.centralized import CentralizedTopology
+from repro.topology.custom import CustomGraphTopology
+from repro.topology.hierarchical import HierarchicalTopology
+from repro.topology.p2p import PeerToPeerTopology
+from repro.topology.ring import RingTopology
+
+DecentralizedTopology = RingTopology
+
+__all__ = [
+    "CentralizedTopology",
+    "RingTopology",
+    "DecentralizedTopology",
+    "PeerToPeerTopology",
+    "HierarchicalTopology",
+    "CustomGraphTopology",
+]

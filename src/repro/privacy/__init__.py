@@ -1,0 +1,29 @@
+"""Privacy-preserving plugins: DP, HE, SA (the paper's §3.4.4 suite).
+
+* :mod:`repro.privacy.dp` — L2 clipping + Gaussian/Laplace noise with an
+  (ε, δ) budget accountant (PETINA substitute);
+* :mod:`repro.privacy.paillier` / :mod:`repro.privacy.he` — the Paillier
+  additively-homomorphic cryptosystem over fixed-point-packed updates
+  (TenSEAL/SEAL substitute; genuine big-int modular arithmetic);
+* :mod:`repro.privacy.secure_agg` — HMAC-derived pairwise masks that cancel
+  in the sum, exactly the prototype the paper describes (HMAC + hashlib
+  shared keys, to be replaced by Diffie-Hellman).
+"""
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.dp import DifferentialPrivacy, gaussian_sigma, laplace_scale
+from repro.privacy.he import HomomorphicEncryption
+from repro.privacy.paillier import PaillierKeyPair, PaillierPublicKey, generate_keypair
+from repro.privacy.secure_agg import SecureAggregation
+
+__all__ = [
+    "PrivacyAccountant",
+    "DifferentialPrivacy",
+    "gaussian_sigma",
+    "laplace_scale",
+    "HomomorphicEncryption",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "generate_keypair",
+    "SecureAggregation",
+]

@@ -1,0 +1,66 @@
+"""Privacy-budget accounting across rounds.
+
+Tracks per-release (ε, δ) and reports the cumulative guarantee under:
+
+* **basic composition** — ε and δ add linearly;
+* **advanced composition** (Dwork & Roth, Thm 3.20) — for k releases of
+  (ε, δ) each and slack δ', the total is
+  ``ε_total = ε sqrt(2k ln(1/δ')) + k ε (e^ε - 1)`` with δ_total = kδ + δ'.
+
+The engine queries the accountant each round so experiments can stop when a
+budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+__all__ = ["PrivacyAccountant"]
+
+
+class PrivacyAccountant:
+    def __init__(self, target_delta: float = 1e-5) -> None:
+        if not (0.0 < target_delta < 1.0):
+            raise ValueError("target_delta must be in (0, 1)")
+        self.target_delta = target_delta
+        self.releases: List[Tuple[float, float]] = []
+
+    def record_release(self, epsilon: float, delta: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.releases.append((float(epsilon), float(delta)))
+
+    @property
+    def steps(self) -> int:
+        return len(self.releases)
+
+    def basic_composition(self) -> Tuple[float, float]:
+        """(ε, δ) under linear composition."""
+        return (
+            sum(e for e, _ in self.releases),
+            sum(d for _, d in self.releases),
+        )
+
+    def advanced_composition(self, slack_delta: float = None) -> Tuple[float, float]:
+        """(ε, δ) under advanced composition with slack δ' (homogeneous case).
+
+        Heterogeneous releases are handled conservatively with the max ε.
+        """
+        if not self.releases:
+            return 0.0, 0.0
+        slack = self.target_delta if slack_delta is None else slack_delta
+        k = len(self.releases)
+        eps = max(e for e, _ in self.releases)
+        total_delta = sum(d for _, d in self.releases) + slack
+        total_eps = eps * math.sqrt(2.0 * k * math.log(1.0 / slack)) + k * eps * (math.exp(eps) - 1.0)
+        return total_eps, total_delta
+
+    def best_epsilon(self) -> float:
+        """Tightest cumulative ε among the supported composition theorems."""
+        basic_eps, _ = self.basic_composition()
+        adv_eps, _ = self.advanced_composition()
+        return min(basic_eps, adv_eps)
+
+    def reset(self) -> None:
+        self.releases.clear()

@@ -1,0 +1,107 @@
+"""Finite-field Diffie-Hellman key agreement for Secure Aggregation.
+
+The paper's §3.3: "SA is currently prototyped with HMAC ... We plan to
+replace this with Diffie-Hellman key exchange."  This module implements that
+plan: classic DH over a fixed multiplicative group.  Each client draws a
+secret, publishes a public share, and derives the pairwise mask keys from
+the shared secret — no group-wide pre-shared secret needed.
+
+The default group's prime is derived from a nothing-up-my-sleeve SHA-256
+stream and verified by Miller-Rabin at first use (an offline environment
+cannot fetch vetted RFC groups, and hand-transcribing one risks a composite
+modulus — worse than a transparent derivation).  Production deployments
+should swap in a standardized group; see the README's security note.
+
+``SecureAggregation`` consumes these via ``key_exchange="dh"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.privacy.paillier import _is_probable_prime
+
+__all__ = ["DHParameters", "DHKeyPair", "derive_pair_key", "default_group"]
+
+
+@dataclass(frozen=True)
+class DHParameters:
+    """A multiplicative group (p, g) with prime modulus."""
+
+    p: int
+    g: int = 2
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+    def validate(self) -> None:
+        if not _is_probable_prime(self.p, rounds=16):
+            raise ValueError("DH modulus is not prime")
+        if not (1 < self.g < self.p - 1):
+            raise ValueError("generator out of range")
+
+
+def _derived_prime(bits: int, label: str) -> int:
+    """First probable prime in a SHA-256 stream keyed by ``label`` (deterministic)."""
+    i = 0
+    while True:
+        out = b""
+        counter = 0
+        while len(out) * 8 < bits:
+            out += hashlib.sha256(f"{label}-{i}-{counter}".encode()).digest()
+            counter += 1
+        candidate = int.from_bytes(out[: bits // 8], "big")
+        candidate |= (1 << (bits - 1)) | 1  # full bit length, odd
+        if _is_probable_prime(candidate, rounds=24):
+            return candidate
+        i += 1
+
+
+_DEFAULT_GROUP: Optional[DHParameters] = None
+
+
+def default_group(bits: int = 1024) -> DHParameters:
+    """The cached default group (derived + primality-verified on first use)."""
+    global _DEFAULT_GROUP
+    if _DEFAULT_GROUP is None or _DEFAULT_GROUP.bits != bits:
+        _DEFAULT_GROUP = DHParameters(p=_derived_prime(bits, "omnifed-repro-dh"), g=2)
+    return _DEFAULT_GROUP
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    """One participant's (secret, public-share) pair."""
+
+    params: DHParameters
+    secret: int
+    public: int
+
+    @staticmethod
+    def generate(
+        params: Optional[DHParameters] = None, seed: Optional[int] = None
+    ) -> "DHKeyPair":
+        """Draw a fresh secret exponent; ``seed`` only for deterministic tests."""
+        params = params if params is not None else default_group()
+        if seed is not None:
+            digest = hashlib.sha256(f"dh-test-seed-{seed}".encode()).digest()
+            secret = int.from_bytes(digest * 8, "big") % (params.p - 2) + 1
+        else:
+            secret = secrets.randbelow(params.p - 2) + 1
+        return DHKeyPair(params, secret, pow(params.g, secret, params.p))
+
+    def shared_secret(self, other_public: int) -> int:
+        """g^(ab) mod p against another participant's public share."""
+        if not (1 < other_public < self.params.p - 1):
+            raise ValueError("peer public share out of range (possible small-subgroup attack)")
+        return pow(other_public, self.secret, self.params.p)
+
+
+def derive_pair_key(keypair: DHKeyPair, other_public: int, context: bytes = b"omnifed-sa") -> bytes:
+    """HKDF-style key derivation from the DH shared secret (32 bytes)."""
+    shared = keypair.shared_secret(other_public)
+    raw = shared.to_bytes((keypair.params.bits + 7) // 8, "big")
+    return hashlib.sha256(context + b"|" + raw).digest()

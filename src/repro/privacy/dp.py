@@ -1,0 +1,101 @@
+"""Differential privacy for model updates: clip + calibrated noise.
+
+The mechanism is the standard DP-SGD-style update release (Abadi et al.):
+each client's update vector is clipped to L2 norm ``clip_norm`` (bounding
+sensitivity) and perturbed with Gaussian noise of
+``sigma = clip_norm * sqrt(2 ln(1.25/delta)) / epsilon`` per release
+(classic analytic calibration, valid for epsilon <= 1 per release and the
+convention used by PETINA-style libraries for larger budgets), or Laplace
+noise of scale ``clip_norm / epsilon`` for pure ε-DP.
+
+Larger ε ⇒ less noise ⇒ higher accuracy — the trend Table 3a reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.privacy.accountant import PrivacyAccountant
+
+__all__ = ["DifferentialPrivacy", "gaussian_sigma", "laplace_scale"]
+
+
+def gaussian_sigma(epsilon: float, delta: float, sensitivity: float) -> float:
+    """Analytic Gaussian-mechanism noise stddev for one (ε, δ) release."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not (0.0 < delta < 1.0):
+        raise ValueError("delta must be in (0, 1)")
+    return sensitivity * math.sqrt(2.0 * math.log(1.25 / delta)) / epsilon
+
+
+def laplace_scale(epsilon: float, sensitivity: float) -> float:
+    """Laplace-mechanism scale for pure ε-DP (L1 sensitivity)."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return sensitivity / epsilon
+
+
+class DifferentialPrivacy:
+    """Clip-and-noise mechanism applied to flat update vectors.
+
+    Configured from YAML exactly like the paper's
+    ``src.omnifed.privacy.DifferentialPrivacy`` (ε, δ, clip norm, mechanism).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        delta: float = 1e-5,
+        clip_norm: float = 1.0,
+        mechanism: str = "gaussian",
+        seed: int = 0,
+    ) -> None:
+        if mechanism not in ("gaussian", "laplace"):
+            raise ValueError(f"unknown DP mechanism {mechanism!r}")
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.clip_norm = float(clip_norm)
+        self.mechanism = mechanism
+        self.accountant = PrivacyAccountant(target_delta=self.delta)
+        self._rng = np.random.default_rng(seed)
+
+    # -- pieces -------------------------------------------------------------
+    def clip(self, vector: np.ndarray) -> np.ndarray:
+        """Scale ``vector`` down to at most ``clip_norm`` in L2."""
+        flat = np.asarray(vector, dtype=np.float32)
+        # norm in float64: float32 squares overflow for large updates
+        norm = float(np.linalg.norm(flat.astype(np.float64)))
+        if norm > self.clip_norm and norm > 0:
+            flat = flat * (self.clip_norm / norm)
+        return flat
+
+    @property
+    def sigma(self) -> float:
+        if self.mechanism == "gaussian":
+            return gaussian_sigma(self.epsilon, self.delta, self.clip_norm)
+        return laplace_scale(self.epsilon, self.clip_norm)
+
+    def add_noise(self, vector: np.ndarray) -> np.ndarray:
+        flat = np.asarray(vector, dtype=np.float32)
+        if self.mechanism == "gaussian":
+            noise = self._rng.normal(0.0, self.sigma, size=flat.shape)
+        else:
+            noise = self._rng.laplace(0.0, self.sigma, size=flat.shape)
+        return (flat + noise.astype(np.float32)).astype(np.float32)
+
+    # -- the mechanism ---------------------------------------------------------
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Privatize one update release and account for it."""
+        out = self.add_noise(self.clip(vector))
+        self.accountant.record_release(self.epsilon, self.delta)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"DifferentialPrivacy(eps={self.epsilon}, delta={self.delta}, "
+            f"clip={self.clip_norm}, mechanism={self.mechanism})"
+        )

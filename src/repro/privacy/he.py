@@ -1,0 +1,125 @@
+"""Homomorphic-encryption aggregation over fixed-point-packed updates.
+
+Pipeline (what TenSEAL's CKKS batching does, in Paillier form):
+
+1. quantize each float32 entry to a ``value_bits``-bit fixed-point integer
+   (two's complement, clipped);
+2. pack ``values_per_ciphertext`` slots into one big int, each slot padded
+   with ``headroom_bits`` so up to 2^headroom client updates can be *added
+   under encryption* without inter-slot carry;
+3. encrypt each packed int with Paillier; the aggregator multiplies
+   ciphertexts (slot-wise plaintext addition) and the key holder decrypts
+   and unpacks.
+
+``aggregate_encrypted`` + ``decrypt_sum`` reproduce FedAvg's sum without the
+server ever seeing an individual update.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.privacy.paillier import PaillierKeyPair, generate_keypair
+
+__all__ = ["HomomorphicEncryption"]
+
+
+class HomomorphicEncryption:
+    def __init__(
+        self,
+        key_bits: int = 512,
+        value_bits: int = 24,
+        frac_bits: int = 12,
+        headroom_bits: int = 8,
+        keypair: Optional[PaillierKeyPair] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if value_bits + headroom_bits > 62:
+            raise ValueError("slot width (value_bits + headroom_bits) must fit in 62 bits")
+        self.keypair = keypair if keypair is not None else generate_keypair(key_bits, seed=seed)
+        self.value_bits = value_bits
+        self.frac_bits = frac_bits
+        self.headroom_bits = headroom_bits
+        self.slot_bits = value_bits + headroom_bits
+        # leave 2 safety bits below the modulus
+        self.slots_per_ciphertext = max(1, (self.keypair.public.bits - 2) // self.slot_bits)
+        self.scale = float(1 << frac_bits)
+        self._value_max = (1 << (value_bits - 1)) - 1
+
+    # -- fixed point -----------------------------------------------------------
+    def quantize(self, vector: np.ndarray) -> np.ndarray:
+        q = np.round(np.asarray(vector, dtype=np.float64) * self.scale)
+        return np.clip(q, -self._value_max, self._value_max).astype(np.int64)
+
+    def dequantize(self, values: np.ndarray, clients: int = 1) -> np.ndarray:
+        return (np.asarray(values, dtype=np.float64) / self.scale).astype(np.float32)
+
+    # -- packing ----------------------------------------------------------------
+    def _pack(self, ints: np.ndarray) -> int:
+        """Pack signed slot values into one big int (offset binary per slot).
+
+        The offset is ``2^(value_bits-1)`` — just enough to make each value
+        non-negative — so ``2^headroom_bits`` client contributions can add
+        without carrying into the neighbouring slot.
+        """
+        offset = 1 << (self.value_bits - 1)
+        packed = 0
+        for v in ints[::-1]:
+            packed = (packed << self.slot_bits) | (int(v) + offset)
+        return packed
+
+    def _unpack(self, packed: int, count: int, clients: int) -> np.ndarray:
+        mask = (1 << self.slot_bits) - 1
+        offset = (1 << (self.value_bits - 1)) * clients  # offsets add across clients
+        out = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            out[i] = (packed & mask) - offset
+            packed >>= self.slot_bits
+        return out
+
+    # -- public API ----------------------------------------------------------------
+    def encrypt(self, vector: np.ndarray) -> List[int]:
+        """Encrypt a float vector into a list of ciphertexts."""
+        q = self.quantize(vector)
+        ciphertexts: List[int] = []
+        for start in range(0, q.size, self.slots_per_ciphertext):
+            chunk = q[start : start + self.slots_per_ciphertext]
+            ciphertexts.append(self.keypair.public.encrypt(self._pack(chunk)))
+        return ciphertexts
+
+    def aggregate_encrypted(self, client_ciphertexts: Sequence[List[int]]) -> List[int]:
+        """Slot-wise sum under encryption (ciphertext products)."""
+        if not client_ciphertexts:
+            raise ValueError("nothing to aggregate")
+        n_clients = len(client_ciphertexts)
+        if n_clients > (1 << self.headroom_bits):
+            raise ValueError(
+                f"{n_clients} clients exceed headroom for {self.headroom_bits} bits"
+            )
+        length = len(client_ciphertexts[0])
+        if any(len(c) != length for c in client_ciphertexts):
+            raise ValueError("ragged ciphertext lists")
+        return [
+            self.keypair.public.add_many([c[i] for c in client_ciphertexts])
+            for i in range(length)
+        ]
+
+    def decrypt_sum(self, ciphertexts: List[int], n_values: int, n_clients: int) -> np.ndarray:
+        """Decrypt an aggregated ciphertext list back to the float *sum*."""
+        values = np.empty(n_values, dtype=np.int64)
+        pos = 0
+        for c in ciphertexts:
+            count = min(self.slots_per_ciphertext, n_values - pos)
+            values[pos : pos + count] = self._unpack(self.keypair.private.decrypt(c), count, n_clients)
+            pos += count
+        return self.dequantize(values, n_clients)
+
+    def roundtrip_mean(self, vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Full encrypted-FedAvg round: encrypt all, aggregate, decrypt, average."""
+        encrypted = [self.encrypt(v) for v in vectors]
+        agg = self.aggregate_encrypted(encrypted)
+        total = self.decrypt_sum(agg, len(np.ravel(vectors[0])), len(vectors))
+        return (total / len(vectors)).astype(np.float32)

@@ -1,0 +1,153 @@
+"""Paillier additively-homomorphic cryptosystem (pure Python big-int).
+
+The TenSEAL/SEAL substitute: real modular-exponentiation cryptography so HE
+overhead measurements (Table 3b) reflect genuine asymmetric-crypto cost.
+
+Scheme (g = n + 1 simplification):
+
+* keygen: primes p, q; n = pq; λ = lcm(p-1, q-1); μ = λ⁻¹ mod n
+* encrypt(m): c = (1 + m·n) · rⁿ  mod n²      (r random in Z*_n)
+* decrypt(c): m = L(c^λ mod n²) · μ mod n,    L(x) = (x-1)/n
+* add: E(a)·E(b) mod n² = E(a+b);  scalar: E(a)^k = E(k·a)
+
+Key sizes here default to 512 bits — small for production but real enough
+that cost scales correctly; tests use 128 for speed.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PaillierPublicKey", "PaillierPrivateKey", "PaillierKeyPair", "generate_keypair"]
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71]
+
+
+def _is_probable_prime(n: int, rounds: int = 20, rng: Optional[secrets.SystemRandom] = None) -> bool:
+    """Miller-Rabin with fixed witnesses plus random rounds."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rand = rng if rng is not None else secrets.SystemRandom()
+    witnesses = _SMALL_PRIMES[:8] + [rand.randrange(2, n - 1) for _ in range(rounds)]
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rand: secrets.SystemRandom) -> int:
+    while True:
+        candidate = rand.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng=rand):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def encrypt(self, plaintext: int, r: Optional[int] = None) -> int:
+        """Encrypt a non-negative integer < n."""
+        if not (0 <= plaintext < self.n):
+            raise ValueError("plaintext out of range [0, n)")
+        n, n2 = self.n, self.n_squared
+        if r is None:
+            rand = secrets.SystemRandom()
+            while True:
+                r = rand.randrange(1, n)
+                if math.gcd(r, n) == 1:
+                    break
+        # g = n+1  =>  g^m = 1 + m*n (mod n^2), avoiding one modexp
+        return ((1 + plaintext * n) % n2) * pow(r, n, n2) % n2
+
+    def add(self, c1: int, c2: int) -> int:
+        """Homomorphic addition of two ciphertexts."""
+        return c1 * c2 % self.n_squared
+
+    def add_many(self, ciphertexts: List[int]) -> int:
+        acc = 1
+        n2 = self.n_squared
+        for c in ciphertexts:
+            acc = acc * c % n2
+        return acc
+
+    def scalar_mul(self, c: int, k: int) -> int:
+        """Homomorphic multiplication of the plaintext by integer ``k``."""
+        return pow(c, k, self.n_squared)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    public: PaillierPublicKey
+    lam: int  # lcm(p-1, q-1)
+    mu: int  # lam^{-1} mod n
+
+    def decrypt(self, ciphertext: int) -> int:
+        n, n2 = self.public.n, self.public.n_squared
+        x = pow(ciphertext, self.lam, n2)
+        l_value = (x - 1) // n
+        return l_value * self.mu % n
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+
+
+def generate_keypair(bits: int = 512, seed: Optional[int] = None) -> PaillierKeyPair:
+    """Generate a keypair with an n of approximately ``bits`` bits.
+
+    ``seed`` makes generation deterministic (tests only — never for real
+    deployments, as the docstring of any honest crypto shim must say).
+    """
+    if bits < 64:
+        raise ValueError("key size below 64 bits is meaningless even for tests")
+    if seed is not None:
+        import random as _random
+
+        rand = _random.Random(seed)  # type: ignore[assignment]
+        rand.getrandbits_ = rand.getrandbits  # appease typing below
+    else:
+        rand = secrets.SystemRandom()  # type: ignore[assignment]
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rand)  # type: ignore[arg-type]
+        q = _random_prime(bits - half, rand)  # type: ignore[arg-type]
+        if p != q:
+            n = p * q
+            if n.bit_length() >= bits - 1:
+                break
+    lam = (p - 1) * (q - 1) // math.gcd(p - 1, q - 1)
+    mu = pow(lam, -1, n)
+    public = PaillierPublicKey(n)
+    return PaillierKeyPair(public, PaillierPrivateKey(public, lam, mu))

@@ -1,0 +1,28 @@
+"""Streaming simulation for real-time learning (paper §3.4.3).
+
+An in-memory :class:`~repro.streaming.broker.KafkaBroker` provides
+partitioned, offset-addressed topic logs (the Apache Kafka substitute);
+rate-limited :class:`~repro.streaming.producer.Producer` threads publish
+dataset samples to per-client topics; clients run a
+:class:`~repro.streaming.dataloader.StreamingDataLoader` whose consumer
+subscribes to its topic — the paper's "custom PyTorch dataloader that
+subscribes to a topic".  Observed stream-rates are measured exactly as in
+Fig. 6.
+"""
+
+from repro.streaming.broker import KafkaBroker, Record
+from repro.streaming.consumer import Consumer
+from repro.streaming.dataloader import StreamingDataLoader
+from repro.streaming.producer import Producer, RateLimiter
+from repro.streaming.rate import measure_stream_rates, stream_dataset
+
+__all__ = [
+    "KafkaBroker",
+    "Record",
+    "Producer",
+    "RateLimiter",
+    "Consumer",
+    "StreamingDataLoader",
+    "measure_stream_rates",
+    "stream_dataset",
+]

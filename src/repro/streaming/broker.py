@@ -1,0 +1,113 @@
+"""Partitioned log broker with Kafka semantics.
+
+Topics hold ordered, immutable partitions; records get monotonically
+increasing offsets per partition; consumers fetch by (partition, offset) and
+manage their own positions.  Ordering is guaranteed *within* a partition
+only — exactly the contract the paper leans on ("Kafka handles ordering
+issues within a partition").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Record", "KafkaBroker"]
+
+
+@dataclass(frozen=True)
+class Record:
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    key: Optional[bytes]
+    value: Any
+
+
+class KafkaBroker:
+    """Thread-safe in-memory log broker."""
+
+    def __init__(self) -> None:
+        self._logs: Dict[Tuple[str, int], List[Record]] = {}
+        self._partitions: Dict[str, int] = {}
+        self._cond = threading.Condition()
+        self._rr: Dict[str, int] = {}  # round-robin cursor per topic
+
+    # -- admin ---------------------------------------------------------------
+    def create_topic(self, topic: str, partitions: int = 1) -> None:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        with self._cond:
+            if topic in self._partitions:
+                if self._partitions[topic] != partitions:
+                    raise ValueError(f"topic {topic!r} exists with {self._partitions[topic]} partitions")
+                return
+            self._partitions[topic] = partitions
+            for p in range(partitions):
+                self._logs[(topic, p)] = []
+
+    def topics(self) -> List[str]:
+        with self._cond:
+            return sorted(self._partitions)
+
+    def partitions_for(self, topic: str) -> int:
+        with self._cond:
+            if topic not in self._partitions:
+                raise KeyError(f"unknown topic {topic!r}")
+            return self._partitions[topic]
+
+    # -- produce ----------------------------------------------------------------
+    def append(self, topic: str, value: Any, key: Optional[bytes] = None,
+               partition: Optional[int] = None) -> Record:
+        with self._cond:
+            if topic not in self._partitions:
+                # auto-create single-partition topics, as Kafka commonly does
+                self._partitions[topic] = 1
+                self._logs[(topic, 0)] = []
+            n_parts = self._partitions[topic]
+            if partition is None:
+                if key is not None:
+                    partition = hash(key) % n_parts
+                else:
+                    partition = self._rr.get(topic, 0)
+                    self._rr[topic] = (partition + 1) % n_parts
+            if not (0 <= partition < n_parts):
+                raise ValueError(f"partition {partition} out of range for {topic!r}")
+            log = self._logs[(topic, partition)]
+            record = Record(topic, partition, len(log), time.monotonic(), key, value)
+            log.append(record)
+            self._cond.notify_all()
+            return record
+
+    # -- consume -----------------------------------------------------------------
+    def fetch(self, topic: str, partition: int, offset: int, max_records: int = 512) -> List[Record]:
+        """Records from ``offset`` onward (possibly empty, never blocking)."""
+        with self._cond:
+            log = self._logs.get((topic, partition))
+            if log is None:
+                raise KeyError(f"unknown topic-partition {topic!r}/{partition}")
+            return log[offset : offset + max_records]
+
+    def wait_fetch(self, topic: str, partition: int, offset: int,
+                   max_records: int = 512, timeout: float = 1.0) -> List[Record]:
+        """Like :meth:`fetch` but blocks up to ``timeout`` for new records."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                log = self._logs.get((topic, partition))
+                if log is None:
+                    raise KeyError(f"unknown topic-partition {topic!r}/{partition}")
+                if len(log) > offset:
+                    return log[offset : offset + max_records]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(timeout=min(remaining, 0.2))
+
+    def end_offset(self, topic: str, partition: int = 0) -> int:
+        with self._cond:
+            log = self._logs.get((topic, partition))
+            return len(log) if log is not None else 0

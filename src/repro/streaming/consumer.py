@@ -1,0 +1,63 @@
+"""Consumer: offset-tracking subscription over broker topics."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.streaming.broker import KafkaBroker, Record
+
+__all__ = ["Consumer"]
+
+
+class Consumer:
+    """Polls subscribed topic-partitions from committed offsets."""
+
+    def __init__(self, broker: KafkaBroker, group_id: str = "default") -> None:
+        self.broker = broker
+        self.group_id = group_id
+        self._positions: Dict[Tuple[str, int], int] = {}
+
+    def subscribe(self, topics: Sequence[str], from_beginning: bool = True) -> None:
+        for topic in topics:
+            try:
+                n = self.broker.partitions_for(topic)
+            except KeyError:
+                self.broker.create_topic(topic)
+                n = 1
+            for p in range(n):
+                start = 0 if from_beginning else self.broker.end_offset(topic, p)
+                self._positions.setdefault((topic, p), start)
+
+    def poll(self, timeout: float = 0.5, max_records: int = 512) -> List[Record]:
+        """Next batch of records across all assignments (blocks up to timeout)."""
+        if not self._positions:
+            raise RuntimeError("poll() before subscribe()")
+        deadline = time.monotonic() + timeout
+        out: List[Record] = []
+        while True:
+            for (topic, partition), offset in list(self._positions.items()):
+                records = self.broker.fetch(topic, partition, offset, max_records - len(out))
+                if records:
+                    out.extend(records)
+                    self._positions[(topic, partition)] = records[-1].offset + 1
+                if len(out) >= max_records:
+                    return out
+            if out or time.monotonic() >= deadline:
+                return out
+            # brief blocking wait on the first assignment
+            (topic, partition), offset = next(iter(self._positions.items()))
+            self.broker.wait_fetch(topic, partition, offset, 1, timeout=min(0.1, max(deadline - time.monotonic(), 0.01)))
+
+    def position(self, topic: str, partition: int = 0) -> int:
+        return self._positions.get((topic, partition), 0)
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        self._positions[(topic, partition)] = max(0, int(offset))
+
+    def lag(self) -> int:
+        """Total records available but not yet consumed."""
+        return sum(
+            max(0, self.broker.end_offset(t, p) - off)
+            for (t, p), off in self._positions.items()
+        )

@@ -1,0 +1,83 @@
+"""Streaming dataloader: minibatches from a live topic subscription.
+
+The paper's clients "run a custom PyTorch dataloader that subscribes to a
+topic to collect the corresponding data"; this is that loader over the NumPy
+substrate.  Samples are ``(x, y)`` pairs; the iterator yields stacked
+batches as soon as ``batch_size`` samples have arrived, and tracks the
+observed stream-rate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.streaming.broker import KafkaBroker
+from repro.streaming.consumer import Consumer
+
+__all__ = ["StreamingDataLoader"]
+
+
+class StreamingDataLoader:
+    def __init__(
+        self,
+        broker: KafkaBroker,
+        topic: str,
+        batch_size: int = 32,
+        poll_timeout: float = 0.5,
+        max_wait: float = 10.0,
+        group_id: str = "stream-loader",
+    ) -> None:
+        self.topic = topic
+        self.batch_size = batch_size
+        self.poll_timeout = poll_timeout
+        self.max_wait = max_wait
+        self.consumer = Consumer(broker, group_id)
+        self.consumer.subscribe([topic])
+        self.samples_seen = 0
+        self._start: Optional[float] = None
+        self._buffer: List[Tuple[np.ndarray, int]] = []
+
+    # -- rate measurement -----------------------------------------------------
+    @property
+    def observed_rate(self) -> float:
+        """Samples per second since the first poll."""
+        if self._start is None or self.samples_seen == 0:
+            return 0.0
+        elapsed = time.monotonic() - self._start
+        return self.samples_seen / max(elapsed, 1e-9)
+
+    # -- consumption -------------------------------------------------------------
+    def take(self, n_samples: int, timeout: Optional[float] = None) -> List[Tuple[np.ndarray, int]]:
+        """Block until ``n_samples`` arrive (or timeout); returns raw samples."""
+        deadline = time.monotonic() + (timeout if timeout is not None else self.max_wait)
+        if self._start is None:
+            self._start = time.monotonic()
+        while len(self._buffer) < n_samples and time.monotonic() < deadline:
+            records = self.consumer.poll(timeout=self.poll_timeout, max_records=n_samples)
+            for rec in records:
+                self._buffer.append(rec.value)
+                self.samples_seen += 1
+        taken, self._buffer = self._buffer[:n_samples], self._buffer[n_samples:]
+        return taken
+
+    def batches(self, n_batches: int, timeout: Optional[float] = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield up to ``n_batches`` stacked (x, y) minibatches."""
+        for _ in range(n_batches):
+            samples = self.take(self.batch_size, timeout)
+            if not samples:
+                return
+            x = np.stack([s[0] for s in samples]).astype(np.float32, copy=False)
+            y = np.asarray([s[1] for s in samples], dtype=np.int64)
+            yield x, y
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            samples = self.take(self.batch_size)
+            if not samples:
+                return
+            x = np.stack([s[0] for s in samples]).astype(np.float32, copy=False)
+            y = np.asarray([s[1] for s in samples], dtype=np.int64)
+            yield x, y

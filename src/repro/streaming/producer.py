@@ -1,0 +1,122 @@
+"""Rate-limited producer: publishes samples at a user-set stream-rate."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.streaming.broker import KafkaBroker
+
+__all__ = ["RateLimiter", "Producer"]
+
+
+class RateLimiter:
+    """Token bucket: ``acquire()`` blocks so sustained throughput ≈ ``rate``.
+
+    ``burst`` tokens accumulate while idle, so short catch-up bursts are
+    allowed (Kafka producers batch the same way).
+    """
+
+    def __init__(self, rate: float, burst: int = 8) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.capacity = float(max(1, burst))
+        self._tokens = 1.0  # start nearly empty so short windows hit the target
+        self._last = time.monotonic()
+        self._lock = threading.Lock()
+
+    def acquire(self, n: int = 1) -> float:
+        """Block until ``n`` tokens are available; returns seconds slept."""
+        slept = 0.0
+        while True:
+            with self._lock:
+                now = time.monotonic()
+                self._tokens = min(self.capacity, self._tokens + (now - self._last) * self.rate)
+                self._last = now
+                if self._tokens >= n:
+                    self._tokens -= n
+                    return slept
+                needed = (n - self._tokens) / self.rate
+            wait = min(needed, 0.05)
+            time.sleep(wait)
+            slept += wait
+
+
+class Producer:
+    """Publishes values to broker topics, optionally rate-limited.
+
+    One producer can serve many topics (the paper's single-publisher,
+    16-concurrent-clients experiment): shared tokens mean the *aggregate*
+    output saturates at ``rate * len(topics)`` per-topic fairness permitting.
+    """
+
+    def __init__(
+        self,
+        broker: KafkaBroker,
+        rate: Optional[float] = None,
+        per_topic_rate: bool = True,
+    ) -> None:
+        self.broker = broker
+        self.rate = rate
+        self.per_topic_rate = per_topic_rate
+        self._limiters: dict = {}
+        self._shared_limiter = RateLimiter(rate) if (rate and not per_topic_rate) else None
+        self.sent = 0
+
+    def _limiter_for(self, topic: str) -> Optional[RateLimiter]:
+        if self.rate is None:
+            return None
+        if not self.per_topic_rate:
+            return self._shared_limiter
+        limiter = self._limiters.get(topic)
+        if limiter is None:
+            limiter = RateLimiter(self.rate)
+            self._limiters[topic] = limiter
+        return limiter
+
+    def send(self, topic: str, value: Any, key: Optional[bytes] = None) -> None:
+        limiter = self._limiter_for(topic)
+        if limiter is not None:
+            limiter.acquire()
+        self.broker.append(topic, value, key)
+        self.sent += 1
+
+    def stream(
+        self,
+        topics: Sequence[str],
+        samples: Iterable[Any],
+        duration: Optional[float] = None,
+        stop_event: Optional[threading.Event] = None,
+    ) -> int:
+        """Round-robin ``samples`` across ``topics`` until exhausted/expired.
+
+        Returns the number of samples published.
+        """
+        start = time.monotonic()
+        count = 0
+        for i, sample in enumerate(samples):
+            if duration is not None and time.monotonic() - start >= duration:
+                break
+            if stop_event is not None and stop_event.is_set():
+                break
+            self.send(topics[i % len(topics)], sample)
+            count += 1
+        return count
+
+    def stream_in_background(
+        self,
+        topics: Sequence[str],
+        samples: Iterable[Any],
+        duration: Optional[float] = None,
+    ) -> Tuple[threading.Thread, threading.Event]:
+        """Run :meth:`stream` on a daemon thread; returns (thread, stop_event)."""
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=self.stream, args=(topics, samples, duration, stop), daemon=True, name="producer"
+        )
+        thread.start()
+        return thread, stop

@@ -1,0 +1,86 @@
+"""Stream-rate measurement harness (regenerates the paper's Fig. 6).
+
+``measure_stream_rates`` starts one producer process (thread) publishing a
+dataset's samples to per-client topics at a target per-client rate, attaches
+one consumer per client, and reports each client's observed samples/second
+over a measurement window — Fig. 6a sweeps the target rate with one client;
+Fig. 6b fixes target 32 and sweeps client count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.streaming.broker import KafkaBroker
+from repro.streaming.consumer import Consumer
+from repro.streaming.producer import Producer
+
+__all__ = ["stream_dataset", "measure_stream_rates"]
+
+
+def stream_dataset(dataset: Dataset, repeat: bool = True) -> Iterable[Tuple[np.ndarray, int]]:
+    """Iterate dataset samples, cycling forever when ``repeat``."""
+    indices: Iterable[int] = range(len(dataset))
+    if repeat:
+        indices = itertools.cycle(range(len(dataset)))
+    for i in indices:
+        yield dataset[i]
+
+
+def measure_stream_rates(
+    dataset: Dataset,
+    target_rate: float,
+    n_clients: int = 1,
+    duration: float = 1.0,
+    broker: Optional[KafkaBroker] = None,
+    producer_capacity: Optional[float] = None,
+) -> Dict[str, object]:
+    """Run one streaming experiment; returns observed per-client rates.
+
+    ``producer_capacity`` caps the single publisher's aggregate throughput
+    (samples/s); ``None`` means unbounded tokens per topic (the target rate
+    itself is the only limit).  The paper's single-producer saturation shows
+    up when target_rate * n_clients exceeds capacity.
+    """
+    broker = broker if broker is not None else KafkaBroker()
+    topics = [f"stream/client{i}" for i in range(n_clients)]
+    for t in topics:
+        broker.create_topic(t)
+
+    consumers = [Consumer(broker, group_id=f"client{i}") for i in range(n_clients)]
+    for c, t in zip(consumers, topics):
+        c.subscribe([t])
+
+    if producer_capacity is not None:
+        producer = Producer(broker, rate=producer_capacity, per_topic_rate=False)
+    else:
+        producer = Producer(broker, rate=target_rate, per_topic_rate=True)
+    thread, stop = producer.stream_in_background(topics, stream_dataset(dataset), duration)
+
+    counts = [0] * n_clients
+    start = time.monotonic()
+    while time.monotonic() - start < duration:
+        for i, c in enumerate(consumers):
+            counts[i] += len(c.poll(timeout=0.02, max_records=4096))
+    stop.set()
+    thread.join(timeout=2.0)
+    elapsed = time.monotonic() - start
+    # drain anything that landed before the window closed
+    for i, c in enumerate(consumers):
+        counts[i] += len(c.poll(timeout=0.02, max_records=4096))
+
+    rates = [count / elapsed for count in counts]
+    return {
+        "target_rate": target_rate,
+        "n_clients": n_clients,
+        "duration": elapsed,
+        "rates": rates,
+        "median_rate": float(np.median(rates)),
+        "total_published": producer.sent,
+    }

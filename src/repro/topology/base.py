@@ -1,0 +1,135 @@
+"""Topology abstractions: node specs, roles, communicator groups."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import networkx as nx
+
+from repro.utils.registry import Registry
+
+__all__ = ["NodeRole", "GroupSpec", "NodeSpec", "Topology", "TOPOLOGIES", "build_topology"]
+
+TOPOLOGIES: Registry["Topology"] = Registry("topology")
+
+
+class NodeRole(str, enum.Enum):
+    """What a participant does (paper §3.3: trainer, aggregator, or relay)."""
+
+    TRAINER = "trainer"
+    AGGREGATOR = "aggregator"
+    #: aggregates below and reports above (hierarchical site heads)
+    RELAY = "relay"
+
+    def trains(self) -> bool:
+        return self is NodeRole.TRAINER
+
+    def aggregates(self) -> bool:
+        return self in (NodeRole.AGGREGATOR, NodeRole.RELAY)
+
+
+@dataclass
+class GroupSpec:
+    """Membership of one node in one communicator group.
+
+    ``comm_config`` is the (already-merged) communicator configuration; the
+    engine instantiates one communicator per (node, group) from it, passing
+    this node's ``rank`` and the group's ``world_size``.
+    """
+
+    name: str  # "inner" or "outer"
+    rank: int
+    world_size: int
+    comm_config: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class NodeSpec:
+    """Blueprint for one participant."""
+
+    name: str
+    index: int  # global index within the topology
+    role: NodeRole
+    groups: Dict[str, GroupSpec] = field(default_factory=dict)
+    #: does this node hold a training shard? (which one)
+    shard: Optional[int] = None
+    #: gossip mixing weights for decentralized topologies: peer index -> weight
+    mixing: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def inner(self) -> Optional[GroupSpec]:
+        return self.groups.get("inner")
+
+    @property
+    def outer(self) -> Optional[GroupSpec]:
+        return self.groups.get("outer")
+
+
+class Topology:
+    """Defines the node graph and coordination pattern.
+
+    Subclasses implement :meth:`specs` (the participants) and
+    :meth:`graph` (who communicates with whom, as a networkx graph whose
+    nodes are the spec indices).  The engine consumes both.
+    """
+
+    #: coordination pattern the engine should run: "server" (broadcast/
+    #: gather rounds), "gossip" (neighbor mixing), or "hierarchical"
+    pattern: str = "server"
+
+    #: config keys :func:`repro.config.instantiate` must NOT recurse into —
+    #: communicator configs are instantiated per node by the engine, after
+    #: rank and world size are known
+    DEFER_KEYS = ("inner_comm", "outer_comm")
+
+    def specs(self) -> List[NodeSpec]:
+        raise NotImplementedError
+
+    def graph(self) -> "nx.Graph":
+        raise NotImplementedError
+
+    @property
+    def world_size(self) -> int:
+        return len(self.specs())
+
+    def trainer_count(self) -> int:
+        return sum(1 for s in self.specs() if s.role.trains())
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        g = self.graph()
+        return (
+            f"{type(self).__name__}(nodes={self.world_size}, trainers={self.trainer_count()}, "
+            f"edges={g.number_of_edges()}, pattern={self.pattern})"
+        )
+
+    def validate(self) -> None:
+        """Sanity-check the spec list (ranks contiguous per group, etc.)."""
+        specs = self.specs()
+        if not specs:
+            raise ValueError("topology has no nodes")
+        by_group: Dict[str, List[GroupSpec]] = {}
+        for s in specs:
+            for gname, gs in s.groups.items():
+                by_group.setdefault(f"{gname}:{gs.world_size}:{id(gs.comm_config)}", [])
+        # per-group rank uniqueness within same world size and name
+        seen: Dict[tuple, set] = {}
+        for s in specs:
+            for gname, gs in s.groups.items():
+                key = (gname, _group_identity(gs))
+                ranks = seen.setdefault(key, set())
+                if gs.rank in ranks:
+                    raise ValueError(f"duplicate rank {gs.rank} in group {gname} of {type(self).__name__}")
+                ranks.add(gs.rank)
+
+
+def _group_identity(gs: GroupSpec) -> str:
+    cfg = gs.comm_config or {}
+    return f"{cfg.get('master_port', cfg.get('broker_url', ''))}|{cfg.get('group', '')}|{gs.world_size}"
+
+
+def build_topology(name: str, **kwargs) -> Topology:
+    """Build a registered topology template by name."""
+    return TOPOLOGIES.build(name, **kwargs)

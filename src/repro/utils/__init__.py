@@ -1,0 +1,19 @@
+"""Shared utilities: seeded RNG management, registries, timers, logging.
+
+These are deliberately dependency-free so every other subpackage can import
+them without cycles.
+"""
+
+from repro.utils.registry import Registry
+from repro.utils.rng import RngManager, fork_rng, seed_everything
+from repro.utils.timer import SimClock, Timer, WallTimer
+
+__all__ = [
+    "Registry",
+    "RngManager",
+    "fork_rng",
+    "seed_everything",
+    "SimClock",
+    "Timer",
+    "WallTimer",
+]

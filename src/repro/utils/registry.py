@@ -1,0 +1,68 @@
+"""A tiny string -> factory registry used across the framework.
+
+Models, datasets, algorithms, compressors, communicators and topologies all
+register themselves under a short name so that YAML configs can refer to them
+either via ``_target_`` dotted paths or via registry names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Case-insensitive name -> factory mapping with decorator registration.
+
+    >>> MODELS = Registry("model")
+    >>> @MODELS.register("mlp")
+    ... def build_mlp(**kw):
+    ...     return ("mlp", kw)
+    >>> MODELS.get("MLP")("mlp", {})  # doctest: +SKIP
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable[..., T]] = {}
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.strip().lower().replace("-", "_")
+
+    def register(self, name: str, *aliases: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Decorator registering ``fn`` under ``name`` (and optional aliases)."""
+
+        def deco(fn: Callable[..., T]) -> Callable[..., T]:
+            for n in (name, *aliases):
+                key = self._norm(n)
+                if key in self._factories:
+                    raise KeyError(f"duplicate {self.kind} registration: {n!r}")
+                self._factories[key] = fn
+            return fn
+
+        return deco
+
+    def get(self, name: str) -> Callable[..., T]:
+        key = self._norm(name)
+        if key not in self._factories:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._factories)}"
+            )
+        return self._factories[key]
+
+    def build(self, name: str, /, **kwargs) -> T:
+        """Look up ``name`` and call the factory with ``kwargs``."""
+        return self.get(name)(**kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return self._norm(name) in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def maybe_get(self, name: str) -> Optional[Callable[..., T]]:
+        return self._factories.get(self._norm(name))

@@ -1,0 +1,284 @@
+"""Unit-level tests of the algorithms' aggregation math and lifecycle hooks,
+without any communicator in the loop."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, build_algorithm
+from repro.algorithms.base import Algorithm
+from repro.data import ArrayDataset
+from repro.models import build_model
+from repro.node.node import Node
+from repro.topology.base import GroupSpec, NodeRole, NodeSpec
+
+ALL = ["fedavg", "fedprox", "fedmom", "fednova", "scaffold", "moon",
+       "fedper", "feddyn", "fedbn", "ditto", "diloco"]
+
+
+def make_node(algo: Algorithm, n_samples=24, seed=0, role=NodeRole.TRAINER):
+    rng = np.random.default_rng(seed)
+    model = build_model("mlp", in_features=6, num_classes=3, hidden=(8,), batch_norm=True, seed=1)
+    x = rng.standard_normal((n_samples, 6)).astype(np.float32)
+    y = np.asarray(rng.integers(0, 3, n_samples))
+    x[np.arange(n_samples), y] += 2.0
+    spec = NodeSpec(name="n", index=0, role=role,
+                    groups={"inner": GroupSpec("inner", 0, 1, {})}, shard=0)
+    node = Node(spec, model, algo, ArrayDataset(x, y), ArrayDataset(x, y), batch_size=8, seed=seed)
+    if role.trains():
+        algo.setup_client(node)
+    else:
+        algo.setup_server(node)
+        node.global_state = model.state_dict()
+    return node
+
+
+def entry(state, n=10, **meta):
+    return {"rank": 0, "state": state, "meta": {"num_samples": n, **meta}}
+
+
+def test_registry_has_all_eleven():
+    for name in ALL:
+        assert name in ALGORITHMS
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_local_train_reduces_loss(name):
+    algo = build_algorithm(name, lr=0.1, local_epochs=1)
+    node = make_node(algo)
+    payload = algo.server_payload(node.model.state_dict())
+    algo.on_round_start(node, payload, 0)
+    first = algo.local_train(node, 0)
+    algo.on_round_start(node, algo.server_payload(node.model.state_dict()), 1)
+    second = algo.local_train(node, 1)
+    assert second["loss"] < first["loss"] * 1.5  # progress or at least stability
+
+
+def test_fedavg_weighted_average():
+    algo = build_algorithm("fedavg")
+    g = OrderedDict(w=np.zeros(2, np.float32))
+    e1 = entry(OrderedDict(w=np.asarray([0.0, 0.0], np.float32)), n=30)
+    e2 = entry(OrderedDict(w=np.asarray([4.0, 4.0], np.float32)), n=10)
+    out = algo.aggregate([e1, e2], g, 0)
+    assert np.allclose(out["w"], 1.0)
+
+
+def test_fedavg_ignores_zero_weight_placeholder():
+    algo = build_algorithm("fedavg")
+    g = OrderedDict(w=np.asarray([7.0], np.float32))
+    server_entry = {"rank": 0, "state": OrderedDict(), "meta": {"num_samples": 0}}
+    client = entry(OrderedDict(w=np.asarray([1.0], np.float32)), n=5)
+    out = algo.aggregate([server_entry, client], g, 0)
+    assert np.allclose(out["w"], 1.0)
+
+
+def test_fedavg_no_clients_keeps_global():
+    algo = build_algorithm("fedavg")
+    g = OrderedDict(w=np.asarray([7.0], np.float32))
+    out = algo.aggregate([{"rank": 0, "state": OrderedDict(), "meta": {"num_samples": 0}}], g, 0)
+    assert np.allclose(out["w"], 7.0)
+
+
+def test_fedprox_gradient_pull(rng):
+    algo = build_algorithm("fedprox", mu=10.0, lr=0.0, local_epochs=1)
+    node = make_node(algo)
+    start = node.model.state_dict()
+    algo.on_round_start(node, start, 0)
+    # move a parameter away from the anchor and verify the prox gradient
+    p = node.model.parameters()[0]
+    p.data += 1.0
+    p.grad = np.zeros_like(p.data)
+    algo.grad_postprocess(node)
+    assert np.allclose(p.grad, 10.0, atol=1e-5)
+
+
+def test_fedprox_zero_mu_is_noop():
+    algo = build_algorithm("fedprox", mu=0.0)
+    node = make_node(algo)
+    algo.on_round_start(node, node.model.state_dict(), 0)
+    p = node.model.parameters()[0]
+    p.grad = np.ones_like(p.data)
+    algo.grad_postprocess(node)
+    assert np.allclose(p.grad, 1.0)
+
+
+def test_fedmom_momentum_accumulates():
+    algo = build_algorithm("fedmom", server_momentum=0.5, server_lr=1.0)
+    g = OrderedDict(w=np.asarray([1.0], np.float32))
+    client = lambda: entry(OrderedDict(w=np.asarray([0.0], np.float32)), n=1)
+    out1 = algo.aggregate([client()], g, 0)
+    # d = 1, m = 1 -> w = 0
+    assert np.allclose(out1["w"], 0.0)
+    out2 = algo.aggregate([client()], out1, 1)
+    # d = 0, m = 0.5 -> w = -0.5 (momentum overshoots)
+    assert np.allclose(out2["w"], -0.5)
+
+
+def test_fednova_equal_steps_matches_fedavg_direction():
+    algo = build_algorithm("fednova")
+    g = OrderedDict(w=np.asarray([1.0], np.float32))
+    # both clients moved to 0 in tau=5 steps: d = (1-0)/5 = 0.2
+    e1 = entry(OrderedDict(w=np.asarray([0.2], np.float32)), n=10, tau=5)
+    e2 = entry(OrderedDict(w=np.asarray([0.2], np.float32)), n=10, tau=5)
+    out = algo.aggregate([e1, e2], g, 0)
+    # tau_eff = 5 -> w = 1 - 5*0.2 = 0
+    assert np.allclose(out["w"], 0.0, atol=1e-6)
+
+
+def test_fednova_upload_is_normalized():
+    algo = build_algorithm("fednova", lr=0.05, local_epochs=1)
+    node = make_node(algo)
+    algo.on_round_start(node, node.model.state_dict(), 0)
+    algo.local_train(node, 0)
+    update, meta = algo.compute_update(node, 0)
+    assert meta["tau"] == 3  # 24 samples / batch 8
+    assert not algo.uploads_full_state
+
+
+def test_scaffold_control_variates_update():
+    algo = build_algorithm("scaffold", lr=0.1, momentum=0.0, local_epochs=1)
+    node = make_node(algo)
+    server = build_algorithm("scaffold", lr=0.1, momentum=0.0)
+    snode = make_node(server, role=NodeRole.AGGREGATOR)
+    payload = server.server_payload(snode.global_state)
+    assert any(k.startswith("__scaffold_c__.") for k in payload)
+    algo.on_round_start(node, payload, 0)
+    algo.local_train(node, 0)
+    update, _ = algo.compute_update(node, 0)
+    assert any(k.startswith("__scaffold_dc__.") for k in update)
+    # client variate must have moved off zero
+    assert any(np.abs(v).sum() > 0 for v in algo._c_local.values())
+
+
+def test_scaffold_aggregate_applies_mean_delta():
+    server = build_algorithm("scaffold")
+    snode = make_node(server, role=NodeRole.AGGREGATOR)
+    g = snode.global_state
+    delta = OrderedDict((k, np.ones_like(v) * 0.5) for k, v in g.items()
+                        if np.issubdtype(v.dtype, np.floating))
+    e = {"rank": 1, "state": delta, "meta": {"num_samples": 10}}
+    out = server.aggregate([e], g, 0)
+    for k, v in g.items():
+        if np.issubdtype(v.dtype, np.floating):
+            assert np.allclose(out[k], v + 0.5)
+
+
+def test_moon_contrastive_needs_snapshots():
+    algo = build_algorithm("moon", mu=1.0, lr=0.05)
+    node = make_node(algo)
+    algo.on_round_start(node, node.model.state_dict(), 0)
+    stats = algo.local_train(node, 0)
+    assert stats["loss"] > 0  # CE + contrastive both computed
+
+
+def test_moon_zero_mu_equals_plain_ce():
+    from repro.nn import functional as F
+    from repro.nn.tensor import Tensor
+
+    algo = build_algorithm("moon", mu=0.0)
+    node = make_node(algo)
+    algo.on_round_start(node, node.model.state_dict(), 0)
+    x = node.train_dataset.x[:4]
+    y = node.train_dataset.y[:4]
+    logits = node.model(Tensor(x))
+    assert algo.loss_fn(node, logits, y, x).item() == pytest.approx(
+        F.cross_entropy(logits, y).item(), rel=1e-6
+    )
+
+
+def test_fedper_head_stays_local():
+    algo = build_algorithm("fedper")
+    node = make_node(algo)
+    algo.setup_client(node)
+    head_key = node.model.head_parameter_names()[0]
+    payload = node.model.state_dict()
+    payload[head_key] = payload[head_key] + 100.0
+    algo.on_round_start(node, payload, 0)
+    # head must NOT have been overwritten by the global payload
+    assert np.abs(node.model.state_dict()[head_key]).max() < 50.0
+
+
+def test_fedper_aggregate_keeps_global_head():
+    algo = build_algorithm("fedper")
+    node = make_node(algo, role=NodeRole.AGGREGATOR)
+    algo.setup_server(node)
+    g = node.global_state
+    head_key = node.model.head_parameter_names()[0]
+    client_state = OrderedDict((k, v + 1.0) for k, v in g.items())
+    out = algo.aggregate([entry(client_state)], g, 0)
+    assert np.allclose(out[head_key], g[head_key])  # head untouched
+    body_key = next(k for k in g if k not in node.model.head_parameter_names()
+                    and np.issubdtype(g[k].dtype, np.floating))
+    assert np.allclose(out[body_key], g[body_key] + 1.0)
+
+
+def test_fedbn_excludes_bn_state():
+    algo = build_algorithm("fedbn")
+    node = make_node(algo, role=NodeRole.AGGREGATOR)
+    algo.setup_server(node)
+    g = node.global_state
+    bn_keys = set(node.model.bn_parameter_names())
+    assert bn_keys
+    client_state = OrderedDict(
+        (k, v + 1.0 if np.issubdtype(v.dtype, np.floating) else v) for k, v in g.items()
+    )
+    out = algo.aggregate([entry(client_state)], g, 0)
+    for k in bn_keys:
+        if np.issubdtype(g[k].dtype, np.floating):
+            assert np.allclose(out[k], g[k]), k
+    assert algo.personalized_eval
+
+
+def test_feddyn_h_state_tracks_drift():
+    algo = build_algorithm("feddyn", alpha=0.5, lr=0.1)
+    node = make_node(algo)
+    algo.setup_client(node)
+    algo.on_round_start(node, node.model.state_dict(), 0)
+    algo.local_train(node, 0)
+    algo.compute_update(node, 0)
+    assert any(np.abs(v).sum() > 0 for v in algo._h_local.values())
+
+
+def test_ditto_personal_model_diverges_from_global():
+    algo = build_algorithm("ditto", lam=0.1, lr=0.1, local_epochs=1, personal_epochs=2)
+    node = make_node(algo)
+    algo.setup_client(node)
+    algo.on_round_start(node, node.model.state_dict(), 0)
+    algo.local_train(node, 0)
+    personal = algo.personal_model_state()
+    global_branch = node.model.state_dict()
+    diffs = [np.abs(personal[k] - global_branch[k]).max() for k in personal]
+    assert max(diffs) > 0
+
+
+def test_diloco_uses_adamw_inner():
+    from repro.nn.optim import AdamW
+
+    algo = build_algorithm("diloco")
+    node = make_node(algo)
+    opt = algo.configure_optimizer(node.model)
+    assert isinstance(opt, AdamW)
+
+
+def test_diloco_outer_nesterov_step():
+    algo = build_algorithm("diloco", outer_lr=1.0, outer_momentum=0.0)
+    g = OrderedDict(w=np.asarray([1.0], np.float32))
+    delta = entry(OrderedDict(w=np.asarray([0.25], np.float32)), n=4)
+    out = algo.aggregate([delta], g, 0)
+    assert np.allclose(out["w"], 0.75)
+
+
+def test_lr_milestone_decay_mapping():
+    algo = build_algorithm("fedavg", lr=1.0, local_epochs=2, lr_milestones=[4, 8], lr_gamma=0.1)
+    assert algo.lr_for_round(0) == pytest.approx(1.0)
+    assert algo.lr_for_round(2) == pytest.approx(0.1)  # 2 rounds * 2 epochs = 4
+    assert algo.lr_for_round(4) == pytest.approx(0.01)
+
+
+def test_payload_channel_pack_extract():
+    state = OrderedDict(a=np.ones(2, np.float32))
+    packed = Algorithm._pack_channel(state, "test")
+    assert list(packed) == ["__test__.a"]
+    assert Algorithm._extract_channel(packed, "test").keys() == state.keys()
+    assert Algorithm._strip_payload(packed) == OrderedDict()

@@ -1,0 +1,42 @@
+"""Regression: FedMom's server momentum must not corrupt BN statistics."""
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.algorithms import build_algorithm
+
+
+def entry(state, n=10):
+    return {"rank": 1, "state": state, "meta": {"num_samples": n}}
+
+
+def test_running_var_never_negative():
+    algo = build_algorithm("fedmom", server_momentum=0.9, server_lr=1.0)
+    g = OrderedDict(
+        w=np.asarray([1.0], np.float32),
+        **{"bn.running_var": np.asarray([1.0], np.float32)},
+        **{"bn.running_mean": np.asarray([0.0], np.float32)},
+    )
+    # clients repeatedly report a smaller variance; momentum on the stat
+    # would overshoot below zero after a few rounds
+    for _ in range(6):
+        client = OrderedDict(
+            w=np.asarray([0.5], np.float32),
+            **{"bn.running_var": np.asarray([0.5], np.float32)},
+            **{"bn.running_mean": np.asarray([0.1], np.float32)},
+        )
+        g = algo.aggregate([entry(client)], g, 0)
+        assert g["bn.running_var"][0] > 0, "running_var went non-positive"
+        assert g["bn.running_var"][0] == np.float32(0.5)  # plain average
+    # parameters, in contrast, follow the momentum trajectory (approaching
+    # the clients' 0.5 from the server's 1.0, not snapped to the average)
+    assert 0.5 < g["w"][0] < 1.0
+
+
+def test_counters_preserved():
+    algo = build_algorithm("fedmom")
+    g = OrderedDict(w=np.ones(1, np.float32), counter=np.asarray(3, np.int64))
+    client = OrderedDict(w=np.zeros(1, np.float32), counter=np.asarray(9, np.int64))
+    out = algo.aggregate([entry(client)], g, 0)
+    assert out["counter"].dtype == np.int64

@@ -1,0 +1,73 @@
+import pytest
+
+from repro.comm import (
+    AmqpCommunicator,
+    GrpcCommunicator,
+    MqttCommunicator,
+    TorchDistCommunicator,
+)
+from repro.comm.factory import BACKENDS, build_communicator
+
+
+def test_backend_aliases_map_to_collectives():
+    for alias in ("mpi", "nccl", "gloo", "torchdist"):
+        assert BACKENDS[alias] is TorchDistCommunicator
+
+
+def test_build_torchdist(fresh_port):
+    c = build_communicator({"backend": "torchdist", "master_port": fresh_port}, 0, 2)
+    assert isinstance(c, TorchDistCommunicator)
+    assert c.rank == 0 and c.world_size == 2
+
+
+def test_build_grpc_with_network_preset(fresh_port):
+    c = build_communicator(
+        {"backend": "grpc", "master_port": fresh_port, "network_preset": "wan"}, 0, 3
+    )
+    assert isinstance(c, GrpcCommunicator)
+    assert c.network.name == "wan"
+
+
+def test_build_pubsub_defaults_broker(fresh_port):
+    c = build_communicator({"backend": "mqtt"}, 1, 3)
+    assert isinstance(c, MqttCommunicator)
+    c2 = build_communicator({"backend": "amqp", "broker_url": "amqp://x"}, 1, 3)
+    assert isinstance(c2, AmqpCommunicator)
+
+
+def test_irrelevant_keys_dropped_per_backend(fresh_port):
+    # a topology-level config may carry keys for other backends; the factory
+    # must not pass them through
+    cfg = {
+        "backend": "torchdist",
+        "master_port": fresh_port,
+        "broker_url": "mqtt://ignored",
+        "transport": "tcp",
+        "group": "ignored",
+    }
+    c = build_communicator(cfg, 0, 2)
+    assert isinstance(c, TorchDistCommunicator)
+
+
+def test_target_style_config(fresh_port):
+    cfg = {
+        "_target_": "repro.comm.rpc.GrpcCommunicator",
+        "master_port": fresh_port,
+        "transport": "inproc",
+    }
+    c = build_communicator(cfg, 2, 4)
+    assert isinstance(c, GrpcCommunicator)
+    assert c.rank == 2
+
+
+def test_unknown_backend():
+    with pytest.raises(ValueError, match="unknown communicator backend"):
+        build_communicator({"backend": "smoke_signals"}, 0, 1)
+
+
+def test_shared_sim_clock_plumbed(fresh_port):
+    from repro.utils.timer import SimClock
+
+    clock = SimClock()
+    c = build_communicator({"backend": "grpc", "master_port": fresh_port}, 0, 2, sim_clock=clock)
+    assert c.sim_clock is clock

@@ -1,0 +1,137 @@
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.network import LINK_PRESETS, NetworkModel
+from repro.comm.transport import (
+    InProcChannel,
+    InProcServerTransport,
+    TcpChannel,
+    TcpServerTransport,
+    make_channel,
+    make_server_transport,
+)
+
+
+# ------------------------------------------------------------ network model
+def test_transfer_time_formula():
+    net = NetworkModel(latency_s=0.01, bandwidth_bps=1000)
+    assert net.transfer_time(500) == pytest.approx(0.01 + 0.5)
+    assert net.transfer_time(0) == pytest.approx(0.01)
+
+
+def test_transfer_time_negative_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel().transfer_time(-1)
+
+
+def test_presets_ordering():
+    # faster links must be strictly cheaper for a 1MB model update
+    nbytes = 1_000_000
+    hpc = LINK_PRESETS["hpc_interconnect"].transfer_time(nbytes)
+    dc = LINK_PRESETS["datacenter"].transfer_time(nbytes)
+    wan = LINK_PRESETS["wan"].transfer_time(nbytes)
+    edge = LINK_PRESETS["edge_wireless"].transfer_time(nbytes)
+    assert hpc < dc < wan < edge
+
+
+def test_preset_lookup():
+    assert NetworkModel.from_preset("wan").name == "wan"
+    with pytest.raises(KeyError):
+        NetworkModel.from_preset("warp_drive")
+
+
+def test_jitter_applied_with_rng():
+    net = NetworkModel(latency_s=0.0, bandwidth_bps=1e6, jitter=0.5)
+    rng = np.random.default_rng(0)
+    times = {net.transfer_time(1000, rng) for _ in range(10)}
+    assert len(times) > 1  # jitter varies
+    assert all(t > 0 for t in times)
+
+
+# ------------------------------------------------------------ transports
+def echo_handler(frame: bytes) -> bytes:
+    return b"echo:" + frame
+
+
+def test_inproc_roundtrip():
+    server = InProcServerTransport("test://a")
+    server.start(echo_handler)
+    try:
+        assert InProcChannel("test://a").call(b"hi") == b"echo:hi"
+    finally:
+        server.stop()
+
+
+def test_inproc_double_bind_rejected():
+    s1 = InProcServerTransport("test://dup")
+    s1.start(echo_handler)
+    try:
+        s2 = InProcServerTransport("test://dup")
+        with pytest.raises(OSError):
+            s2.start(echo_handler)
+    finally:
+        s1.stop()
+
+
+def test_inproc_unknown_address():
+    with pytest.raises(ConnectionError):
+        InProcChannel("test://missing").call(b"x")
+
+
+def test_tcp_roundtrip_large_frame():
+    server = TcpServerTransport("127.0.0.1", 0)
+    server.start(echo_handler)
+    try:
+        chan = TcpChannel("127.0.0.1", server.port)
+        payload = bytes(np.random.default_rng(0).integers(0, 256, 300_000, dtype=np.uint8))
+        assert chan.call(payload) == b"echo:" + payload
+        chan.close()
+    finally:
+        server.stop()
+
+
+def test_tcp_concurrent_clients():
+    server = TcpServerTransport("127.0.0.1", 0)
+    server.start(echo_handler)
+    results = []
+    try:
+        def client(i):
+            chan = TcpChannel("127.0.0.1", server.port)
+            results.append(chan.call(f"c{i}".encode()))
+            chan.close()
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(results) == sorted(f"echo:c{i}".encode() for i in range(8))
+    finally:
+        server.stop()
+
+
+def test_tcp_handler_exception_returns_error_frame():
+    from repro.comm.wire import decode_message
+
+    def bad_handler(frame: bytes) -> bytes:
+        raise RuntimeError("boom")
+
+    server = TcpServerTransport("127.0.0.1", 0)
+    server.start(bad_handler)
+    try:
+        chan = TcpChannel("127.0.0.1", server.port)
+        kind, meta, _ = decode_message(chan.call(b"x"))
+        assert kind == "error"
+        chan.close()
+    finally:
+        server.stop()
+
+
+def test_factories():
+    assert isinstance(make_server_transport("inproc", "a://b"), InProcServerTransport)
+    assert isinstance(make_server_transport("tcp", "127.0.0.1:0"), TcpServerTransport)
+    assert isinstance(make_channel("inproc", "a://b"), InProcChannel)
+    with pytest.raises(ValueError):
+        make_server_transport("carrier_pigeon", "x")

@@ -1,0 +1,103 @@
+import threading
+
+import pytest
+
+from repro.comm.pubsub import Broker, get_broker, reset_brokers
+
+
+def test_topic_fanout():
+    broker = Broker()
+    s1 = broker.subscribe("news")
+    s2 = broker.subscribe("news")
+    assert broker.publish("news", b"hello") == 2
+    assert broker.poll(s1, 1.0) == b"hello"
+    assert broker.poll(s2, 1.0) == b"hello"
+
+
+def test_qos0_late_subscriber_misses():
+    broker = Broker()
+    broker.publish("t", b"early")
+    sub = broker.subscribe("t")
+    with pytest.raises(TimeoutError):
+        broker.poll(sub, timeout=0.05)
+
+
+def test_qos0_overflow_drops_oldest():
+    broker = Broker()
+    sub = broker.subscribe("t", maxlen=2)
+    for i in range(4):
+        broker.publish("t", bytes([i]))
+    assert sub.dropped == 2
+    assert broker.poll(sub, 0.1) == bytes([2])
+    assert broker.poll(sub, 0.1) == bytes([3])
+
+
+def test_wildcard_subscription():
+    broker = Broker()
+    sub = broker.subscribe("grp/p2p/3/#")
+    broker.publish("grp/p2p/3/7", b"tagged")
+    broker.publish("grp/p2p/4/7", b"other")  # different rank, not matched
+    assert broker.poll(sub, 0.5) == b"tagged"
+    with pytest.raises(TimeoutError):
+        broker.poll(sub, timeout=0.05)
+
+
+def test_unsubscribe():
+    broker = Broker()
+    sub = broker.subscribe("t")
+    broker.unsubscribe(sub)
+    assert broker.publish("t", b"x") == 0
+
+
+def test_queue_consume_and_ack():
+    broker = Broker()
+    broker.declare_queue("q")
+    broker.enqueue("q", b"m1")
+    broker.enqueue("q", b"m2")
+    d1, f1 = broker.consume("q", 1.0)
+    assert f1 == b"m1"
+    broker.ack("q", d1)
+    d2, f2 = broker.consume("q", 1.0)
+    assert f2 == b"m2"
+    assert broker.queue_depth("q") == 0
+
+
+def test_queue_nack_redelivers():
+    broker = Broker()
+    broker.declare_queue("q")
+    broker.enqueue("q", b"msg")
+    delivery, frame = broker.consume("q", 1.0)
+    broker.nack("q", delivery)
+    delivery2, frame2 = broker.consume("q", 1.0)
+    assert frame2 == b"msg"
+    assert delivery2 == delivery
+
+
+def test_queue_consume_timeout():
+    broker = Broker()
+    broker.declare_queue("empty")
+    with pytest.raises(TimeoutError):
+        broker.consume("empty", timeout=0.05)
+
+
+def test_queue_blocking_consume_wakes_on_enqueue():
+    broker = Broker()
+    broker.declare_queue("q")
+    result = []
+
+    def consumer():
+        result.append(broker.consume("q", timeout=5.0)[1])
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    broker.enqueue("q", b"wake")
+    t.join(timeout=5)
+    assert result == [b"wake"]
+
+
+def test_broker_registry():
+    reset_brokers()
+    a = get_broker("mqtt://x")
+    b = get_broker("mqtt://x")
+    c = get_broker("mqtt://y")
+    assert a is b and a is not c

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm.wire import MESSAGE_KINDS, WireError, decode_message, encode_message
+
+
+def test_roundtrip_basic(rng):
+    arrays = {"w": rng.standard_normal((3, 4)).astype(np.float32), "y": np.arange(5)}
+    meta = {"round": 3, "name": "client_1", "nested": {"a": [1, 2]}}
+    kind, m, a = decode_message(encode_message("data", meta, arrays))
+    assert kind == "data"
+    assert m == meta
+    assert np.array_equal(a["w"], arrays["w"]) and a["w"].dtype == np.float32
+    assert np.array_equal(a["y"], arrays["y"])
+
+
+def test_zero_d_array_roundtrip():
+    _, _, a = decode_message(encode_message("data", {}, {"c": np.asarray(5, dtype=np.int64)}))
+    assert a["c"].shape == () and int(a["c"]) == 5
+
+
+def test_empty_message():
+    kind, meta, arrays = decode_message(encode_message("ack", {}, {}))
+    assert kind == "ack" and meta == {} and arrays == {}
+
+
+@pytest.mark.parametrize("kind", sorted(MESSAGE_KINDS))
+def test_all_kinds(kind):
+    assert decode_message(encode_message(kind, {}, {}))[0] == kind
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(WireError):
+        encode_message("bogus", {}, {})
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(encode_message("data", {}, {}))
+    frame[0] = 0
+    with pytest.raises(WireError, match="magic"):
+        decode_message(bytes(frame))
+
+
+def test_trailing_bytes_rejected():
+    frame = encode_message("data", {}, {}) + b"x"
+    with pytest.raises(WireError, match="trailing"):
+        decode_message(frame)
+
+
+def test_truncated_buffer_rejected(rng):
+    frame = bytearray(encode_message("data", {}, {"v": np.ones(4, np.float32)}))
+    # corrupt the declared buffer length
+    frame[-20] ^= 0xFF
+    with pytest.raises((WireError, ValueError, IndexError, OverflowError)):
+        decode_message(bytes(frame))
+
+
+def test_non_contiguous_array(rng):
+    base = rng.standard_normal((4, 6)).astype(np.float32)
+    view = base[:, ::2]  # non-contiguous
+    _, _, a = decode_message(encode_message("data", {}, {"v": view}))
+    assert np.array_equal(a["v"], view)
+
+
+def test_fortran_order_array(rng):
+    arr = np.asfortranarray(rng.standard_normal((3, 5)).astype(np.float32))
+    _, _, a = decode_message(encode_message("data", {}, {"v": arr}))
+    assert np.array_equal(a["v"], arr)
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(WireError, match="dtype"):
+        encode_message("data", {}, {"v": np.array(["text"])})
+
+
+def test_size_overhead_is_small(rng):
+    payload = rng.standard_normal(10000).astype(np.float32)
+    frame = encode_message("data", {"k": 1}, {"v": payload})
+    assert len(frame) < payload.nbytes + 200
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays=st.dictionaries(
+        st.text(alphabet="abcdef_", min_size=1, max_size=8),
+        hnp.arrays(
+            dtype=st.sampled_from([np.float32, np.float64, np.int32, np.int64, np.uint8, np.bool_]),
+            shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=5),
+        ),
+        max_size=4,
+    ),
+    round_idx=st.integers(0, 10**6),
+)
+def test_roundtrip_property(arrays, round_idx):
+    kind, meta, decoded = decode_message(encode_message("data", {"round": round_idx}, arrays))
+    assert meta["round"] == round_idx
+    assert set(decoded) == set(arrays)
+    for k in arrays:
+        assert decoded[k].dtype == arrays[k].dtype
+        assert decoded[k].shape == arrays[k].shape
+        if arrays[k].dtype.kind == "f":
+            assert np.array_equal(decoded[k], arrays[k], equal_nan=True)
+        else:
+            assert np.array_equal(decoded[k], arrays[k])

@@ -1,0 +1,127 @@
+import pytest
+
+from repro.config.compose import ComposeError, ConfigStore, compose, parse_override
+
+
+def make_store() -> ConfigStore:
+    store = ConfigStore()
+    store.store(
+        "experiment",
+        {
+            "defaults": [
+                {"topology": "centralized"},
+                {"algorithm": "fedavg"},
+                "_self_",
+            ],
+            "rounds": 2,
+        },
+    )
+    store.store("centralized", {"kind": "star", "num_clients": 8}, group="topology")
+    store.store("ring", {"kind": "ring", "num_clients": 4}, group="topology")
+    store.store("fedavg", {"name": "fedavg", "lr": 0.01}, group="algorithm")
+    store.store("fedprox", {"name": "fedprox", "lr": 0.01, "mu": 0.1}, group="algorithm")
+    return store
+
+
+def test_basic_composition():
+    cfg = compose(make_store(), "experiment")
+    assert cfg.topology.kind == "star"
+    assert cfg.algorithm.name == "fedavg"
+    assert cfg.rounds == 2
+
+
+def test_override_entry_in_defaults():
+    store = make_store()
+    store.store(
+        "exp2",
+        {
+            "defaults": [
+                {"topology": "centralized"},
+                {"algorithm": "fedavg"},
+                {"override algorithm": "fedprox"},
+            ],
+        },
+    )
+    cfg = compose(store, "exp2")
+    assert cfg.algorithm.name == "fedprox"
+    assert cfg.algorithm.mu == 0.1
+
+
+def test_override_of_unselected_group_rejected():
+    store = make_store()
+    store.store("bad", {"defaults": [{"override algorithm": "fedprox"}]})
+    with pytest.raises(ComposeError, match="never selected"):
+        compose(store, "bad")
+
+
+def test_cli_group_reselect():
+    cfg = compose(make_store(), "experiment", overrides=["algorithm=fedprox"])
+    assert cfg.algorithm.name == "fedprox"
+
+
+def test_cli_value_override():
+    cfg = compose(make_store(), "experiment", overrides=["algorithm.lr=0.5", "rounds=9"])
+    assert cfg.algorithm.lr == 0.5
+    assert cfg.rounds == 9
+
+
+def test_cli_add_and_delete():
+    cfg = compose(make_store(), "experiment", overrides=["+algorithm.mu=0.2", "~rounds"])
+    assert cfg.algorithm.mu == 0.2
+    assert "rounds" not in cfg
+
+
+def test_cli_set_of_missing_key_rejected():
+    with pytest.raises(ComposeError, match="does not exist"):
+        compose(make_store(), "experiment", overrides=["algorithm.nope=1"])
+
+
+def test_self_position_controls_precedence():
+    store = make_store()
+    # _self_ before the group: the group wins
+    store.store(
+        "exp_self_first",
+        {"defaults": ["_self_", {"algorithm": "fedavg"}], "algorithm": {"lr": 99}},
+    )
+    cfg = compose(store, "exp_self_first")
+    assert cfg.algorithm.lr == 0.01
+
+
+def test_primary_body_wins_by_default():
+    store = make_store()
+    store.store(
+        "exp_body",
+        {"defaults": [{"algorithm": "fedavg"}], "algorithm": {"lr": 99}},
+    )
+    cfg = compose(store, "exp_body")
+    assert cfg.algorithm.lr == 99
+
+
+def test_directory_store(tmp_path):
+    (tmp_path / "group").mkdir()
+    (tmp_path / "main.yaml").write_text("defaults:\n  - group: opt\nvalue: 1\n")
+    (tmp_path / "group" / "opt.yaml").write_text("x: 5\n")
+    cfg = compose(ConfigStore(str(tmp_path)), "main")
+    assert cfg.group.x == 5
+    assert cfg.value == 1
+
+
+def test_available_lists_options(tmp_path):
+    store = make_store()
+    assert store.available("topology") == ["centralized", "ring"]
+
+
+def test_parse_override_forms():
+    assert parse_override("a.b=1") == ("set", "a.b", "1")
+    assert parse_override("+a.b=1") == ("add", "a.b", "1")
+    assert parse_override("~a.b") == ("del", "a.b", None)
+    with pytest.raises(ComposeError):
+        parse_override("no_equals_sign")
+
+
+def test_global_package_merges_at_root():
+    store = make_store()
+    store.store("flat", {"_package_": "_global_", "toplevel": True}, group="misc")
+    store.store("exp3", {"defaults": [{"misc": "flat"}]})
+    cfg = compose(store, "exp3")
+    assert cfg.toplevel is True

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.config.node import ConfigNode
+
+
+def test_attribute_and_item_access():
+    cfg = ConfigNode({"a": {"b": 1}})
+    assert cfg.a.b == 1
+    assert cfg["a"]["b"] == 1
+
+
+def test_missing_key_raises_with_candidates():
+    cfg = ConfigNode({"alpha": 1})
+    with pytest.raises(KeyError, match="alpha"):
+        cfg["beta"]
+
+
+def test_select_dotted_path():
+    cfg = ConfigNode({"x": {"y": [10, {"z": 3}]}})
+    assert cfg.select("x.y.0") == 10
+    assert cfg.select("x.y.1.z") == 3
+    assert cfg.select("x.missing", default=7) == 7
+
+
+def test_update_at_creates_intermediates():
+    cfg = ConfigNode({})
+    cfg.update_at("a.b.c", 5)
+    assert cfg.select("a.b.c") == 5
+
+
+def test_delete_at():
+    cfg = ConfigNode({"a": {"b": 1, "c": 2}})
+    cfg.delete_at("a.b")
+    assert "b" not in cfg.a
+    with pytest.raises(KeyError):
+        cfg.delete_at("a.zzz")
+
+
+def test_merge_deep():
+    cfg = ConfigNode({"a": {"x": 1, "y": 2}, "k": 0})
+    cfg.merge({"a": {"y": 3, "z": 4}})
+    assert cfg.to_container() == {"a": {"x": 1, "y": 3, "z": 4}, "k": 0}
+
+
+def test_merge_replaces_scalars_with_mappings():
+    cfg = ConfigNode({"a": 1})
+    cfg.merge({"a": {"b": 2}})
+    assert cfg.a.b == 2
+
+
+def test_interpolation_simple():
+    cfg = ConfigNode({"base": 10, "ref": "${base}"})
+    assert cfg.ref == 10
+
+
+def test_interpolation_in_string():
+    cfg = ConfigNode({"host": "h", "port": 80, "addr": "${host}:${port}"})
+    assert cfg.addr == "h:80"
+
+
+def test_interpolation_nested_path():
+    cfg = ConfigNode({"a": {"b": {"c": "deep"}}, "r": "${a.b.c}"})
+    assert cfg.r == "deep"
+
+
+def test_interpolation_cycle_detected():
+    cfg = ConfigNode({"a": "${b}", "b": "${a}"})
+    with pytest.raises(ValueError, match="cycle"):
+        _ = cfg.a
+
+
+def test_to_container_resolves():
+    cfg = ConfigNode({"x": 1, "y": "${x}"})
+    assert cfg.to_container() == {"x": 1, "y": 1}
+    assert cfg.to_container(resolve=False) == {"x": 1, "y": "${x}"}
+
+
+def test_equality_with_dict():
+    assert ConfigNode({"a": [1, 2]}) == {"a": [1, 2]}
+
+
+def test_copy_is_independent():
+    cfg = ConfigNode({"a": {"b": 1}})
+    dup = cfg.copy()
+    dup.update_at("a.b", 99)
+    assert cfg.a.b == 1

@@ -1,0 +1,37 @@
+"""Shared fixtures: isolated comm registries and deterministic RNG."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.comm.pubsub import reset_brokers
+from repro.comm.torchdist import reset_rendezvous
+from repro.comm.transport import reset_inproc_registry
+
+_PORTS = itertools.count(31000)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_comm_registries():
+    """Every test gets clean rendezvous/broker/in-proc namespaces."""
+    reset_rendezvous()
+    reset_inproc_registry()
+    reset_brokers()
+    yield
+    reset_rendezvous()
+    reset_inproc_registry()
+    reset_brokers()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def fresh_port() -> int:
+    """A unique rendezvous port per use (avoids cross-test collisions)."""
+    return next(_PORTS)

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_skew_partition,
+    quantity_skew_partition,
+)
+
+
+def assert_exact_partition(parts, n_samples):
+    __tracebackhide__ = True
+    allidx = np.concatenate(parts)
+    assert len(allidx) == n_samples, "every sample assigned exactly once"
+    assert len(np.unique(allidx)) == n_samples, "no duplicates"
+    assert all(len(p) > 0 for p in parts), "no empty client"
+
+
+def test_iid_even_sizes(rng):
+    parts = iid_partition(100, 4, rng)
+    assert_exact_partition(parts, 100)
+    assert all(len(p) == 25 for p in parts)
+
+
+def test_iid_uneven(rng):
+    parts = iid_partition(10, 3, rng)
+    assert_exact_partition(parts, 10)
+    assert sorted(len(p) for p in parts) == [3, 3, 4]
+
+
+def test_iid_validations(rng):
+    with pytest.raises(ValueError):
+        iid_partition(2, 3, rng)
+    with pytest.raises(ValueError):
+        iid_partition(5, 0, rng)
+
+
+def test_dirichlet_partitions_exactly(rng):
+    labels = rng.integers(0, 10, 500)
+    parts = dirichlet_partition(labels, 8, alpha=0.5, rng=rng)
+    assert_exact_partition(parts, 500)
+
+
+def test_dirichlet_low_alpha_is_skewed(rng):
+    labels = np.repeat(np.arange(10), 100)
+    skewed = dirichlet_partition(labels, 5, alpha=0.05, rng=np.random.default_rng(1))
+    uniform = dirichlet_partition(labels, 5, alpha=100.0, rng=np.random.default_rng(1))
+
+    def label_entropy(parts):
+        ents = []
+        for p in parts:
+            counts = np.bincount(labels[p], minlength=10) + 1e-9
+            probs = counts / counts.sum()
+            ents.append(-(probs * np.log(probs)).sum())
+        return np.mean(ents)
+
+    assert label_entropy(skewed) < label_entropy(uniform)
+
+
+def test_dirichlet_alpha_validation(rng):
+    with pytest.raises(ValueError):
+        dirichlet_partition(np.zeros(10, dtype=int), 2, alpha=0.0, rng=rng)
+
+
+def test_label_skew_limits_classes(rng):
+    labels = np.repeat(np.arange(10), 50)
+    parts = label_skew_partition(labels, 5, classes_per_client=2, rng=rng)
+    assert_exact_partition(parts, 500)
+    for p in parts:
+        # shards are label-sorted, so each client sees few classes
+        assert len(np.unique(labels[p])) <= 3
+
+
+def test_quantity_skew_sizes_vary(rng):
+    parts = quantity_skew_partition(1000, 6, alpha=0.3, rng=rng)
+    assert_exact_partition(parts, 1000)
+    sizes = [len(p) for p in parts]
+    assert max(sizes) > 2 * min(sizes)
+
+
+def test_deterministic_given_rng():
+    labels = np.repeat(np.arange(5), 40)
+    a = dirichlet_partition(labels, 4, 0.5, np.random.default_rng(7))
+    b = dirichlet_partition(labels, 4, 0.5, np.random.default_rng(7))
+    for pa, pb in zip(a, b):
+        assert np.array_equal(pa, pb)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_classes=st.integers(2, 8),
+    per_class=st.integers(5, 30),
+    n_clients=st.integers(1, 6),
+    alpha=st.floats(0.05, 10.0),
+    seed=st.integers(0, 1000),
+)
+def test_dirichlet_property_exact_partition(n_classes, per_class, n_clients, alpha, seed):
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(n_classes), per_class)
+    rng.shuffle(labels)
+    parts = dirichlet_partition(labels, n_clients, alpha, rng)
+    assert_exact_partition(parts, len(labels))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_samples=st.integers(10, 400),
+    n_clients=st.integers(1, 10),
+    seed=st.integers(0, 1000),
+)
+def test_iid_property_exact_partition(n_samples, n_clients, seed):
+    if n_samples < n_clients:
+        return
+    parts = iid_partition(n_samples, n_clients, np.random.default_rng(seed))
+    assert_exact_partition(parts, n_samples)

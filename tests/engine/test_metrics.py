@@ -1,0 +1,64 @@
+import pytest
+
+from repro.engine.metrics import MetricsCollector, RoundRecord
+
+
+def record(i, acc=None, secs=1.0, loss=0.5, sent=100):
+    return RoundRecord(round_idx=i, train_loss=loss, train_accuracy=0.8,
+                       eval_accuracy=acc, wall_seconds=secs, bytes_sent=sent)
+
+
+def test_final_and_best_accuracy():
+    m = MetricsCollector()
+    m.add(record(0, acc=0.5))
+    m.add(record(1, acc=0.9))
+    m.add(record(2, acc=0.7))
+    assert m.final_accuracy() == 0.7
+    assert m.best_accuracy() == 0.9
+
+
+def test_final_accuracy_skips_uneval_rounds():
+    m = MetricsCollector()
+    m.add(record(0, acc=0.6))
+    m.add(record(1, acc=None))
+    assert m.final_accuracy() == 0.6
+
+
+def test_empty_collector():
+    m = MetricsCollector()
+    assert m.final_accuracy() is None
+    assert m.best_accuracy() is None
+    assert m.median_round_time() == 0.0
+    assert m.last is None
+
+
+def test_median_round_time():
+    m = MetricsCollector()
+    for secs in (1.0, 5.0, 2.0):
+        m.add(record(0, secs=secs))
+    assert m.median_round_time() == 2.0
+
+
+def test_totals_and_summary():
+    m = MetricsCollector()
+    m.add(record(0, acc=0.4, sent=100))
+    m.add(record(1, acc=0.8, sent=200))
+    assert m.total_bytes() == 300
+    summary = m.summary()
+    assert summary["rounds"] == 2
+    assert summary["final_accuracy"] == 0.8
+
+
+def test_table_renders_all_rounds():
+    m = MetricsCollector()
+    m.add(record(0, acc=0.5))
+    m.add(record(1))
+    table = m.table()
+    assert len(table.splitlines()) == 3
+    assert "0.5000" in table
+
+
+def test_record_as_dict():
+    rec = record(3, acc=0.66)
+    d = rec.as_dict()
+    assert d["round"] == 3 and d["eval_accuracy"] == 0.66

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.models import MODELS, build_model
+from repro.nn import CrossEntropyLoss, SGD, Tensor
+
+ALL_MODELS = ["resnet18", "vgg11", "alexnet", "mobilenetv3", "simple_cnn", "mlp"]
+
+
+def build(name, **kw):
+    kw.setdefault("num_classes", 7)
+    kw.setdefault("seed", 3)
+    if name == "mlp":
+        kw.setdefault("in_features", 3 * 12 * 12)
+    return build_model(name, **kw)
+
+
+def batch(rng, n=4, size=12):
+    x = rng.standard_normal((n, 3, size, size)).astype(np.float32)
+    y = np.asarray(rng.integers(0, 7, n))
+    return x, y
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_forward_shapes(name, rng):
+    model = build(name)
+    x, _ = batch(rng)
+    if name == "mlp":
+        x = x.reshape(4, -1)
+    logits = model(Tensor(x))
+    assert logits.shape == (4, 7)
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_features_then_classify_equals_forward(name, rng):
+    model = build(name)
+    model.eval()  # dropout/BN deterministic
+    x, _ = batch(rng)
+    if name == "mlp":
+        x = x.reshape(4, -1)
+    feats = model.features(Tensor(x))
+    assert feats.shape == (4, model.embedding_dim)
+    via_parts = model.classify(feats).data
+    direct = model(Tensor(x)).data
+    assert np.allclose(via_parts, direct, atol=1e-5)
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_training_steps_decrease_loss(name, rng):
+    model = build(name)
+    model.eval()  # keep dropout off: this checks optimization, not regularization
+    object.__setattr__(model, "training", True)  # but BN still needs batch stats
+    model.train()
+    for m in model.modules():
+        from repro.nn.layers import Dropout
+
+        if isinstance(m, Dropout):
+            m.p = 0.0
+    x, y = batch(rng, n=8)
+    if name == "mlp":
+        x = x.reshape(8, -1)
+    opt = SGD(model.parameters(), lr=0.01, momentum=0.9)
+    loss_fn = CrossEntropyLoss()
+    losses = []
+    for _ in range(8):
+        logits = model(Tensor(x))
+        loss = loss_fn(logits, y)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        losses.append(loss.item())
+    assert min(losses[1:]) < losses[0]
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_same_seed_same_weights(name):
+    a, b = build(name), build(name)
+    for (ka, pa), (kb, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert ka == kb
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_different_seed_different_weights():
+    a = build("simple_cnn", seed=1)
+    b = build("simple_cnn", seed=2)
+    assert not np.array_equal(a.conv1.weight.data, b.conv1.weight.data)
+
+
+@pytest.mark.parametrize("name,expect_bn", [("resnet18", True), ("vgg11", True),
+                                            ("mobilenetv3", True), ("alexnet", False)])
+def test_bn_parameter_names(name, expect_bn):
+    model = build(name)
+    bn = model.bn_parameter_names()
+    assert (len(bn) > 0) is expect_bn
+    state = model.state_dict()
+    for k in bn:
+        assert k in state
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_head_parameter_names_are_classifier(name):
+    model = build(name)
+    heads = model.head_parameter_names()
+    assert heads
+    assert all(h.startswith("classifier.") for h in heads)
+
+
+def test_registry_contains_paper_models():
+    for name in ["resnet18", "vgg11", "alexnet", "mobilenetv3"]:
+        assert name in MODELS
+
+
+def test_resnet_has_residual_stages():
+    model = build("resnet18", base_width=4)
+    # 4 stages x 2 blocks x 2 convs + stem + shortcuts
+    conv_count = sum(1 for n, _ in model.named_parameters() if "conv" in n and n.endswith("weight"))
+    assert conv_count >= 17
+
+
+def test_mobilenet_uses_depthwise():
+    from repro.nn.layers import Conv2d
+
+    model = build("mobilenetv3")
+    depthwise = [m for m in model.modules() if isinstance(m, Conv2d) and m.groups > 1]
+    assert depthwise, "MobileNetV3 must contain depthwise convolutions"
+
+
+def test_input_size_agnostic(rng):
+    model = build("vgg11")
+    for size in (12, 16, 20):
+        x = rng.standard_normal((2, 3, size, size)).astype(np.float32)
+        assert model(Tensor(x)).shape == (2, 7)

@@ -1,0 +1,29 @@
+"""Shared numerical gradient checking for autograd tests (float64)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_grad(f: Callable[[], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x`` in place."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f()
+        x[idx] = original - eps
+        f_minus = f()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-6) -> None:
+    __tracebackhide__ = True
+    err = np.abs(np.asarray(analytic) - numeric).max()
+    assert err < atol, f"gradient mismatch: max abs err {err:.3e} (atol {atol})"

@@ -1,0 +1,333 @@
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.nn.gradcheck import assert_grad_close, numerical_grad
+
+
+def f64(shape, rng):
+    return rng.standard_normal(shape)
+
+
+# ------------------------------------------------------------- activations
+@pytest.mark.parametrize(
+    "fn",
+    [F.relu, F.leaky_relu, F.sigmoid, F.hard_sigmoid, F.hard_swish, F.tanh],
+)
+def test_activation_grads(fn, rng):
+    x_data = f64((3, 7), rng) + 0.05  # keep away from kinks
+
+    def run():
+        return (fn(Tensor(x_data, requires_grad=True)) * 1.3).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    (fn(x) * 1.3).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-5)
+
+
+def test_relu_zeroes_negatives():
+    out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+    assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+
+def test_hard_sigmoid_saturates():
+    out = F.hard_sigmoid(Tensor([-10.0, 0.0, 10.0]))
+    assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = Tensor(f64((5, 9), rng))
+    out = F.softmax(x)
+    assert np.allclose(out.data.sum(axis=1), 1.0, atol=1e-6)
+
+
+def test_log_softmax_matches_log_of_softmax(rng):
+    x = Tensor(f64((4, 6), rng))
+    assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-6)
+
+
+def test_softmax_grad(rng):
+    x_data = f64((3, 5), rng)
+
+    def run():
+        return (F.softmax(Tensor(x_data, requires_grad=True)) ** 2).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    (F.softmax(x) ** 2).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data))
+
+
+def test_log_softmax_grad(rng):
+    x_data = f64((3, 5), rng)
+
+    def run():
+        return (F.log_softmax(Tensor(x_data, requires_grad=True)) * 0.3).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    (F.log_softmax(x) * 0.3).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data))
+
+
+# ------------------------------------------------------------- convolution
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), ((1, 2), (2, 1))])
+def test_conv2d_matches_direct_computation(stride, padding, rng):
+    x = f64((2, 3, 6, 7), rng).astype(np.float32)
+    w = f64((4, 3, 3, 3), rng).astype(np.float32)
+    b = f64((4,), rng).astype(np.float32)
+    out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride, padding).data
+
+    sh, sw = (stride, stride) if isinstance(stride, int) else stride
+    ph, pw = (padding, padding) if isinstance(padding, int) else padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (xp.shape[2] - 3) // sh + 1
+    ow = (xp.shape[3] - 3) // sw + 1
+    expected = np.zeros((2, 4, oh, ow), dtype=np.float32)
+    for n in range(2):
+        for f in range(4):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[n, :, i * sh : i * sh + 3, j * sw : j * sw + 3]
+                    expected[n, f, i, j] = (patch * w[f]).sum() + b[f]
+    assert np.allclose(out, expected, atol=1e-4)
+
+
+def test_conv2d_grads(rng):
+    x_data = f64((2, 3, 5, 5), rng)
+    w_data = f64((4, 3, 3, 3), rng)
+    b_data = f64((4,), rng)
+
+    def run():
+        return (
+            F.conv2d(
+                Tensor(x_data, requires_grad=True),
+                Tensor(w_data, requires_grad=True),
+                Tensor(b_data, requires_grad=True),
+                stride=2,
+                padding=1,
+            )
+            * 0.7
+        ).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    w = Tensor(w_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (F.conv2d(x, w, b, stride=2, padding=1) * 0.7).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-5)
+    assert_grad_close(w.grad, numerical_grad(lambda: run().item(), w_data), atol=1e-5)
+    assert_grad_close(b.grad, numerical_grad(lambda: run().item(), b_data), atol=1e-5)
+
+
+def test_depthwise_conv_grads(rng):
+    x_data = f64((2, 4, 5, 5), rng)
+    w_data = f64((4, 1, 3, 3), rng)
+
+    def run():
+        return F.conv2d(
+            Tensor(x_data, requires_grad=True), Tensor(w_data, requires_grad=True),
+            None, 1, 1, groups=4,
+        ).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    w = Tensor(w_data, requires_grad=True)
+    F.conv2d(x, w, None, 1, 1, groups=4).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-5)
+    assert_grad_close(w.grad, numerical_grad(lambda: run().item(), w_data), atol=1e-5)
+
+
+def test_grouped_conv_grads(rng):
+    x_data = f64((1, 4, 4, 4), rng)
+    w_data = f64((6, 2, 3, 3), rng)  # groups=2: 4 in -> 6 out
+
+    def run():
+        return F.conv2d(
+            Tensor(x_data, requires_grad=True), Tensor(w_data, requires_grad=True),
+            None, 1, 1, groups=2,
+        ).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    w = Tensor(w_data, requires_grad=True)
+    F.conv2d(x, w, None, 1, 1, groups=2).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-5)
+    assert_grad_close(w.grad, numerical_grad(lambda: run().item(), w_data), atol=1e-5)
+
+
+def test_conv2d_shape_validation():
+    with pytest.raises(ValueError, match="channel mismatch"):
+        F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((2, 4, 3, 3))))
+
+
+# ------------------------------------------------------------- pooling
+def test_max_pool_values(rng):
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    out = F.max_pool2d(Tensor(x), 2).data
+    assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+
+def test_max_pool_grad(rng):
+    x_data = f64((2, 3, 6, 6), rng)
+
+    def run():
+        return (F.max_pool2d(Tensor(x_data, requires_grad=True), 2) * 1.5).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    (F.max_pool2d(x, 2) * 1.5).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-5)
+
+
+def test_max_pool_overlapping_stride_grad(rng):
+    x_data = f64((1, 2, 5, 5), rng)
+
+    def run():
+        return F.max_pool2d(Tensor(x_data, requires_grad=True), 3, stride=1).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    F.max_pool2d(x, 3, stride=1).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-5)
+
+
+def test_avg_pool_grad(rng):
+    x_data = f64((2, 2, 4, 4), rng)
+
+    def run():
+        return (F.avg_pool2d(Tensor(x_data, requires_grad=True), 2) * 2.0).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    (F.avg_pool2d(x, 2) * 2.0).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data))
+
+
+def test_adaptive_avg_pool(rng):
+    x = Tensor(f64((2, 3, 5, 5), rng))
+    out = F.adaptive_avg_pool2d(x)
+    assert out.shape == (2, 3, 1, 1)
+    assert np.allclose(out.data[:, :, 0, 0], x.data.mean(axis=(2, 3)))
+
+
+# ------------------------------------------------------------- batch norm
+def test_batch_norm_normalizes(rng):
+    x = Tensor(f64((16, 4, 3, 3), rng) * 5 + 2)
+    w, b = Tensor(np.ones(4), requires_grad=True), Tensor(np.zeros(4), requires_grad=True)
+    rm, rv = np.zeros(4), np.ones(4)
+    out = F.batch_norm(x, w, b, rm, rv, training=True)
+    assert np.abs(out.data.mean(axis=(0, 2, 3))).max() < 1e-5
+    assert np.abs(out.data.var(axis=(0, 2, 3)) - 1).max() < 1e-3
+
+
+def test_batch_norm_updates_running_stats(rng):
+    x = Tensor(f64((32, 2, 4, 4), rng) + 3.0)
+    w, b = Tensor(np.ones(2), requires_grad=True), Tensor(np.zeros(2), requires_grad=True)
+    rm, rv = np.zeros(2), np.ones(2)
+    F.batch_norm(x, w, b, rm, rv, training=True, momentum=1.0)
+    assert np.allclose(rm, x.data.mean(axis=(0, 2, 3)), atol=1e-5)
+
+
+def test_batch_norm_eval_uses_running_stats(rng):
+    x = Tensor(f64((8, 2, 2, 2), rng))
+    w, b = Tensor(np.ones(2), requires_grad=True), Tensor(np.zeros(2), requires_grad=True)
+    rm, rv = np.full(2, 1.0), np.full(2, 4.0)
+    out = F.batch_norm(x, w, b, rm, rv, training=False)
+    assert np.allclose(out.data, (x.data - 1.0) / np.sqrt(4.0 + 1e-5), atol=1e-5)
+
+
+def test_batch_norm_grads_training(rng):
+    x_data = f64((6, 3, 2, 2), rng)
+    w_data = f64((3,), rng)
+    b_data = f64((3,), rng)
+
+    def run():
+        rm, rv = np.zeros(3), np.ones(3)
+        return (
+            F.batch_norm(
+                Tensor(x_data, requires_grad=True),
+                Tensor(w_data, requires_grad=True),
+                Tensor(b_data, requires_grad=True),
+                rm, rv, training=True,
+            )
+            ** 2
+        ).sum()
+
+    rm, rv = np.zeros(3), np.ones(3)
+    x = Tensor(x_data, requires_grad=True)
+    w = Tensor(w_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (F.batch_norm(x, w, b, rm, rv, training=True) ** 2).sum().backward()
+    assert_grad_close(x.grad, numerical_grad(lambda: run().item(), x_data), atol=1e-4)
+    assert_grad_close(w.grad, numerical_grad(lambda: run().item(), w_data), atol=1e-4)
+    assert_grad_close(b.grad, numerical_grad(lambda: run().item(), b_data), atol=1e-4)
+
+
+def test_batch_norm_2d_input(rng):
+    x = Tensor(f64((10, 5), rng))
+    w, b = Tensor(np.ones(5), requires_grad=True), Tensor(np.zeros(5), requires_grad=True)
+    out = F.batch_norm(x, w, b, np.zeros(5), np.ones(5), training=True)
+    assert np.abs(out.data.mean(axis=0)).max() < 1e-6
+
+
+# ------------------------------------------------------------- dropout
+def test_dropout_eval_is_identity(rng):
+    x = Tensor(f64((4, 4), rng))
+    assert F.dropout(x, 0.5, training=False) is x
+
+
+def test_dropout_preserves_expectation(rng):
+    x = Tensor(np.ones((2000,)))
+    out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+    assert abs(out.data.mean() - 1.0) < 0.1
+    kept = out.data != 0
+    assert np.allclose(out.data[kept], 2.0)
+
+
+def test_dropout_invalid_p():
+    with pytest.raises(ValueError):
+        F.dropout(Tensor([1.0]), 1.0, training=True)
+
+
+# ------------------------------------------------------------- losses
+def test_cross_entropy_matches_manual(rng):
+    logits_data = f64((5, 4), rng)
+    y = np.array([0, 1, 2, 3, 1])
+    loss = F.cross_entropy(Tensor(logits_data), y).item()
+    shifted = logits_data - logits_data.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    assert loss == pytest.approx(-log_probs[np.arange(5), y].mean(), rel=1e-6)
+
+
+def test_cross_entropy_grad(rng):
+    logits_data = f64((6, 5), rng)
+    y = np.array([0, 4, 2, 1, 3, 2])
+
+    def run():
+        return F.cross_entropy(Tensor(logits_data, requires_grad=True), y)
+
+    t = Tensor(logits_data, requires_grad=True)
+    F.cross_entropy(t, y).backward()
+    assert_grad_close(t.grad, numerical_grad(lambda: run().item(), logits_data))
+
+
+def test_cross_entropy_sum_reduction(rng):
+    logits = Tensor(f64((4, 3), rng))
+    y = np.array([0, 1, 2, 0])
+    mean = F.cross_entropy(logits, y, "mean").item()
+    total = F.cross_entropy(logits, y, "sum").item()
+    assert total == pytest.approx(4 * mean, rel=1e-6)
+
+
+def test_nll_loss_pairs_with_log_softmax(rng):
+    logits = Tensor(f64((4, 3), rng), requires_grad=True)
+    y = np.array([2, 0, 1, 2])
+    ce = F.cross_entropy(logits, y).item()
+    nll = F.nll_loss(F.log_softmax(logits), y).item()
+    assert ce == pytest.approx(nll, rel=1e-6)
+
+
+def test_mse_loss_grad(rng):
+    pred_data = f64((4, 3), rng)
+    target = f64((4, 3), rng)
+
+    def run():
+        return F.mse_loss(Tensor(pred_data, requires_grad=True), target)
+
+    p = Tensor(pred_data, requires_grad=True)
+    F.mse_loss(p, target).backward()
+    assert_grad_close(p.grad, numerical_grad(lambda: run().item(), pred_data))

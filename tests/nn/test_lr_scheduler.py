@@ -1,0 +1,89 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.lr_scheduler import CosineAnnealingLR, ExponentialLR, MultiStepLR, StepLR
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+def test_step_lr_decays_every_n():
+    opt = make_opt()
+    sched = StepLR(opt, step_size=2, gamma=0.1)
+    lrs = []
+    for _ in range(6):
+        sched.step()
+        lrs.append(opt.lr)
+    assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01, 0.001])
+
+
+def test_multistep_lr_paper_schedule():
+    # the paper's ResNet18 schedule: decay 0.1 at 100, 150, 200 epochs
+    opt = make_opt(0.01)
+    sched = MultiStepLR(opt, milestones=[100, 150, 200], gamma=0.1)
+    for epoch in range(1, 251):
+        sched.step()
+        if epoch < 100:
+            assert opt.lr == pytest.approx(0.01)
+        elif epoch < 150:
+            assert opt.lr == pytest.approx(0.001)
+        elif epoch < 200:
+            assert opt.lr == pytest.approx(0.0001)
+        else:
+            assert opt.lr == pytest.approx(0.00001)
+
+
+def test_multistep_unsorted_milestones():
+    opt = make_opt()
+    sched = MultiStepLR(opt, milestones=[30, 10, 20], gamma=0.5)
+    for _ in range(25):
+        sched.step()
+    assert opt.lr == pytest.approx(0.25)
+
+
+def test_exponential_lr():
+    opt = make_opt()
+    sched = ExponentialLR(opt, gamma=0.9)
+    for _ in range(3):
+        sched.step()
+    assert opt.lr == pytest.approx(0.9**3)
+
+
+def test_cosine_endpoints():
+    opt = make_opt()
+    sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+    sched.step()
+    first = opt.lr
+    for _ in range(9):
+        sched.step()
+    assert first < 1.0
+    assert opt.lr == pytest.approx(0.1)
+    sched.step()  # past t_max clamps
+    assert opt.lr == pytest.approx(0.1)
+
+
+def test_cosine_midpoint():
+    opt = make_opt()
+    sched = CosineAnnealingLR(opt, t_max=4)
+    for _ in range(2):
+        sched.step()
+    assert opt.lr == pytest.approx(0.5)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        StepLR(make_opt(), step_size=0)
+    with pytest.raises(ValueError):
+        CosineAnnealingLR(make_opt(), t_max=0)
+
+
+def test_get_last_lr():
+    opt = make_opt()
+    sched = StepLR(opt, step_size=1, gamma=0.5)
+    sched.step()
+    assert sched.get_last_lr() == opt.lr == pytest.approx(0.5)

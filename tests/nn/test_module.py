@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Dropout, Linear, ReLU, Sequential
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+def small_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+
+
+def test_parameter_discovery():
+    net = small_net()
+    names = [n for n, _ in net.named_parameters()]
+    assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+
+def test_nested_module_names():
+    class Outer(Module):
+        def __init__(self):
+            super().__init__()
+            self.inner = small_net()
+            self.head = Linear(3, 2, rng=np.random.default_rng(1))
+
+    names = [n for n, _ in Outer().named_parameters()]
+    assert "inner.0.weight" in names and "head.bias" in names
+
+
+def test_state_dict_roundtrip():
+    a, b = small_net(np.random.default_rng(1)), small_net(np.random.default_rng(2))
+    state = a.state_dict()
+    b.load_state_dict(state)
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_state_dict_is_a_copy():
+    net = small_net()
+    state = net.state_dict()
+    state["0.weight"][...] = 0
+    assert not np.allclose(net._modules["0"].weight.data, 0)
+
+
+def test_load_state_dict_strict_mismatch():
+    net = small_net()
+    state = net.state_dict()
+    del state["0.bias"]
+    with pytest.raises(KeyError, match="missing"):
+        net.load_state_dict(state)
+    net.load_state_dict(state, strict=False)  # non-strict tolerates
+
+
+def test_load_state_dict_shape_mismatch():
+    net = small_net()
+    state = net.state_dict()
+    state["0.weight"] = np.zeros((2, 2), dtype=np.float32)
+    with pytest.raises(ValueError, match="shape"):
+        net.load_state_dict(state)
+
+
+def test_buffers_in_state_dict():
+    bn = BatchNorm2d(4)
+    state = bn.state_dict()
+    assert "running_mean" in state and "num_batches_tracked" in state
+    state["running_mean"][:] = 7.0
+    bn.load_state_dict(state)
+    assert np.allclose(bn._buffers["running_mean"], 7.0)
+
+
+def test_train_eval_propagates():
+    net = Sequential(Dropout(0.5), small_net())
+    net.eval()
+    assert all(not m.training for m in net.modules())
+    net.train()
+    assert all(m.training for m in net.modules())
+
+
+def test_zero_grad():
+    net = small_net()
+    out = net(Tensor(np.ones((2, 4), dtype=np.float32)))
+    out.sum().backward()
+    assert any(p.grad is not None for p in net.parameters())
+    net.zero_grad()
+    assert all(p.grad is None for p in net.parameters())
+
+
+def test_num_parameters():
+    net = small_net()
+    assert net.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+
+def test_module_list():
+    ml = ModuleList([Linear(2, 2, rng=np.random.default_rng(0)) for _ in range(3)])
+    ml.append(Linear(2, 2, rng=np.random.default_rng(1)))
+    assert len(ml) == 4
+    assert len(list(ml)) == 4
+    assert isinstance(ml[0], Linear)
+    assert len([n for n, _ in ml.named_parameters()]) == 8
+
+
+def test_attribute_reassignment_replaces_module():
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.layer = Linear(2, 2, rng=np.random.default_rng(0))
+
+    net = Net()
+    net.layer = Linear(2, 3, rng=np.random.default_rng(1))
+    assert net.layer.out_features == 3
+    assert len(list(net.named_parameters())) == 2
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        _ = small_net().nonexistent
+
+
+def test_apply_visits_all_modules():
+    visited = []
+    small_net().apply(lambda m: visited.append(type(m).__name__))
+    assert "Linear" in visited and "Sequential" in visited
+
+
+def test_sequential_getitem_len_iter():
+    net = small_net()
+    assert len(net) == 3
+    assert isinstance(net[0], Linear)
+    assert [type(m).__name__ for m in net] == ["Linear", "ReLU", "Linear"]

@@ -1,0 +1,123 @@
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.serialization import (
+    clone_state,
+    spec_of,
+    state_add,
+    state_average,
+    state_dict_to_vector,
+    state_norm,
+    state_scale,
+    state_sub,
+    state_zeros_like,
+    vector_to_state_dict,
+)
+
+
+def make_state(rng):
+    return OrderedDict(
+        w1=rng.standard_normal((3, 4)).astype(np.float32),
+        b1=rng.standard_normal(4).astype(np.float32),
+        counter=np.asarray(7, dtype=np.int64),
+        running=rng.standard_normal(4).astype(np.float32),
+    )
+
+
+def test_pack_unpack_inverse(rng):
+    state = make_state(rng)
+    vec, spec = state_dict_to_vector(state)
+    restored = vector_to_state_dict(vec, spec)
+    for k in state:
+        assert restored[k].shape == state[k].shape
+        assert restored[k].dtype == state[k].dtype
+        if k == "counter":
+            assert int(restored[k]) == 7
+        else:
+            assert np.allclose(restored[k], state[k])
+
+
+def test_pack_selected_keys(rng):
+    state = make_state(rng)
+    vec, spec = state_dict_to_vector(state, keys=["w1", "b1"])
+    assert vec.size == 12 + 4
+    assert spec.keys == ["w1", "b1"]
+
+
+def test_vector_size_validation(rng):
+    state = make_state(rng)
+    _, spec = state_dict_to_vector(state)
+    with pytest.raises(ValueError, match="scalars"):
+        vector_to_state_dict(np.zeros(3, dtype=np.float32), spec)
+
+
+def test_spec_equality(rng):
+    s1 = spec_of(make_state(rng))
+    s2 = spec_of(make_state(np.random.default_rng(9)))
+    assert s1 == s2
+
+
+def test_state_arithmetic(rng):
+    a, b = make_state(rng), make_state(np.random.default_rng(5))
+    total = state_add(a, b)
+    assert np.allclose(total["w1"], a["w1"] + b["w1"])
+    assert int(total["counter"]) == 7  # int entries carried from a
+    diff = state_sub(a, b)
+    assert np.allclose(diff["b1"], a["b1"] - b["b1"])
+    scaled = state_scale(a, 0.5)
+    assert np.allclose(scaled["w1"], a["w1"] * 0.5)
+    zeros = state_zeros_like(a)
+    assert np.allclose(zeros["w1"], 0)
+
+
+def test_state_average_weighted(rng):
+    a = OrderedDict(x=np.asarray([0.0], np.float32))
+    b = OrderedDict(x=np.asarray([10.0], np.float32))
+    avg = state_average([a, b], weights=[3, 1])
+    assert np.allclose(avg["x"], 2.5)
+
+
+def test_state_average_validations():
+    with pytest.raises(ValueError):
+        state_average([])
+    a = OrderedDict(x=np.asarray([1.0], np.float32))
+    with pytest.raises(ValueError):
+        state_average([a], weights=[1, 2])
+    with pytest.raises(ValueError):
+        state_average([a, a], weights=[0, 0])
+
+
+def test_state_average_preserves_integers(rng):
+    a, b = make_state(rng), make_state(np.random.default_rng(3))
+    avg = state_average([a, b])
+    assert avg["counter"].dtype == np.int64
+
+
+def test_state_norm(rng):
+    state = OrderedDict(a=np.asarray([3.0], np.float32), b=np.asarray([4.0], np.float32))
+    assert state_norm(state) == pytest.approx(5.0)
+
+
+def test_clone_state_independent(rng):
+    state = make_state(rng)
+    dup = clone_state(state)
+    dup["w1"][...] = 0
+    assert not np.allclose(state["w1"], 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, 30), min_size=1, max_size=6), st.integers(0, 2**31 - 1))
+def test_pack_unpack_property(sizes, seed):
+    rng = np.random.default_rng(seed)
+    state = OrderedDict(
+        (f"t{i}", rng.standard_normal(n).astype(np.float32)) for i, n in enumerate(sizes)
+    )
+    vec, spec = state_dict_to_vector(state)
+    assert vec.size == sum(sizes)
+    restored = vector_to_state_dict(vec, spec)
+    for k in state:
+        assert np.array_equal(restored[k], state[k])

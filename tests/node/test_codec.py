@@ -1,0 +1,99 @@
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.compression import QSGD, TopK
+from repro.node.codec import decode_update, encode_update
+from repro.privacy import DifferentialPrivacy
+
+
+def make_state(rng):
+    return OrderedDict(
+        w=rng.standard_normal((4, 3)).astype(np.float32),
+        b=rng.standard_normal(3).astype(np.float32),
+        steps=np.asarray(5, dtype=np.int64),
+    )
+
+
+def test_noop_without_plugins(rng):
+    state = make_state(rng)
+    wire, meta = encode_update(state)
+    assert wire is state and meta == {}
+    assert decode_update(wire, meta) == dict(state)
+
+
+def test_lossless_compression_roundtrip(rng):
+    state = make_state(rng)
+    comp = TopK(ratio=1)
+    wire, meta = encode_update(state, comp)
+    assert meta["compressed"]
+    assert any(k.startswith("__czip__.") for k in wire)
+    assert "steps" in wire  # int buffers travel raw
+    decoded = decode_update(wire, meta, comp)
+    for k in ("w", "b"):
+        assert np.allclose(decoded[k], state[k])
+    assert int(decoded["steps"]) == 5
+
+
+def test_lossy_compression_reduces_bytes(rng):
+    rng2 = np.random.default_rng(1)
+    state = OrderedDict(w=rng2.standard_normal(10000).astype(np.float32))
+    comp = TopK(ratio=100)
+    wire, meta = encode_update(state, comp)
+    sent = sum(v.nbytes for v in wire.values())
+    assert sent < state["w"].nbytes / 10
+
+
+def test_delta_coding_recovers_reference_plus_delta(rng):
+    state = make_state(rng)
+    reference = OrderedDict((k, v - 1.0 if np.issubdtype(v.dtype, np.floating) else v)
+                            for k, v in state.items())
+    comp = TopK(ratio=1)
+    wire, meta = encode_update(state, comp, reference=reference)
+    assert meta["delta_coded"]
+    decoded = decode_update(wire, meta, comp, reference=reference)
+    assert np.allclose(decoded["w"], state["w"], atol=1e-6)
+
+
+def test_delta_coded_decode_requires_reference(rng):
+    state = make_state(rng)
+    comp = TopK(ratio=1)
+    wire, meta = encode_update(state, comp, reference=state)
+    with pytest.raises(ValueError, match="reference"):
+        decode_update(wire, meta, comp)
+
+
+def test_decode_compressed_without_compressor_rejected(rng):
+    state = make_state(rng)
+    wire, meta = encode_update(state, TopK(ratio=2))
+    with pytest.raises(ValueError, match="compressor"):
+        decode_update(wire, meta)
+
+
+def test_dp_only_path_adds_noise_and_keeps_keys(rng):
+    state = make_state(rng)
+    dp = DifferentialPrivacy(epsilon=0.5, clip_norm=1.0, seed=1)
+    wire, meta = encode_update(state, dp=dp)
+    assert "dp" in meta
+    assert set(wire) == set(state)
+    assert not np.allclose(wire["w"], state["w"])  # noised
+    assert int(wire["steps"]) == 5  # ints untouched
+
+
+def test_dp_then_compression_compose(rng):
+    state = make_state(rng)
+    dp = DifferentialPrivacy(epsilon=1.0, clip_norm=10.0, seed=2)
+    comp = QSGD(bits=16)
+    wire, meta = encode_update(state, comp, dp)
+    assert meta["compressed"] and "dp" in meta
+    decoded = decode_update(wire, meta, comp)
+    assert decoded["w"].shape == state["w"].shape
+
+
+def test_spec_travels_in_meta(rng):
+    state = make_state(rng)
+    comp = TopK(ratio=1)
+    _, meta = encode_update(state, comp)
+    keys = [k for k, _, _ in meta["spec"]]
+    assert keys == ["w", "b"]  # float entries only, order preserved

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.privacy.diffie_hellman import (
+    DHKeyPair,
+    DHParameters,
+    default_group,
+    derive_pair_key,
+)
+from repro.privacy.secure_agg import SecureAggregation
+
+
+def test_group_parameters_sane():
+    group = default_group()
+    assert group.bits >= 1024
+    assert group.g == 2
+    group.validate()  # Miller-Rabin-verified prime modulus
+
+
+def test_composite_modulus_rejected():
+    with pytest.raises(ValueError, match="prime"):
+        DHParameters(p=3 * 5 * 7 * 11 + 2).validate()
+
+
+def test_shared_secret_agreement():
+    alice = DHKeyPair.generate(seed=1)
+    bob = DHKeyPair.generate(seed=2)
+    assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+
+def test_different_pairs_different_secrets():
+    a = DHKeyPair.generate(seed=1)
+    b = DHKeyPair.generate(seed=2)
+    c = DHKeyPair.generate(seed=3)
+    assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+
+def test_derive_pair_key_symmetric():
+    a = DHKeyPair.generate(seed=4)
+    b = DHKeyPair.generate(seed=5)
+    assert derive_pair_key(a, b.public) == derive_pair_key(b, a.public)
+    assert len(derive_pair_key(a, b.public)) == 32
+
+
+def test_context_separation():
+    a = DHKeyPair.generate(seed=4)
+    b = DHKeyPair.generate(seed=5)
+    assert derive_pair_key(a, b.public, b"ctx1") != derive_pair_key(a, b.public, b"ctx2")
+
+
+def test_rejects_degenerate_public_shares():
+    a = DHKeyPair.generate(seed=1)
+    p = default_group().p
+    for bad in (0, 1, p - 1, p):
+        with pytest.raises(ValueError):
+            a.shared_secret(bad)
+
+
+def test_random_generation_produces_distinct_keys():
+    assert DHKeyPair.generate().public != DHKeyPair.generate().public
+
+
+def test_sa_with_dh_key_exchange(rng):
+    sa = SecureAggregation(n_clients=4, key_exchange="dh", dh_seed=0)
+    vectors = [rng.standard_normal(64).astype(np.float32) for _ in range(4)]
+    mean = sa.roundtrip_mean(vectors)
+    assert np.abs(mean - np.mean(vectors, axis=0)).max() < 1e-3
+
+
+def test_sa_dh_pair_keys_symmetric():
+    sa = SecureAggregation(n_clients=3, key_exchange="dh", dh_seed=7)
+    assert sa.pair_key(0, 2) == sa.pair_key(2, 0)
+
+
+def test_sa_dh_no_group_secret_dependency(rng):
+    # with DH, changing the (unused) group secret must not change the keys
+    a = SecureAggregation(3, group_secret=b"x", key_exchange="dh", dh_seed=1)
+    b = SecureAggregation(3, group_secret=b"y", key_exchange="dh", dh_seed=1)
+    assert a.pair_key(0, 1) == b.pair_key(0, 1)
+
+
+def test_sa_unknown_key_exchange():
+    with pytest.raises(ValueError):
+        SecureAggregation(3, key_exchange="quantum")

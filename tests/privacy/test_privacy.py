@@ -1,0 +1,265 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    DifferentialPrivacy,
+    HomomorphicEncryption,
+    PrivacyAccountant,
+    SecureAggregation,
+    gaussian_sigma,
+    generate_keypair,
+    laplace_scale,
+)
+
+
+# ------------------------------------------------------------ DP
+def test_gaussian_sigma_formula():
+    sigma = gaussian_sigma(epsilon=1.0, delta=1e-5, sensitivity=2.0)
+    assert sigma == pytest.approx(2.0 * math.sqrt(2 * math.log(1.25e5)))
+
+
+def test_sigma_decreases_with_epsilon():
+    assert gaussian_sigma(10.0, 1e-5, 1.0) < gaussian_sigma(1.0, 1e-5, 1.0)
+
+
+def test_sigma_validations():
+    with pytest.raises(ValueError):
+        gaussian_sigma(0.0, 1e-5, 1.0)
+    with pytest.raises(ValueError):
+        gaussian_sigma(1.0, 2.0, 1.0)
+    with pytest.raises(ValueError):
+        laplace_scale(-1.0, 1.0)
+
+
+def test_clip_bounds_norm(rng):
+    dp = DifferentialPrivacy(epsilon=1.0, clip_norm=1.0)
+    big = rng.standard_normal(100).astype(np.float32) * 50
+    assert np.linalg.norm(dp.clip(big)) <= 1.0 + 1e-5
+    small = np.zeros(10, np.float32)
+    small[0] = 0.5
+    assert np.allclose(dp.clip(small), small)  # under the bound: untouched
+
+
+def test_noise_scale_empirical(rng):
+    dp = DifferentialPrivacy(epsilon=1.0, delta=1e-5, clip_norm=1.0, seed=0)
+    zeros = np.zeros(200_000, np.float32)
+    noisy = dp.add_noise(zeros)
+    assert noisy.std() == pytest.approx(dp.sigma, rel=0.05)
+
+
+def test_higher_epsilon_means_less_noise(rng):
+    weak = DifferentialPrivacy(epsilon=10.0, seed=0)
+    strong = DifferentialPrivacy(epsilon=1.0, seed=0)
+    z = np.zeros(50_000, np.float32)
+    assert weak.add_noise(z).std() < strong.add_noise(z).std()
+
+
+def test_laplace_mechanism(rng):
+    dp = DifferentialPrivacy(epsilon=1.0, clip_norm=1.0, mechanism="laplace", seed=0)
+    noisy = dp.add_noise(np.zeros(200_000, np.float32))
+    # Laplace(b) has std b*sqrt(2)
+    assert noisy.std() == pytest.approx(dp.sigma * math.sqrt(2), rel=0.05)
+
+
+def test_apply_records_release():
+    dp = DifferentialPrivacy(epsilon=2.0, delta=1e-6)
+    dp.apply(np.ones(5, np.float32))
+    dp.apply(np.ones(5, np.float32))
+    eps, delta = dp.accountant.basic_composition()
+    assert eps == pytest.approx(4.0)
+    assert delta == pytest.approx(2e-6)
+
+
+def test_unknown_mechanism():
+    with pytest.raises(ValueError):
+        DifferentialPrivacy(mechanism="telepathy")
+
+
+# ------------------------------------------------------------ accountant
+def test_accountant_basic_composition():
+    acc = PrivacyAccountant()
+    for _ in range(10):
+        acc.record_release(0.5, 1e-6)
+    eps, delta = acc.basic_composition()
+    assert eps == pytest.approx(5.0)
+    assert delta == pytest.approx(1e-5)
+
+
+def test_advanced_composition_beats_basic_for_many_rounds():
+    acc = PrivacyAccountant(target_delta=1e-5)
+    for _ in range(500):
+        acc.record_release(0.1, 1e-8)
+    basic_eps, _ = acc.basic_composition()
+    adv_eps, _ = acc.advanced_composition()
+    assert adv_eps < basic_eps
+    assert acc.best_epsilon() == adv_eps
+
+
+def test_accountant_empty_and_reset():
+    acc = PrivacyAccountant()
+    assert acc.advanced_composition() == (0.0, 0.0)
+    acc.record_release(1.0, 1e-6)
+    acc.reset()
+    assert acc.steps == 0
+
+
+def test_accountant_validations():
+    with pytest.raises(ValueError):
+        PrivacyAccountant(target_delta=2.0)
+    with pytest.raises(ValueError):
+        PrivacyAccountant().record_release(0.0, 1e-5)
+
+
+# ------------------------------------------------------------ Paillier
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=128, seed=42)
+
+
+def test_paillier_encrypt_decrypt(keypair):
+    for m in [0, 1, 12345, keypair.public.n - 1]:
+        assert keypair.private.decrypt(keypair.public.encrypt(m)) == m
+
+
+def test_paillier_additive_homomorphism(keypair):
+    a, b = 1234, 98765
+    c = keypair.public.add(keypair.public.encrypt(a), keypair.public.encrypt(b))
+    assert keypair.private.decrypt(c) == a + b
+
+
+def test_paillier_scalar_multiplication(keypair):
+    c = keypair.public.scalar_mul(keypair.public.encrypt(111), 7)
+    assert keypair.private.decrypt(c) == 777
+
+
+def test_paillier_ciphertexts_randomized(keypair):
+    assert keypair.public.encrypt(5) != keypair.public.encrypt(5)
+
+
+def test_paillier_rejects_out_of_range(keypair):
+    with pytest.raises(ValueError):
+        keypair.public.encrypt(keypair.public.n)
+    with pytest.raises(ValueError):
+        keypair.public.encrypt(-1)
+
+
+def test_keypair_determinism_with_seed():
+    k1 = generate_keypair(bits=128, seed=7)
+    k2 = generate_keypair(bits=128, seed=7)
+    assert k1.public.n == k2.public.n
+
+
+def test_keygen_minimum_size():
+    with pytest.raises(ValueError):
+        generate_keypair(bits=32)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=st.integers(0, 2**40), b=st.integers(0, 2**40))
+def test_paillier_homomorphism_property(keypair, a, b):
+    pub, priv = keypair.public, keypair.private
+    c = pub.add(pub.encrypt(a), pub.encrypt(b))
+    assert priv.decrypt(c) == (a + b) % pub.n
+
+
+# ------------------------------------------------------------ HE aggregation
+@pytest.fixture(scope="module")
+def he():
+    return HomomorphicEncryption(key_bits=128, keypair=generate_keypair(128, seed=9))
+
+
+def test_he_roundtrip_mean(he, rng):
+    vectors = [rng.standard_normal(40).astype(np.float32) for _ in range(4)]
+    mean = he.roundtrip_mean(vectors)
+    assert np.abs(mean - np.mean(vectors, axis=0)).max() < 1e-3
+
+
+def test_he_quantization_error_bounded(he, rng):
+    v = rng.standard_normal(30).astype(np.float32)
+    restored = he.dequantize(he.quantize(v))
+    assert np.abs(restored - v).max() <= 1.0 / he.scale
+
+
+def test_he_packing_multiple_values_per_ciphertext(he, rng):
+    assert he.slots_per_ciphertext > 1
+    cts = he.encrypt(rng.standard_normal(20).astype(np.float32))
+    assert len(cts) == int(np.ceil(20 / he.slots_per_ciphertext))
+
+
+def test_he_headroom_enforced(he):
+    too_many = [[1]] * (2 ** he.headroom_bits + 1)
+    with pytest.raises(ValueError, match="headroom"):
+        he.aggregate_encrypted(too_many)
+
+
+def test_he_slot_width_validation():
+    with pytest.raises(ValueError):
+        HomomorphicEncryption(key_bits=128, value_bits=60, headroom_bits=10,
+                              keypair=generate_keypair(128, seed=1))
+
+
+def test_he_negative_values_roundtrip(he):
+    v = np.array([-1.5, 2.25, -0.125, 0.0], dtype=np.float32)
+    total = he.decrypt_sum(he.aggregate_encrypted([he.encrypt(v), he.encrypt(v)]), 4, 2)
+    assert np.allclose(total, 2 * v, atol=1e-3)
+
+
+# ------------------------------------------------------------ Secure Aggregation
+def test_sa_masks_cancel_exactly(rng):
+    sa = SecureAggregation(n_clients=5)
+    vectors = [rng.standard_normal(128).astype(np.float32) for _ in range(5)]
+    masked = [sa.mask_update(i, v) for i, v in enumerate(vectors)]
+    total = sa.aggregate(masked)
+    expected = np.sum(vectors, axis=0)
+    assert np.abs(total - expected).max() < 5 * 2**-sa.frac_bits
+
+
+def test_sa_single_update_is_garbage(rng):
+    # an individual masked update must not reveal the plaintext
+    sa = SecureAggregation(n_clients=3)
+    v = np.zeros(64, np.float32)
+    masked = sa.mask_update(0, v)
+    assert np.abs(sa.decode_sum(masked)).mean() > 1.0
+
+
+def test_sa_pair_keys_symmetric_and_distinct():
+    sa = SecureAggregation(n_clients=4)
+    assert sa.pair_key(1, 2) == sa.pair_key(2, 1)
+    assert sa.pair_key(0, 1) != sa.pair_key(0, 2)
+
+
+def test_sa_requires_all_clients(rng):
+    sa = SecureAggregation(n_clients=4)
+    masked = [sa.mask_update(i, np.ones(8, np.float32)) for i in range(3)]
+    with pytest.raises(ValueError, match="masked updates"):
+        sa.aggregate(masked)
+
+
+def test_sa_minimum_clients():
+    with pytest.raises(ValueError):
+        SecureAggregation(n_clients=1)
+
+
+def test_sa_different_secrets_differ(rng):
+    v = np.ones(16, np.float32)
+    a = SecureAggregation(3, group_secret=b"s1").mask_update(0, v)
+    b = SecureAggregation(3, group_secret=b"s2").mask_update(0, v)
+    assert not np.array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_clients=st.integers(2, 6),
+    size=st.integers(1, 64),
+    seed=st.integers(0, 999),
+)
+def test_sa_cancellation_property(n_clients, size, seed):
+    rng = np.random.default_rng(seed)
+    sa = SecureAggregation(n_clients=n_clients)
+    vectors = [rng.uniform(-100, 100, size).astype(np.float32) for _ in range(n_clients)]
+    mean = sa.roundtrip_mean(vectors)
+    assert np.abs(mean - np.mean(vectors, axis=0)).max() < 1e-2

@@ -1,0 +1,202 @@
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import build_datamodule
+from repro.streaming import (
+    Consumer,
+    KafkaBroker,
+    Producer,
+    RateLimiter,
+    StreamingDataLoader,
+    measure_stream_rates,
+    stream_dataset,
+)
+
+
+# ------------------------------------------------------------ broker
+def test_topic_creation_and_offsets():
+    broker = KafkaBroker()
+    broker.create_topic("t", partitions=2)
+    assert broker.partitions_for("t") == 2
+    r0 = broker.append("t", "a", partition=0)
+    r1 = broker.append("t", "b", partition=0)
+    assert (r0.offset, r1.offset) == (0, 1)
+    assert broker.end_offset("t", 0) == 2
+    assert broker.end_offset("t", 1) == 0
+
+
+def test_round_robin_partitioning():
+    broker = KafkaBroker()
+    broker.create_topic("t", partitions=3)
+    for i in range(6):
+        broker.append("t", i)
+    assert all(broker.end_offset("t", p) == 2 for p in range(3))
+
+
+def test_key_hash_partition_stable():
+    broker = KafkaBroker()
+    broker.create_topic("t", partitions=4)
+    for _ in range(5):
+        broker.append("t", "x", key=b"client-3")
+    filled = [p for p in range(4) if broker.end_offset("t", p) > 0]
+    assert len(filled) == 1
+
+
+def test_fetch_from_offset():
+    broker = KafkaBroker()
+    broker.create_topic("t")
+    for i in range(10):
+        broker.append("t", i)
+    records = broker.fetch("t", 0, offset=4, max_records=3)
+    assert [r.value for r in records] == [4, 5, 6]
+
+
+def test_ordering_within_partition():
+    broker = KafkaBroker()
+    broker.create_topic("t", partitions=1)
+    for i in range(50):
+        broker.append("t", i)
+    values = [r.value for r in broker.fetch("t", 0, 0, 100)]
+    assert values == list(range(50))
+
+
+def test_wait_fetch_blocks_until_data():
+    broker = KafkaBroker()
+    broker.create_topic("t")
+    result = []
+
+    def consumer():
+        result.extend(broker.wait_fetch("t", 0, 0, timeout=5.0))
+
+    th = threading.Thread(target=consumer)
+    th.start()
+    time.sleep(0.05)
+    broker.append("t", "late")
+    th.join(timeout=5)
+    assert result and result[0].value == "late"
+
+
+def test_auto_create_on_append():
+    broker = KafkaBroker()
+    broker.append("new-topic", 1)
+    assert "new-topic" in broker.topics()
+
+
+def test_topic_conflict_rejected():
+    broker = KafkaBroker()
+    broker.create_topic("t", partitions=2)
+    with pytest.raises(ValueError):
+        broker.create_topic("t", partitions=3)
+
+
+# ------------------------------------------------------------ rate limiter
+def test_rate_limiter_enforces_rate():
+    limiter = RateLimiter(rate=200, burst=1)
+    start = time.monotonic()
+    for _ in range(40):
+        limiter.acquire()
+    elapsed = time.monotonic() - start
+    assert elapsed >= 0.15  # 40 tokens at 200/s ~ 0.2s
+
+
+def test_rate_limiter_invalid_rate():
+    with pytest.raises(ValueError):
+        RateLimiter(0)
+
+
+# ------------------------------------------------------------ consumer
+def test_consumer_tracks_positions():
+    broker = KafkaBroker()
+    broker.create_topic("t")
+    for i in range(8):
+        broker.append("t", i)
+    consumer = Consumer(broker)
+    consumer.subscribe(["t"])
+    first = consumer.poll(timeout=0.1, max_records=5)
+    second = consumer.poll(timeout=0.1, max_records=5)
+    assert [r.value for r in first] == [0, 1, 2, 3, 4]
+    assert [r.value for r in second] == [5, 6, 7]
+    assert consumer.lag() == 0
+
+
+def test_consumer_from_end():
+    broker = KafkaBroker()
+    broker.create_topic("t")
+    broker.append("t", "old")
+    consumer = Consumer(broker)
+    consumer.subscribe(["t"], from_beginning=False)
+    broker.append("t", "new")
+    records = consumer.poll(timeout=0.2)
+    assert [r.value for r in records] == ["new"]
+
+
+def test_consumer_seek():
+    broker = KafkaBroker()
+    broker.create_topic("t")
+    for i in range(5):
+        broker.append("t", i)
+    consumer = Consumer(broker)
+    consumer.subscribe(["t"])
+    consumer.poll(timeout=0.1)
+    consumer.seek("t", 0, 2)
+    assert [r.value for r in consumer.poll(timeout=0.1)] == [2, 3, 4]
+
+
+def test_poll_before_subscribe_rejected():
+    with pytest.raises(RuntimeError):
+        Consumer(KafkaBroker()).poll()
+
+
+# ------------------------------------------------------------ streaming loader
+def test_streaming_dataloader_batches(rng):
+    broker = KafkaBroker()
+    broker.create_topic("data")
+    producer = Producer(broker)
+    for i in range(70):
+        producer.send("data", (rng.standard_normal(4).astype(np.float32), i % 3))
+    loader = StreamingDataLoader(broker, "data", batch_size=32, max_wait=1.0)
+    batches = list(loader.batches(2))
+    assert len(batches) == 2
+    x, y = batches[0]
+    assert x.shape == (32, 4) and y.dtype == np.int64
+    assert loader.samples_seen == 64
+
+
+def test_streaming_dataloader_times_out_gracefully():
+    broker = KafkaBroker()
+    broker.create_topic("empty")
+    loader = StreamingDataLoader(broker, "empty", batch_size=8, max_wait=0.1)
+    assert list(loader.batches(1)) == []
+
+
+def test_stream_dataset_cycles():
+    dm = build_datamodule("blobs", train_size=4, test_size=2)
+    stream = stream_dataset(dm.train, repeat=True)
+    samples = [next(stream) for _ in range(10)]
+    assert len(samples) == 10  # more than the dataset size
+
+
+# ------------------------------------------------------------ rate measurement (Fig. 6 harness)
+def test_measured_rate_tracks_target():
+    dm = build_datamodule("blobs", train_size=64, test_size=8)
+    result = measure_stream_rates(dm.train, target_rate=100, n_clients=1, duration=0.6)
+    assert 0.6 * 100 <= result["median_rate"] <= 1.4 * 100
+
+
+def test_multi_client_rates():
+    dm = build_datamodule("blobs", train_size=64, test_size=8)
+    result = measure_stream_rates(dm.train, target_rate=40, n_clients=4, duration=0.6)
+    assert len(result["rates"]) == 4
+    for rate in result["rates"]:
+        assert rate > 10  # every client is fed
+
+
+def test_producer_capacity_caps_aggregate():
+    dm = build_datamodule("blobs", train_size=64, test_size=8)
+    result = measure_stream_rates(
+        dm.train, target_rate=1000, n_clients=4, duration=0.5, producer_capacity=100
+    )
+    assert sum(result["rates"]) < 200  # capacity 100/s, generous margin

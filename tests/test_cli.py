@@ -1,0 +1,45 @@
+"""The `python -m repro` CLI: list, dry-run, and a tiny end-to-end run."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_groups(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fedavg" in out and "centralized" in out and "resnet18" in out
+
+
+def test_dry_run_prints_composed_config(capsys):
+    assert main(["--dry-run", "algorithm=fedprox", "algorithm.mu=0.42"]) == 0
+    out = capsys.readouterr().out
+    assert "FedProx" in out
+    assert "0.42" in out
+
+
+def test_dry_run_with_group_reselect(capsys):
+    assert main(["--dry-run", "topology=ring"]) == 0
+    assert "RingTopology" in capsys.readouterr().out
+
+
+def test_end_to_end_tiny_run(capsys, fresh_port):
+    rc = main([
+        "model=mlp",
+        "datamodule=blobs",
+        "datamodule.train_size=96",
+        "datamodule.test_size=32",
+        "topology.num_clients=2",
+        f"topology.inner_comm.master_port={fresh_port}",
+        "global_rounds=1",
+        "algorithm.lr=0.05",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "summary:" in out
+    assert "comm[inner]" in out
+
+
+def test_bad_override_fails_loudly():
+    with pytest.raises(Exception):
+        main(["--dry-run", "no_such_key=1"])

@@ -1,0 +1,34 @@
+"""The paper-facing ``src.omnifed.*`` / ``repro.omnifed.*`` namespace."""
+
+import pytest
+
+from repro.config.instantiate import locate
+
+
+@pytest.mark.parametrize(
+    "target,expected",
+    [
+        ("src.omnifed.topology.CentralizedTopology", "CentralizedTopology"),
+        ("src.omnifed.topology.DecentralizedTopology", "RingTopology"),
+        ("src.omnifed.topology.HierarchicalTopology", "HierarchicalTopology"),
+        ("src.omnifed.communicator.GrpcCommunicator", "GrpcCommunicator"),
+        ("src.omnifed.communicator.TorchDistCommunicator", "TorchDistCommunicator"),
+        ("src.omnifed.communicator.MqttCommunicator", "MqttCommunicator"),
+        ("src.omnifed.communicator.AmqpCommunicator", "AmqpCommunicator"),
+        ("src.omnifed.communicator.compression.TopK", "TopK"),
+        ("src.omnifed.communicator.compression.PowerSGD", "PowerSGD"),
+        ("src.omnifed.privacy.DifferentialPrivacy", "DifferentialPrivacy"),
+        ("src.omnifed.privacy.SecureAggregation", "SecureAggregation"),
+        ("omnifed.algorithm.FedAvg", "FedAvg"),
+    ],
+)
+def test_paper_targets_resolve(target, expected):
+    assert locate(target).__name__ == expected
+
+
+def test_all_eleven_algorithms_under_paper_namespace():
+    from repro.omnifed import algorithm
+
+    for name in ["FedAvg", "FedProx", "FedMom", "FedNova", "Scaffold", "Moon",
+                  "FedPer", "FedDyn", "FedBN", "Ditto", "DiLoCo"]:
+        assert hasattr(algorithm, name), name

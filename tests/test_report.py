@@ -1,0 +1,63 @@
+"""The benchmark report generator consumes pytest-benchmark JSON."""
+
+import json
+
+import pytest
+
+from benchmarks.report import fmt_seconds, main, render_group, row_label
+
+
+def fake_json(tmp_path):
+    data = {
+        "benchmarks": [
+            {
+                "name": "test_x[fedavg]",
+                "group": "table1-resnet18",
+                "stats": {"median": 1.25},
+                "extra_info": {"algorithm": "fedavg", "final_accuracy": 0.9},
+            },
+            {
+                "name": "test_x[moon]",
+                "group": "table1-resnet18",
+                "stats": {"median": 2.5},
+                "extra_info": {"algorithm": "moon", "final_accuracy": 0.95},
+            },
+            {
+                "name": "test_y",
+                "group": None,
+                "stats": {"median": 0.001},
+                "extra_info": {},
+            },
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_fmt_seconds():
+    assert fmt_seconds(2.0) == "2.00s"
+    assert fmt_seconds(0.0042) == "4.2ms"
+
+
+def test_row_label_prefers_semantic_keys():
+    assert row_label({"name": "t[x]", "extra_info": {"algorithm": "fedprox"}}) == "fedprox"
+    assert row_label({"name": "t[abc]", "extra_info": {}}) == "abc"
+
+
+def test_render_group_contains_rows():
+    entries = [
+        {"name": "a[x]", "stats": {"median": 1.0}, "extra_info": {"algorithm": "x", "final_accuracy": 0.5}},
+    ]
+    text = render_group("g", entries, markdown=False)
+    assert "g" in text and "x" in text and "0.5" in text
+
+
+def test_main_plain_and_markdown(tmp_path, capsys):
+    path = fake_json(tmp_path)
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "table1-resnet18" in out and "fedavg" in out
+    assert main([path, "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "| case |" in out or "| " in out

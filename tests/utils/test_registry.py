@@ -1,0 +1,59 @@
+import pytest
+
+from repro.utils.registry import Registry
+
+
+def make_registry():
+    reg: Registry = Registry("thing")
+
+    @reg.register("alpha", "a")
+    def build_alpha(x=1):
+        return ("alpha", x)
+
+    return reg
+
+
+def test_register_and_build():
+    reg = make_registry()
+    assert reg.build("alpha", x=3) == ("alpha", 3)
+
+
+def test_alias_and_case_insensitive():
+    reg = make_registry()
+    assert reg.get("A") is reg.get("alpha")
+    assert reg.get("Alpha")() == ("alpha", 1)
+
+
+def test_dash_normalized_to_underscore():
+    reg: Registry = Registry("t")
+
+    @reg.register("top_k")
+    def f():
+        return 1
+
+    assert "top-k" in reg
+    assert reg.build("top-k") == 1
+
+
+def test_unknown_name_lists_available():
+    reg = make_registry()
+    with pytest.raises(KeyError, match="alpha"):
+        reg.get("missing")
+
+
+def test_duplicate_registration_rejected():
+    reg = make_registry()
+    with pytest.raises(KeyError, match="duplicate"):
+        reg.register("alpha")(lambda: None)
+
+
+def test_iteration_and_names():
+    reg = make_registry()
+    assert list(reg) == ["a", "alpha"]
+    assert reg.names() == ["a", "alpha"]
+
+
+def test_maybe_get():
+    reg = make_registry()
+    assert reg.maybe_get("nope") is None
+    assert reg.maybe_get("alpha") is not None

@@ -1,0 +1,63 @@
+import threading
+
+import pytest
+
+from repro.utils.timer import SimClock, WallTimer
+
+
+def test_wall_timer_accumulates():
+    t = WallTimer()
+    with t.measure():
+        pass
+    with t.measure():
+        pass
+    assert t.count == 2
+    assert t.total >= 0.0
+    assert len(t.laps) == 2
+
+
+def test_wall_timer_median_and_mean():
+    t = WallTimer()
+    t._laps.extend([1.0, 3.0, 2.0])
+    t.total, t.count = 6.0, 3
+    assert t.median == 2.0
+    assert t.mean == pytest.approx(2.0)
+
+
+def test_wall_timer_reset():
+    t = WallTimer()
+    with t.measure():
+        pass
+    t.reset()
+    assert t.count == 0 and t.total == 0.0 and t.laps == []
+
+
+def test_sim_clock_buckets():
+    c = SimClock()
+    c.advance(1.5, "a")
+    c.advance(0.5, "a")
+    c.advance(2.0, "b")
+    assert c.read("a") == pytest.approx(2.0)
+    assert c.total == pytest.approx(4.0)
+    assert c.snapshot() == {"a": 2.0, "b": 2.0}
+
+
+def test_sim_clock_rejects_negative():
+    c = SimClock()
+    with pytest.raises(ValueError):
+        c.advance(-1.0)
+
+
+def test_sim_clock_thread_safety():
+    c = SimClock()
+
+    def work():
+        for _ in range(1000):
+            c.advance(0.001, "x")
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.read("x") == pytest.approx(8.0, rel=1e-6)
