@@ -1,0 +1,95 @@
+"""Scheduler ablation — sync vs. semi-sync vs. async under stragglers.
+
+For each execution policy, run the same federation (same seed, same
+lognormal latency model) to the same number of applied client updates and
+report virtual wall-clock (``sim_makespan``), rounds-to-target-accuracy,
+and final accuracy.  The headline shape: the synchronous barrier pays the
+straggler tail every round, the deadline policy caps it, and the
+event-driven policies hide it entirely — at the price of staleness.
+
+Run:  pytest benchmarks/bench_async_straggler.py --benchmark-only
+"""
+
+import pytest
+
+from repro.engine import Engine
+
+HETERO = {"latency": "lognormal", "mean": 1.0, "sigma": 1.0}
+
+SCHEDULERS = {
+    "sync": {"name": "sync", "heterogeneity": HETERO},
+    "semi_sync": {"name": "semi_sync", "deadline": 1.0, "heterogeneity": HETERO},
+    "fedasync": {"name": "fedasync", "alpha": 0.6, "heterogeneity": HETERO},
+    "fedbuff": {"name": "fedbuff", "buffer_size": 4, "heterogeneity": HETERO},
+}
+
+CLIENTS = 4
+TOTAL_UPDATES = 24
+TARGET_ACCURACY = 0.8
+
+
+def make_engine(mode: str, port: int) -> Engine:
+    return Engine.from_names(
+        topology="centralized",
+        algorithm="fedavg",
+        model="mlp",
+        datamodule="blobs",
+        num_clients=CLIENTS,
+        global_rounds=TOTAL_UPDATES // CLIENTS,
+        batch_size=32,
+        seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
+        datamodule_kwargs={"train_size": 512, "test_size": 128},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        scheduler=dict(SCHEDULERS[mode]),
+    )
+
+
+def run_once(mode: str, port: int):
+    engine = make_engine(mode, port)
+    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
+    engine.shutdown()
+    updates_to_target = None
+    applied = 0
+    for rec in metrics.history:
+        applied += rec.applied
+        if rec.eval_accuracy is not None and rec.eval_accuracy >= TARGET_ACCURACY:
+            updates_to_target = applied
+            break
+    return metrics, updates_to_target
+
+
+@pytest.mark.parametrize("mode", list(SCHEDULERS))
+def test_straggler_wall_clock(benchmark, mode, fresh_port):
+    holder = {}
+    ports = iter(range(fresh_port, fresh_port + 10_000, 37))
+
+    def once():
+        holder["result"] = run_once(mode, next(ports))
+
+    benchmark.group = "async-straggler"
+    benchmark.pedantic(once, rounds=2, iterations=1, warmup_rounds=0)
+    metrics, updates_to_target = holder["result"]
+    benchmark.extra_info["strategy"] = mode
+    benchmark.extra_info["sim_makespan_s"] = round(metrics.sim_makespan(), 4)
+    benchmark.extra_info["applied_updates"] = metrics.total_applied()
+    benchmark.extra_info["final_accuracy"] = metrics.final_accuracy()
+    benchmark.extra_info["updates_to_target"] = updates_to_target
+    benchmark.extra_info["mean_staleness"] = round(
+        sum(r.staleness_mean * r.applied for r in metrics.history)
+        / max(1, metrics.total_applied()),
+        4,
+    )
+
+
+def test_async_strictly_beats_sync_wall_clock(fresh_port):
+    """The acceptance check, same seed across arms: straggler-hiding
+    policies finish the same number of updates in strictly less virtual
+    time than the barrier."""
+    spans = {}
+    for i, mode in enumerate(SCHEDULERS):
+        metrics, _ = run_once(mode, fresh_port + 61 * (i + 1))
+        spans[mode] = metrics.sim_makespan()
+    assert spans["semi_sync"] < spans["sync"]
+    assert spans["fedasync"] < spans["sync"]
+    assert spans["fedbuff"] < spans["sync"]

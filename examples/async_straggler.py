@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Execution policies under stragglers: sync vs. semi-sync vs. async.
+
+The same federation (4 clients, FedAvg on the blobs task, one seed) runs
+under four execution policies against an identical lognormal latency model:
+
+* ``sync``       — barrier per round; every round pays the slowest client;
+* ``semi_sync``  — deadline rounds; stragglers carry over with a staleness
+                   discount;
+* ``fedasync``   — merge every arrival immediately, staleness-weighted;
+* ``fedbuff``    — buffer K staleness-discounted deltas per flush.
+
+Latency is *virtual* (no sleeping): the scheduler advances a simulated
+clock, so the printed makespans are what a real WAN deployment would see,
+reproduced in milliseconds of laptop time.
+
+Run:  python examples/async_straggler.py
+"""
+
+from repro.engine import Engine
+
+HETERO = {"latency": "lognormal", "mean": 1.0, "sigma": 1.0}
+
+POLICIES = {
+    "sync": {"name": "sync", "heterogeneity": HETERO},
+    "semi_sync": {"name": "semi_sync", "deadline": 1.0, "heterogeneity": HETERO},
+    "fedasync": {"name": "fedasync", "alpha": 0.6, "heterogeneity": HETERO},
+    "fedbuff": {"name": "fedbuff", "buffer_size": 4, "heterogeneity": HETERO},
+}
+
+TOTAL_UPDATES = 24
+
+
+def run(mode: str, port: int):
+    engine = Engine.from_names(
+        topology="centralized",
+        algorithm="fedavg",
+        model="mlp",
+        datamodule="blobs",
+        num_clients=4,
+        global_rounds=TOTAL_UPDATES // 4,
+        batch_size=32,
+        seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
+        datamodule_kwargs={"train_size": 512, "test_size": 128},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        scheduler=dict(POLICIES[mode]),
+    )
+    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
+    engine.shutdown()
+    return metrics
+
+
+def main() -> None:
+    print(f"{'policy':>10} {'sim makespan':>13} {'aggregations':>13} "
+          f"{'mean staleness':>15} {'final acc':>10}")
+    baseline = None
+    for i, mode in enumerate(POLICIES):
+        metrics = run(mode, 51000 + 50 * i)
+        span = metrics.sim_makespan()
+        if baseline is None:
+            baseline = span
+        staleness = sum(r.staleness_mean * r.applied for r in metrics.history)
+        staleness /= max(1, metrics.total_applied())
+        speedup = f"({baseline / span:.2f}x vs sync)" if span else ""
+        print(f"{mode:>10} {span:>10.2f}s {speedup:<14} {len(metrics.history):>6} "
+              f"{staleness:>15.2f} {metrics.final_accuracy():>10.3f}")
+
+
+if __name__ == "__main__":
+    main()

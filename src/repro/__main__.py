@@ -5,6 +5,8 @@ Usage::
     python -m repro                                    # default experiment
     python -m repro algorithm=fedprox +algorithm.mu=0.1
     python -m repro topology=hierarchical global_rounds=5
+    python -m repro scheduler=fedasync                 # async execution policy
+    python -m repro scheduler=fedbuff scheduler.buffer_size=8
     python -m repro --config-dir my_confs --config-name exp  algorithm=moon
     python -m repro --list                             # show config groups
 
@@ -35,7 +37,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     store = ConfigStore(args.config_dir) if args.config_dir else builtin_store()
 
     if args.list:
-        for group in ["topology", "algorithm", "model", "datamodule", "compression", "privacy"]:
+        for group in ["topology", "algorithm", "model", "datamodule", "scheduler",
+                      "compression", "privacy"]:
             options = store.available(group)
             if options:
                 print(f"{group:12s} {', '.join(options)}")
@@ -48,7 +51,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     engine = Engine.from_config(cfg)
     try:
-        metrics = engine.run()
+        if engine.scheduler is not None:
+            metrics = engine.run_async()
+            print(f"scheduler: {engine.scheduler.name} "
+                  f"(sim makespan {metrics.sim_makespan():.2f}s, "
+                  f"{metrics.total_applied()} updates applied)")
+        else:
+            metrics = engine.run()
         print(metrics.table())
         print("summary:", metrics.summary())
         comm = engine.comm_summary()

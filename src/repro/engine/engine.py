@@ -29,6 +29,8 @@ from repro.models.base import FederatedModel
 from repro.models.registry import build_model
 from repro.node.node import Node
 from repro.privacy.dp import DifferentialPrivacy
+from repro.scheduler.base import Scheduler, build_scheduler
+from repro.scheduler.selection import build_selector
 from repro.topology.base import NodeRole, Topology, build_topology
 from repro.utils.logging import get_logger
 from repro.utils.timer import SimClock
@@ -62,6 +64,9 @@ class Engine:
         straggler_prob: float = 0.0,
         straggler_delay: float = 0.0,
         feature_noniid: float = 0.0,
+        selection: str = "random",
+        selection_kwargs: Optional[Dict[str, Any]] = None,
+        scheduler: Optional[Any] = None,
     ) -> None:
         if global_rounds < 1:
             raise ValueError("global_rounds must be >= 1")
@@ -77,7 +82,11 @@ class Engine:
         self.seed = int(seed)
         self.metrics = MetricsCollector()
         self.sim_clock = SimClock()
-        self._round_rng = np.random.default_rng((seed, 0x5E1EC7))
+        self.selector = build_selector(selection, seed=seed, **(selection_kwargs or {}))
+        self.scheduler = self._resolve_scheduler(scheduler)
+        self._last_losses: Dict[int, float] = {}
+        self._bytes_seen = 0
+        self._sim_comm_seen = 0.0
 
         specs = topology.specs()
         n_trainers = topology.trainer_count()
@@ -198,6 +207,7 @@ class Engine:
 
         comp_cfg = cfg.get("compression")
         dp_cfg = cfg.get("privacy")
+        sched_cfg = cfg.get("scheduler")
         return cls(
             topology=topo,
             datamodule=dm,
@@ -212,7 +222,33 @@ class Engine:
             partition_alpha=float(cfg.get("partition_alpha", 0.5)),
             eval_every=int(cfg.get("eval_every", 1)),
             client_fraction=float(cfg.get("client_fraction", 1.0)),
+            selection=str(cfg.get("selection", "random")),
+            selection_kwargs=dict(cfg.get("selection_kwargs") or {}),
+            scheduler=dict(sched_cfg) if isinstance(sched_cfg, dict) else sched_cfg,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_scheduler(spec: Optional[Any]) -> Optional[Scheduler]:
+        """Accept a Scheduler, a registry name, or a kwargs dict with ``name``."""
+        if spec is None or isinstance(spec, Scheduler):
+            return spec
+        if isinstance(spec, str):
+            return build_scheduler(spec)
+        if isinstance(spec, dict):
+            kwargs = dict(spec)
+            if "_target_" in kwargs:
+                from repro.config.instantiate import instantiate
+
+                obj = instantiate(kwargs)
+                if not isinstance(obj, Scheduler):
+                    raise TypeError(f"scheduler config built {type(obj).__name__}, not a Scheduler")
+                return obj
+            name = kwargs.pop("name", None)
+            if name is None:
+                raise ValueError("scheduler dict needs a 'name' (or '_target_') key")
+            return build_scheduler(str(name), **kwargs)
+        raise TypeError(f"cannot build a scheduler from {type(spec).__name__}")
 
     # ------------------------------------------------------------------
     def setup(self) -> None:
@@ -231,6 +267,16 @@ class Engine:
         wait_all(futures, timeout=60)
         self._setup_done = True
         _LOG.info("engine ready: %s", self.topology.describe())
+
+    def setup_async(self) -> None:
+        """Algorithm/state setup without binding communicators.
+
+        The scheduler runtime moves updates through actor futures, so nodes
+        skip the collective rendezvous entirely; if the engine was already
+        set up for synchronous rounds, the per-node guard makes this a no-op.
+        """
+        futures = [actor.submit("setup_local") for actor in self.actors]
+        wait_all(futures, timeout=60)
 
     # ------------------------------------------------------------------
     def run_round(self, round_idx: int) -> RoundRecord:
@@ -253,14 +299,21 @@ class Engine:
                 losses.append(res["loss"] * res.get("samples", 1.0))
                 accs.append(res["accuracy"] * res.get("samples", 1.0))
                 weights.append(res.get("samples", 1.0))
+                self._last_losses[node.spec.index] = float(res["loss"])
         total_w = sum(weights)
         if total_w > 0:
             record.train_loss = sum(losses) / total_w
             record.train_accuracy = sum(accs) / total_w
-        record.sim_comm_seconds = self.sim_clock.total
-        record.bytes_sent = sum(
+        # comm stats accumulate over the experiment's lifetime; report the
+        # per-round delta so round N does not re-count rounds 0..N-1
+        sim_total = self.sim_clock.total
+        record.sim_comm_seconds = sim_total - self._sim_comm_seen
+        self._sim_comm_seen = sim_total
+        bytes_total = sum(
             int(s["bytes_sent"]) for node in self.nodes for s in node.comm_stats().values()
         )
+        record.bytes_sent = bytes_total - self._bytes_seen
+        self._bytes_seen = bytes_total
         if self.eval_every > 0 and ((round_idx + 1) % self.eval_every == 0 or round_idx == self.global_rounds - 1):
             record.eval_loss, record.eval_accuracy = self.evaluate()
         self.metrics.add(record)
@@ -279,14 +332,40 @@ class Engine:
             )
         return self.metrics
 
+    def run_async(
+        self,
+        total_updates: Optional[int] = None,
+        scheduler: Optional[Any] = None,
+    ) -> MetricsCollector:
+        """Run under an asynchronous execution policy instead of per-round
+        barriers.
+
+        ``scheduler`` (or the engine's configured one) decides when client
+        updates enter the global model — ``fedasync`` merges each arrival
+        with a staleness-discounted weight, ``fedbuff`` flushes buffered
+        deltas every K arrivals, ``semi_sync`` closes rounds on a deadline,
+        and ``sync`` reproduces barrier semantics under the same simulated
+        straggler model.  Runs until ``total_updates`` client updates have
+        been aggregated (default: ``global_rounds ×`` the trainer count).
+        """
+        sched = self._resolve_scheduler(scheduler) if scheduler is not None else self.scheduler
+        if sched is None:
+            sched = build_scheduler("fedasync")
+        # remember whatever actually runs, so a later run_async() continues
+        # this federation instead of silently starting a fresh default one
+        self.scheduler = sched
+        sched.bind(self)
+        return sched.run(total_updates)
+
     # ------------------------------------------------------------------
     def _select_participants(self, round_idx: int) -> set:
+        """Pick this round's participants via the selection strategy."""
         trainer_idxs = [n.spec.index for n in self.nodes if n.role.trains()]
         everyone = {n.spec.index for n in self.nodes}
         if self.client_fraction >= 1.0:
             return everyone
         k = max(1, int(round(self.client_fraction * len(trainer_idxs))))
-        chosen = set(self._round_rng.choice(trainer_idxs, size=k, replace=False).tolist())
+        chosen = set(self.selector.select(trainer_idxs, k, round_idx, losses=self._last_losses))
         # aggregators/relays always participate
         return chosen | {n.spec.index for n in self.nodes if not n.role.trains()}
 

@@ -21,6 +21,13 @@ class RoundRecord:
     wall_seconds: float = 0.0
     sim_comm_seconds: float = 0.0
     bytes_sent: int = 0
+    #: virtual time at which this aggregation happened (async scheduler runs)
+    sim_time: float = 0.0
+    #: client updates merged by this aggregation (1 for FedAsync, K for
+    #: FedBuff, participants-per-round for sync/semi-sync)
+    applied: int = 0
+    #: mean staleness (in global versions) of the merged updates
+    staleness_mean: float = 0.0
     per_node: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -33,6 +40,9 @@ class RoundRecord:
             "wall_seconds": self.wall_seconds,
             "sim_comm_seconds": self.sim_comm_seconds,
             "bytes_sent": self.bytes_sent,
+            "sim_time": self.sim_time,
+            "applied": self.applied,
+            "staleness_mean": self.staleness_mean,
         }
 
 
@@ -66,6 +76,14 @@ class MetricsCollector:
     def total_bytes(self) -> int:
         return sum(r.bytes_sent for r in self.history)
 
+    def sim_makespan(self) -> float:
+        """Virtual completion time of the run (async scheduler histories)."""
+        return max((r.sim_time for r in self.history), default=0.0)
+
+    def total_applied(self) -> int:
+        """Client updates merged across the whole history."""
+        return sum(r.applied for r in self.history)
+
     def summary(self) -> Dict[str, Any]:
         return {
             "rounds": len(self.history),
@@ -74,6 +92,8 @@ class MetricsCollector:
             "median_round_seconds": self.median_round_time(),
             "total_bytes_sent": self.total_bytes(),
             "total_sim_comm_seconds": sum(r.sim_comm_seconds for r in self.history),
+            "sim_makespan": self.sim_makespan(),
+            "applied_updates": self.total_applied(),
         }
 
     def table(self) -> str:

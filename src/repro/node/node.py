@@ -69,6 +69,7 @@ class Node:
         self._loader_rng = np.random.default_rng((seed, spec.index, 0xDA7A))
         self.global_state: Optional[Dict[str, np.ndarray]] = None
         self.last_train_stats: Dict[str, float] = {}
+        self._local_setup_done = False
 
     # ------------------------------------------------------------------
     # plumbing
@@ -93,11 +94,23 @@ class Node:
     def setup(self) -> None:
         for comm in self.comms.values():
             comm.setup()
+        self.setup_local()
+
+    def setup_local(self) -> None:
+        """Algorithm/state initialization without touching communicators.
+
+        The asynchronous scheduler runtime moves updates through actor
+        futures instead of collective operations, so it sets nodes up
+        without binding any communicator group.
+        """
+        if self._local_setup_done:
+            return
         if self.role.aggregates():
             self.algorithm.setup_server(self)
             self.global_state = self.model.state_dict()
         if self.role.trains():
             self.algorithm.setup_client(self)
+        self._local_setup_done = True
 
     def shutdown(self) -> None:
         for comm in self.comms.values():
@@ -148,6 +161,23 @@ class Node:
             return {"participated": False}
         if self.straggler_prob > 0 and self._rng.random() < self.straggler_prob:
             time.sleep(self.straggler_delay)
+        wire, meta, stats, _ = self._train_and_encode(payload, round_idx, compressor)
+        comm.gather_states(wire, meta=meta, dst=0)
+        self.algorithm.on_round_end(self, round_idx)
+        self.last_train_stats = stats
+        return {"participated": True, **stats}
+
+    def _train_and_encode(
+        self,
+        payload: Dict[str, np.ndarray],
+        round_idx: int,
+        compressor: Optional[Compressor],
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any], Dict[str, float], Optional[Dict[str, np.ndarray]]]:
+        """The one training pipeline both execution modes share:
+        ``on_round_start`` → ``local_train`` → ``compute_update`` →
+        DP/compression encoding.  Returns (wire_state, meta, stats,
+        reference); keeping sync and async on this single path is what makes
+        their plugin semantics identical by construction."""
         self.algorithm.on_round_start(self, payload, round_idx)
         stats = self.algorithm.local_train(self, round_idx)
         update, meta = self.algorithm.compute_update(self, round_idx)
@@ -159,10 +189,7 @@ class Node:
         wire, extra = encode_update(update, compressor, self.dp, reference)
         meta = dict(meta)
         meta.update(extra)
-        comm.gather_states(wire, meta=meta, dst=0)
-        self.algorithm.on_round_end(self, round_idx)
-        self.last_train_stats = stats
-        return {"participated": True, **stats}
+        return wire, meta, stats, reference
 
     @staticmethod
     def _decode_entries(
@@ -239,6 +266,32 @@ class Node:
             return {"site_samples": site_samples, "site_clients": len(decoded) - 1}
         # trainer inside a site
         return self._trainer_turn(self.comms["inner"], round_idx, participate, self.compressor)
+
+    # ------------------------------------------------------------------
+    # scheduler-driven (asynchronous) execution
+    # ------------------------------------------------------------------
+    def local_update(
+        self, payload: Dict[str, np.ndarray], version: int, round_idx: int = 0
+    ) -> Dict[str, Any]:
+        """One standalone local-training pass for the async scheduler runtime.
+
+        Unlike :meth:`run_round` this performs no communicator operations:
+        the scheduler hands in the server payload directly and collects the
+        update through the actor future.  ``version`` is the global model
+        version the payload was taken at; it rides along so the server can
+        compute staleness on arrival.  DP and compression plugins still
+        apply — the update goes through the same :meth:`_train_and_encode`
+        pipeline as the wire protocol (then decodes locally, since there is
+        no wire), so plugin semantics are identical in both execution modes.
+        """
+        wire, meta, stats, reference = self._train_and_encode(payload, round_idx, self.compressor)
+        state = decode_update(wire, meta, self.compressor, reference)
+        for key in ("compressed", "comp_meta", "original_bytes", "spec", "delta_coded"):
+            meta.pop(key, None)  # wire-format details; the state is decoded
+        self.algorithm.on_round_end(self, round_idx)
+        self.last_train_stats = stats
+        meta.setdefault("num_samples", int(self.num_samples))
+        return {"state": state, "meta": meta, "stats": stats, "version": int(version)}
 
     # ------------------------------------------------------------------
     # evaluation

@@ -1,0 +1,74 @@
+"""Scheduler subsystem: the framework's execution-policy layer.
+
+OmniFed's topology/algorithm/communication decomposition fixes *where* nodes
+sit, *what* they optimize, and *how* bytes move — this package makes *when*
+updates enter the global model a fourth configurable axis.  It provides
+
+* client **selection strategies** (:mod:`~repro.scheduler.selection`):
+  ``random``, ``round_robin``, ``power_of_choice``;
+* **staleness discounts** (:mod:`~repro.scheduler.staleness`):
+  ``constant``, ``polynomial``, ``hinge``;
+* a reproducible **heterogeneity/fault model**
+  (:mod:`~repro.scheduler.heterogeneity`): lognormal/uniform latency,
+  dropout;
+* four **execution policies** (:mod:`~repro.scheduler.policies`) over a
+  virtual-time event queue: ``sync``, ``semi_sync`` (deadline),
+  ``fedasync``, ``fedbuff``.
+
+Compose like any other axis::
+
+    engine = Engine.from_names(..., scheduler="fedbuff")
+    engine.run_async(total_updates=48)
+
+or from YAML (``scheduler=fedasync`` on the CLI selects
+``conf/scheduler/fedasync.yaml``).
+"""
+
+from repro.scheduler.base import SCHEDULERS, Scheduler, build_scheduler
+from repro.scheduler.events import EventQueue, PendingUpdate
+from repro.scheduler.heterogeneity import HeterogeneityModel
+from repro.scheduler.policies import (
+    FedAsyncScheduler,
+    FedBuffScheduler,
+    SemiSyncScheduler,
+    SyncScheduler,
+)
+from repro.scheduler.selection import (
+    SELECTORS,
+    PowerOfChoiceSelection,
+    RandomSelection,
+    RoundRobinSelection,
+    SelectionStrategy,
+    build_selector,
+)
+from repro.scheduler.staleness import (
+    STALENESS,
+    build_staleness,
+    constant_discount,
+    hinge_discount,
+    polynomial_discount,
+)
+
+__all__ = [
+    "Scheduler",
+    "SCHEDULERS",
+    "build_scheduler",
+    "SyncScheduler",
+    "SemiSyncScheduler",
+    "FedAsyncScheduler",
+    "FedBuffScheduler",
+    "SelectionStrategy",
+    "RandomSelection",
+    "RoundRobinSelection",
+    "PowerOfChoiceSelection",
+    "SELECTORS",
+    "build_selector",
+    "STALENESS",
+    "build_staleness",
+    "constant_discount",
+    "polynomial_discount",
+    "hinge_discount",
+    "HeterogeneityModel",
+    "EventQueue",
+    "PendingUpdate",
+]

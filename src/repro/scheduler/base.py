@@ -1,0 +1,351 @@
+"""Scheduler base: the execution-policy layer of the framework.
+
+A :class:`Scheduler` decides *when* client updates enter the global model —
+the axis the synchronous engine hard-codes as one barrier per round.  It owns
+
+* a :class:`~repro.scheduler.selection.SelectionStrategy` (who trains),
+* a staleness discount (how much late updates count),
+* a :class:`~repro.scheduler.heterogeneity.HeterogeneityModel` (how long
+  each client takes, who drops out), and
+* an :class:`~repro.scheduler.events.EventQueue` of in-flight updates over
+  the engine's thread-actor futures.
+
+Training is real (each dispatch runs ``Node.local_update`` on the client's
+actor thread); *time* is virtual: the heterogeneity model stamps every
+dispatch with an arrival time and policies advance ``self.now`` instead of
+sleeping, so straggler dynamics are reproducible and fast.  Concrete
+policies (sync barrier, semi-sync deadline, FedAsync, FedBuff) live in
+:mod:`repro.scheduler.policies`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.scheduler.events import EventQueue, PendingUpdate
+from repro.scheduler.heterogeneity import HeterogeneityModel
+from repro.scheduler.selection import SelectionStrategy, build_selector
+from repro.scheduler.staleness import StalenessFn, build_staleness
+from repro.topology.base import NodeRole
+from repro.utils.logging import get_logger
+from repro.utils.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import Engine
+    from repro.engine.metrics import MetricsCollector, RoundRecord
+    from repro.node.node import Node
+
+__all__ = ["Scheduler", "SCHEDULERS", "build_scheduler"]
+
+_LOG = get_logger("scheduler")
+
+SCHEDULERS: Registry["Scheduler"] = Registry("scheduler")
+
+#: actor-future timeout for one local training call (real seconds)
+_TRAIN_TIMEOUT = 600.0
+
+
+class Scheduler:
+    """Execution policy driving an engine's federation without a global barrier.
+
+    Subclasses implement :meth:`run`; the base class provides dispatch,
+    event-queue bookkeeping, staleness accounting, metric records, and
+    evaluation cadence.  A scheduler is constructed standalone (so YAML
+    configs can instantiate it) and attached with :meth:`bind` before use.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        *,
+        concurrency: Optional[int] = None,
+        selection: Optional[str] = None,
+        selection_kwargs: Optional[Dict[str, Any]] = None,
+        staleness: Any = "polynomial",
+        staleness_kwargs: Optional[Dict[str, Any]] = None,
+        heterogeneity: Optional[Any] = None,
+        seed: Optional[int] = None,
+        # evaluate every N *applied updates* (None: the engine's per-round
+        # eval_every, scaled by the trainer count so all policies evaluate
+        # comparably often; 0: never)
+        eval_every: Optional[int] = None,
+    ) -> None:
+        self.concurrency = concurrency
+        self._selection = selection
+        self._selection_kwargs = dict(selection_kwargs or {})
+        self._staleness_spec = staleness
+        self._staleness_kwargs = dict(staleness_kwargs or {})
+        self._hetero_cfg = heterogeneity
+        self.seed = seed
+        self.eval_every = eval_every
+
+        # runtime state, populated by bind()/run()
+        self.engine: Optional["Engine"] = None
+        self.selector: Optional[SelectionStrategy] = None
+        self.discount: Optional[StalenessFn] = None
+        self.hetero: Optional[HeterogeneityModel] = None
+        self.clients: List[int] = []
+        self.queue = EventQueue()
+        self.now = 0.0  # virtual seconds
+        self.version = 0  # global model version (== number of aggregations)
+        self.applied = 0  # client updates merged into the global model
+        self.dropped = 0  # dispatches lost to the fault model
+        self.last_loss: Dict[int, float] = {}
+        self._in_flight: Dict[int, PendingUpdate] = {}
+        self._dispatch_count: Dict[int, int] = {}
+        self._server_idx: Optional[int] = None
+        self._node_pos: Dict[int, int] = {}
+        self._wall_anchor = 0.0
+        self._eval_updates = 0  # evaluate every N applied updates (0 = never)
+        self._next_eval = 0
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    #: policies that merge raw client states without the algorithm's
+    #: ``aggregate`` hook require full-state uploads (FedAvg family)
+    requires_full_state = False
+    #: delta-buffering policies diff arrivals against the global state they
+    #: were dispatched from; others skip pinning it so superseded states
+    #: are freed as soon as the next aggregation replaces them
+    needs_base_state = False
+
+    def bind(self, engine: "Engine") -> "Scheduler":
+        """Attach to an engine: resolve server, client pool, and models."""
+        if engine.topology.pattern != "server":
+            raise ValueError(
+                f"scheduler {self.name!r} needs a server-pattern topology "
+                f"(got {engine.topology.pattern!r}); gossip/hierarchical "
+                "federations keep the synchronous Engine.run path"
+            )
+        self.engine = engine
+        seed = int(self.seed if self.seed is not None else engine.seed)
+        if self._selection is None:
+            # no scheduler-level override: honor the engine's configured
+            # strategy (so `selection=power_of_choice scheduler=fedasync`
+            # behaves the same with and without a scheduler)
+            self.selector = engine.selector
+        else:
+            self.selector = build_selector(self._selection, seed=seed, **self._selection_kwargs)
+        self.discount = build_staleness(self._staleness_spec, **self._staleness_kwargs)
+        self.hetero = HeterogeneityModel.from_config(self._hetero_cfg, seed=seed)
+        self.clients = [n.spec.index for n in engine.nodes if n.role.trains()]
+        try:
+            self._server_idx = next(
+                i for i, n in enumerate(engine.nodes) if n.role is NodeRole.AGGREGATOR
+            )
+        except StopIteration:
+            raise ValueError("scheduler needs a topology with an aggregator node") from None
+        if self.requires_full_state:
+            algo = engine.nodes[self._server_idx].algorithm
+            if not algo.uploads_full_state:
+                raise ValueError(
+                    f"scheduler {self.name!r} interpolates raw model states and "
+                    f"needs a full-state-uploading algorithm; {algo.name!r} "
+                    "uploads deltas/variates — use semi_sync or sync instead"
+                )
+        self._node_pos = {
+            n.spec.index: i for i, n in enumerate(engine.nodes) if n.role.trains()
+        }
+        if self.concurrency is None:
+            # honor the engine's partial-participation knob: at most
+            # client_fraction of the pool is in flight (round policies also
+            # use this as their per-round dispatch count)
+            self.concurrency = max(1, int(round(engine.client_fraction * len(self.clients))))
+        self.concurrency = max(1, min(int(self.concurrency), len(self.clients)))
+        # evaluation cadence is counted in *applied updates* so policies with
+        # different aggregation granularity (1 for FedAsync, K for FedBuff,
+        # a round's worth for sync) evaluate comparably often; the engine's
+        # per-round eval_every maps to one round's worth of updates —
+        # ``concurrency``, which already reflects partial participation
+        if self.eval_every is None:
+            self._eval_updates = int(engine.eval_every) * self.concurrency
+        else:
+            self._eval_updates = int(self.eval_every)
+        return self
+
+    # ------------------------------------------------------------------
+    # shared runtime machinery
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> "Node":
+        assert self.engine is not None and self._server_idx is not None
+        return self.engine.nodes[self._server_idx]
+
+    @property
+    def global_state(self) -> Dict[str, np.ndarray]:
+        state = self.server.global_state
+        assert state is not None, "scheduler used before engine async setup"
+        return state
+
+    @global_state.setter
+    def global_state(self, state: Dict[str, np.ndarray]) -> None:
+        self.server.global_state = state
+
+    def idle_clients(self) -> List[int]:
+        return [c for c in self.clients if c not in self._in_flight]
+
+    def select_idle(self, k: int) -> List[int]:
+        """Pick up to ``k`` idle clients via the selection strategy."""
+        idle = self.idle_clients()
+        if not idle or k <= 0:
+            return []
+        assert self.selector is not None
+        return self.selector.select(idle, min(k, len(idle)), self.version, losses=self.last_loss)
+
+    def dispatch(self, client: int) -> PendingUpdate:
+        """Send the current global model to ``client`` and start local training."""
+        assert self.engine is not None and self.hetero is not None
+        if client in self._in_flight:
+            raise RuntimeError(f"client {client} already has an update in flight")
+        count = self._dispatch_count.get(client, 0)
+        self._dispatch_count[client] = count + 1
+        latency, dropped = self.hetero.sample(client, count)
+        if dropped:
+            # a dropped client crashed or lost connectivity: no training
+            # happens and nothing reaches the server (matching the sync
+            # engine's drop model, and keeping stateful client algorithms
+            # from silently diverging from what the server saw); the event
+            # still occupies the client until the server would notice
+            future = None
+        else:
+            payload = self.server.algorithm.server_payload(self.global_state)
+            future = self.engine.actors[self._node_pos[client]].submit(
+                "local_update", payload, self.version, self.version
+            )
+        event = PendingUpdate(
+            arrival=self.now + latency,
+            seq=self.queue.next_seq(),
+            client=client,
+            version=self.version,
+            dispatched_at=self.now,
+            dropped=dropped,
+            future=future,
+            # aggregations replace (never mutate) the state dict, so a
+            # reference suffices where the policy needs the dispatch base
+            base_state=self.global_state if self.needs_base_state else None,
+        )
+        self.queue.push(event)
+        self._in_flight[client] = event
+        return event
+
+    def retire(self, event: PendingUpdate) -> Dict[str, Any]:
+        """Block on an event's future, advance virtual time, free the client."""
+        self.now = max(self.now, event.arrival)
+        self._in_flight.pop(event.client, None)
+        if event.dropped:
+            # nothing ever arrived: no stats, no loss signal for selection
+            self.dropped += 1
+            return {}
+        result = event.result(_TRAIN_TIMEOUT)
+        stats = result.get("stats", {})
+        if "loss" in stats:
+            self.last_loss[event.client] = float(stats["loss"])
+        return result
+
+    def staleness_of(self, event: PendingUpdate) -> int:
+        return max(0, self.version - event.version)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def record_aggregation(
+        self,
+        merged: Sequence[Dict[str, Any]],
+        staleness: Sequence[int],
+    ) -> "RoundRecord":
+        """Append one metrics record for an aggregation event."""
+        # imported lazily: repro.engine.engine imports this module, and the
+        # engine package __init__ pulls engine.py in — a top-level import
+        # here would close that cycle before Scheduler exists
+        from repro.engine.metrics import RoundRecord
+
+        assert self.engine is not None
+        wall = time.perf_counter() - self._wall_anchor
+        record = RoundRecord(
+            round_idx=len(self.engine.metrics.history),
+            wall_seconds=wall,
+            sim_time=self.now,
+            applied=len(merged),
+            staleness_mean=float(np.mean(staleness)) if len(staleness) else 0.0,
+        )
+        losses, accs, weights = [], [], []
+        for res in merged:
+            stats = res.get("stats", {})
+            if "loss" in stats:
+                w = float(stats.get("samples", 1.0))
+                losses.append(float(stats["loss"]) * w)
+                accs.append(float(stats.get("accuracy", 0.0)) * w)
+                weights.append(w)
+        total_w = sum(weights)
+        if total_w > 0:
+            record.train_loss = sum(losses) / total_w
+            record.train_accuracy = sum(accs) / total_w
+        if self._eval_updates and self.applied >= self._next_eval:
+            record.eval_loss, record.eval_accuracy = self.engine.evaluate()
+            while self._next_eval <= self.applied:
+                self._next_eval += self._eval_updates
+        # re-anchor after evaluation so its cost is charged to no record —
+        # mirroring the sync engine, whose round timer also excludes eval
+        self._wall_anchor = time.perf_counter()
+        self.engine.metrics.add(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run(self, total_updates: Optional[int] = None) -> "MetricsCollector":
+        """Drive the federation until ``total_updates`` more client updates
+        have been merged; returns the engine's metrics history.  Calling
+        ``run`` again continues the same federation (version, virtual clock,
+        and metrics carry over)."""
+        raise NotImplementedError
+
+    def _start(self, total_updates: Optional[int]) -> int:
+        """Per-run bookkeeping; returns the target value of ``self.applied``."""
+        assert self.engine is not None, "call bind(engine) before run()"
+        self.engine.setup_async()
+        self._wall_anchor = time.perf_counter()
+        if total_updates is None:
+            total_updates = self.engine.global_rounds * len(self.clients)
+        if total_updates < 1:
+            raise ValueError("total_updates must be >= 1")
+        if self._eval_updates:
+            self._next_eval = self.applied + self._eval_updates
+        return self.applied + int(total_updates)
+
+    def drain(self) -> None:
+        """Retire every still-in-flight dispatch without aggregating it.
+
+        Called at the end of a run so no training futures are left queued on
+        the actors (they would otherwise stall ``engine.shutdown``) and no
+        pinned dispatch-time state outlives the run."""
+        while self.queue:
+            self.retire(self.queue.pop())
+
+    def _finish(self) -> "MetricsCollector":
+        """Drain, make sure the run ends on an evaluated record, and return
+        the metrics (mirrors the sync engine's always-evaluate-last-round)."""
+        assert self.engine is not None
+        self.drain()
+        history = self.engine.metrics.history
+        if self._eval_updates and history and history[-1].eval_accuracy is None:
+            history[-1].eval_loss, history[-1].eval_accuracy = self.engine.evaluate()
+        return self.engine.metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(selection={self._selection!r}, "
+            f"concurrency={self.concurrency}, version={self.version}, "
+            f"applied={self.applied})"
+        )
+
+
+def build_scheduler(name: str, /, **kwargs) -> Scheduler:
+    """Build a registered scheduler (``sync``, ``semi_sync``, ``fedasync``,
+    ``fedbuff``) by name."""
+    return SCHEDULERS.build(name, **kwargs)

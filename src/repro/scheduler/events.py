@@ -1,0 +1,76 @@
+"""Virtual-time event queue over in-flight actor futures.
+
+Schedulers dispatch local training to node actors and record, for each
+dispatch, the *virtual* arrival time its update would reach the server under
+the heterogeneity model.  The queue orders in-flight updates by that arrival
+time; popping the earliest event and blocking on its future is the async
+runtime's one synchronization point (real compute may finish in any order —
+virtual ordering is what the policies reason about).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+__all__ = ["PendingUpdate", "EventQueue"]
+
+
+@dataclass(order=True)
+class PendingUpdate:
+    """One dispatched-but-not-yet-aggregated client update."""
+
+    arrival: float  # virtual seconds at which the update reaches the server
+    seq: int  # tie-breaker: dispatch order
+    client: int = field(compare=False)  # node index in the engine
+    version: int = field(compare=False)  # global model version trained against
+    dispatched_at: float = field(compare=False)  # virtual dispatch time
+    dropped: bool = field(compare=False, default=False)
+    future: Optional["Future[Any]"] = field(compare=False, default=None)
+    #: global state at dispatch time (delta-buffering policies need it)
+    base_state: Optional[Any] = field(compare=False, default=None)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        assert self.future is not None
+        return self.future.result(timeout)
+
+
+class EventQueue:
+    """Min-heap of :class:`PendingUpdate` keyed by virtual arrival time."""
+
+    def __init__(self) -> None:
+        self._heap: List[PendingUpdate] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[PendingUpdate]:
+        return iter(sorted(self._heap))
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def push(self, event: PendingUpdate) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> PendingUpdate:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[PendingUpdate]:
+        return self._heap[0] if self._heap else None
+
+    def pop_until(self, deadline: float) -> List[PendingUpdate]:
+        """Pop every event with ``arrival <= deadline``, earliest first."""
+        out: List[PendingUpdate] = []
+        while self._heap and self._heap[0].arrival <= deadline:
+            out.append(heapq.heappop(self._heap))
+        return out

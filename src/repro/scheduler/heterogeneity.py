@@ -1,0 +1,121 @@
+"""Client heterogeneity and fault model: reproducible stragglers and dropouts.
+
+Real federations mix fast datacenter workers with slow edge devices.  The
+model assigns every client a persistent speed factor plus per-dispatch jitter
+drawn from a configurable distribution, and an independent dropout coin per
+dispatch.  All draws are keyed by ``(seed, client, dispatch#)`` with fresh
+generators, so outcomes are identical no matter how the runtime interleaves
+clients — the property that makes straggler experiments repeatable.
+
+Latency families:
+
+``lognormal``  heavy right tail — the classic straggler shape;
+``uniform``    bounded jitter in ``[low, high]``;
+``constant``   fixed ``mean`` seconds (degenerate case, handy in tests).
+
+Latencies are *virtual* seconds: schedulers advance their virtual clock by
+them (same philosophy as :class:`repro.utils.timer.SimClock`) instead of
+sleeping, so a laptop reproduces WAN-scale straggler dynamics in real
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["HeterogeneityModel"]
+
+_LATENCY_KINDS = ("lognormal", "uniform", "constant")
+
+
+class HeterogeneityModel:
+    """Per-client latency distribution + dropout probability.
+
+    Parameters
+    ----------
+    latency:
+        ``lognormal`` | ``uniform`` | ``constant``.
+    mean:
+        Scale of the latency draw (lognormal median / constant value), in
+        virtual seconds.
+    sigma:
+        Lognormal shape parameter (ignored by other kinds).
+    low, high:
+        Bounds for ``uniform``.
+    dropout:
+        Probability that a dispatched update never arrives.
+    client_spread:
+        Std-dev of the persistent per-client speed factor (lognormal around
+        1); ``0`` makes every client identically distributed.
+    """
+
+    def __init__(
+        self,
+        latency: str = "lognormal",
+        mean: float = 1.0,
+        sigma: float = 0.5,
+        low: float = 0.5,
+        high: float = 2.0,
+        dropout: float = 0.0,
+        client_spread: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        latency = str(latency).strip().lower()
+        if latency not in _LATENCY_KINDS:
+            raise ValueError(f"unknown latency kind {latency!r}; have {_LATENCY_KINDS}")
+        if mean <= 0:
+            raise ValueError("latency mean must be > 0")
+        if not (0.0 <= dropout < 1.0):
+            raise ValueError("dropout must be in [0, 1)")
+        if latency == "uniform" and not (0 <= low <= high):
+            raise ValueError("uniform latency needs 0 <= low <= high")
+        self.latency = latency
+        self.mean = float(mean)
+        self.sigma = float(sigma)
+        self.low = float(low)
+        self.high = float(high)
+        self.dropout = float(dropout)
+        self.client_spread = float(client_spread)
+        self.seed = int(seed)
+
+    @classmethod
+    def from_config(cls, cfg: Optional[Any], seed: int = 0) -> "HeterogeneityModel":
+        """Accept an existing model, a plain kwargs dict, or None (no-op model)."""
+        if isinstance(cfg, cls):
+            return cfg
+        kwargs: Dict[str, Any] = dict(cfg or {})
+        kwargs.setdefault("seed", seed)
+        if not kwargs.keys() - {"seed"}:
+            # no heterogeneity configured: constant unit latency, no faults
+            kwargs.setdefault("latency", "constant")
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def speed_factor(self, client: int) -> float:
+        """Persistent multiplier for this client (slow devices stay slow)."""
+        if self.client_spread <= 0:
+            return 1.0
+        rng = np.random.default_rng((self.seed, client, 0x5CA1E))
+        return float(np.exp(self.client_spread * rng.standard_normal()))
+
+    def sample(self, client: int, dispatch: int) -> Tuple[float, bool]:
+        """(virtual latency seconds, dropped?) for a client's n-th dispatch."""
+        rng = np.random.default_rng((self.seed, client, dispatch, 0x1A7E27))
+        if self.latency == "lognormal":
+            delay = self.mean * float(np.exp(self.sigma * rng.standard_normal()))
+        elif self.latency == "uniform":
+            delay = float(rng.uniform(self.low, self.high))
+        else:  # constant
+            delay = self.mean
+        delay *= self.speed_factor(client)
+        dropped = bool(self.dropout > 0 and rng.random() < self.dropout)
+        return delay, dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"HeterogeneityModel({self.latency}, mean={self.mean}, "
+            f"sigma={self.sigma}, dropout={self.dropout}, "
+            f"client_spread={self.client_spread}, seed={self.seed})"
+        )

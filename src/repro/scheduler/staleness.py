@@ -1,0 +1,83 @@
+"""Staleness discount functions for asynchronous aggregation.
+
+When an update trained against global version ``v`` arrives at version
+``v + τ``, its contribution is scaled by ``s(τ) ∈ (0, 1]``.  The shapes
+follow FedAsync (Xie et al. 2019):
+
+``constant``     s(τ) = 1 — staleness ignored;
+``polynomial``   s(τ) = (1 + τ)^(-a) — smooth decay, the FedAsync default;
+``hinge``        s(τ) = 1 while τ ≤ b, then 1 / (1 + a·(τ − b)) — tolerate
+                 mild staleness, damp only real laggards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+__all__ = [
+    "constant_discount",
+    "polynomial_discount",
+    "hinge_discount",
+    "STALENESS",
+    "build_staleness",
+]
+
+#: discount function: staleness (τ ≥ 0) -> weight multiplier in (0, 1]
+StalenessFn = Callable[[float], float]
+
+
+def constant_discount() -> StalenessFn:
+    """No discount; every update counts fully regardless of age."""
+
+    def fn(tau: float) -> float:
+        return 1.0
+
+    return fn
+
+
+def polynomial_discount(exponent: float = 0.5) -> StalenessFn:
+    """FedAsync's ``s(τ) = (1 + τ)^(-a)``; ``a`` controls decay speed."""
+    if exponent < 0:
+        raise ValueError("polynomial staleness exponent must be >= 0")
+
+    def fn(tau: float) -> float:
+        return float((1.0 + max(0.0, tau)) ** -exponent)
+
+    return fn
+
+
+def hinge_discount(threshold: float = 4.0, slope: float = 0.5) -> StalenessFn:
+    """Full weight up to ``threshold`` versions late, hyperbolic decay after."""
+    if threshold < 0 or slope < 0:
+        raise ValueError("hinge threshold and slope must be >= 0")
+
+    def fn(tau: float) -> float:
+        tau = max(0.0, tau)
+        if tau <= threshold:
+            return 1.0
+        return float(1.0 / (1.0 + slope * (tau - threshold)))
+
+    return fn
+
+
+STALENESS: Dict[str, Callable[..., StalenessFn]] = {
+    "constant": constant_discount,
+    "none": constant_discount,
+    "polynomial": polynomial_discount,
+    "poly": polynomial_discount,
+    "hinge": hinge_discount,
+}
+
+
+def build_staleness(
+    spec: Union[str, StalenessFn, None], **kwargs: Any
+) -> StalenessFn:
+    """Resolve a staleness spec (name, callable, or None) to a function."""
+    if spec is None:
+        return polynomial_discount(**kwargs) if kwargs else polynomial_discount()
+    if callable(spec):
+        return spec
+    key = str(spec).strip().lower()
+    if key not in STALENESS:
+        raise ValueError(f"unknown staleness discount {spec!r}; have {sorted(STALENESS)}")
+    return STALENESS[key](**kwargs)

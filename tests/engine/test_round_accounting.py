@@ -1,0 +1,45 @@
+"""Per-round accounting: bytes/sim-seconds must be deltas, not cumulative.
+
+Regression test: ``record.bytes_sent`` used to sum the nodes' *lifetime*
+``comm_stats()`` totals every round, so round N re-counted rounds 0..N-1 and
+``MetricsCollector.total_bytes()`` was quadratic in the round count.
+"""
+
+import pytest
+
+from repro.engine import Engine
+
+
+def _engine(fresh_port, rounds=3):
+    return Engine.from_names(
+        topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
+        num_clients=3, global_rounds=rounds, batch_size=32, seed=0,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
+        datamodule_kwargs={"train_size": 256, "test_size": 64},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        eval_every=0,
+    )
+
+
+def test_bytes_sent_is_per_round_delta(fresh_port):
+    eng = _engine(fresh_port)
+    metrics = eng.run()
+    lifetime_total = sum(
+        int(s["bytes_sent"]) for node in eng.nodes for s in node.comm_stats().values()
+    )
+    eng.shutdown()
+    per_round = [r.bytes_sent for r in metrics.history]
+    assert all(b > 0 for b in per_round)
+    # identical rounds move identical traffic — cumulative accounting would
+    # make round N about N times round 0
+    assert max(per_round) < 1.5 * min(per_round)
+    assert metrics.total_bytes() == lifetime_total
+
+
+def test_sim_comm_seconds_is_per_round_delta(fresh_port):
+    eng = _engine(fresh_port)
+    metrics = eng.run()
+    lifetime_sim = eng.sim_clock.total
+    eng.shutdown()
+    total = sum(r.sim_comm_seconds for r in metrics.history)
+    assert total == pytest.approx(lifetime_sim)
