@@ -7,12 +7,17 @@ and final accuracy.  The headline shape: the synchronous barrier pays the
 straggler tail every round, the deadline policy caps it, and the
 event-driven policies hide it entirely — at the price of staleness.
 
-Run:  pytest benchmarks/bench_async_straggler.py --benchmark-only
+Run:    pytest benchmarks/bench_async_straggler.py --benchmark-only
+Smoke:  BENCH_SMOKE=1 pytest benchmarks/bench_async_straggler.py -q
 """
+
+import os
 
 import pytest
 
 from repro.engine import Engine
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 
 HETERO = {"latency": "lognormal", "mean": 1.0, "sigma": 1.0}
 
@@ -24,7 +29,7 @@ SCHEDULERS = {
 }
 
 CLIENTS = 4
-TOTAL_UPDATES = 24
+TOTAL_UPDATES = 12 if SMOKE else 24
 TARGET_ACCURACY = 0.8
 
 
@@ -68,7 +73,7 @@ def test_straggler_wall_clock(benchmark, mode, fresh_port):
         holder["result"] = run_once(mode, next(ports))
 
     benchmark.group = "async-straggler"
-    benchmark.pedantic(once, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.pedantic(once, rounds=1 if SMOKE else 2, iterations=1, warmup_rounds=0)
     metrics, updates_to_target = holder["result"]
     benchmark.extra_info["strategy"] = mode
     benchmark.extra_info["sim_makespan_s"] = round(metrics.sim_makespan(), 4)

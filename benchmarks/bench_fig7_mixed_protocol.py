@@ -15,7 +15,6 @@ Run:  pytest benchmarks/bench_fig7_mixed_protocol.py --benchmark-only
 import threading
 
 import numpy as np
-import pytest
 
 from repro.algorithms import build_algorithm
 from repro.comm import GrpcCommunicator, TorchDistCommunicator

@@ -9,7 +9,6 @@ stream-rates for the paper's two sweeps (target rate, client count).
 Run:  python examples/streaming_realtime.py
 """
 
-import numpy as np
 
 from repro.data import build_datamodule
 from repro.models import build_model

@@ -7,6 +7,8 @@ Usage::
     python -m repro topology=hierarchical global_rounds=5
     python -m repro scheduler=fedasync                 # async execution policy
     python -m repro scheduler=fedbuff scheduler.buffer_size=8
+    python -m repro topology=hierarchical scheduler=hier_async \
+        scheduler.inner=fedbuff scheduler.outer=fedasync   # per-tier policies
     python -m repro --config-dir my_confs --config-name exp  algorithm=moon
     python -m repro --list                             # show config groups
 
@@ -17,7 +19,6 @@ Every positional argument is a Hydra-style override (``group=option``,
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import List, Optional
 
 from repro.conf import builtin_store
@@ -53,9 +54,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if engine.scheduler is not None:
             metrics = engine.run_async()
-            print(f"scheduler: {engine.scheduler.name} "
+            sched = engine.scheduler
+            tiers = ""
+            if getattr(sched, "sites", None):
+                tiers = (f", {len(sched.sites)} sites, "
+                         f"inner={sched.inner} outer={sched.outer}")
+            print(f"scheduler: {sched.name} "
                   f"(sim makespan {metrics.sim_makespan():.2f}s, "
-                  f"{metrics.total_applied()} updates applied)")
+                  f"{metrics.total_applied()} updates applied{tiers})")
         else:
             metrics = engine.run()
         print(metrics.table())

@@ -16,7 +16,6 @@ Server-side hooks:
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, List, Set
 
-import numpy as np
 
 from repro.algorithms.base import ALGORITHMS, Algorithm
 from repro.nn.serialization import clone_state, state_average

@@ -16,7 +16,6 @@ seconds, simulated seconds under their :class:`NetworkModel`).
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.comm.base import Communicator
 from repro.comm.collectives import CollectiveGroup, _sizeof
 from repro.comm.network import NetworkModel
-from repro.nn.serialization import spec_of, state_dict_to_vector, vector_to_state_dict
+from repro.nn.serialization import state_dict_to_vector, vector_to_state_dict
 from repro.utils.timer import SimClock
 
 __all__ = ["TorchDistCommunicator", "reset_rendezvous"]

@@ -56,6 +56,11 @@ _DTYPES = [
     np.dtype("uint64"),
     np.dtype("bool"),
     np.dtype("complex64"),
+    # appended (never reordered — codes are wire format): half precision is
+    # the natural pairing with the compression codecs, complex128 completes
+    # the complex family
+    np.dtype("float16"),
+    np.dtype("complex128"),
 ]
 _DTYPE_CODE = {dt: i for i, dt in enumerate(_DTYPES)}
 
@@ -109,6 +114,8 @@ def decode_message(frame: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndar
         offset += 4 * nd
         (blen,) = struct.unpack_from("<Q", frame, offset)
         offset += 8
+        if dt_code >= len(_DTYPES):
+            raise WireError(f"array {key!r}: unknown dtype code {dt_code}")
         dtype = _DTYPES[dt_code]
         expected = int(np.prod(shape)) * dtype.itemsize  # np.prod(()) == 1 covers 0-d
         if blen != expected:

@@ -9,7 +9,6 @@ than float32 and 16-bit ~2x — matching the paper's "2x and 4x" factors.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -25,6 +25,7 @@ __all__ = [
     "ConfigNode",
     "YamlError",
     "dump",
+    "dumps",
     "load",
     "loads",
 ]

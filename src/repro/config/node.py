@@ -14,7 +14,7 @@ from __future__ import annotations
 import copy
 import re
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 _INTERP_RE = re.compile(r"\$\{([^}]+)\}")
 

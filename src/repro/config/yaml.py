@@ -21,7 +21,7 @@ from __future__ import annotations
 import io
 import math
 import re
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 __all__ = ["YamlError", "loads", "load", "dump", "dumps"]
 

@@ -10,7 +10,7 @@ the same operation at once.
 from __future__ import annotations
 
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Any, List, Optional, Sequence, TypeVar
 
 __all__ = ["ThreadActor", "ActorHandle", "wait_all"]
 

@@ -13,9 +13,8 @@ updates before they leave the node.
 
 from __future__ import annotations
 
-import copy
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -345,12 +344,19 @@ class Engine:
         with a staleness-discounted weight, ``fedbuff`` flushes buffered
         deltas every K arrivals, ``semi_sync`` closes rounds on a deadline,
         and ``sync`` reproduces barrier semantics under the same simulated
-        straggler model.  Runs until ``total_updates`` client updates have
-        been aggregated (default: ``global_rounds ×`` the trainer count).
+        straggler model.  On a hierarchical topology the default is
+        ``hier_async``: every site head runs a nested inner policy over its
+        trainers while the root merges site uploads asynchronously on the
+        slow outer link (``scheduler.inner=...`` / ``scheduler.outer=...``
+        pick the per-tier policies).  Runs until ``total_updates`` client
+        updates have been aggregated (default: ``global_rounds ×`` the
+        trainer count).
         """
         sched = self._resolve_scheduler(scheduler) if scheduler is not None else self.scheduler
         if sched is None:
-            sched = build_scheduler("fedasync")
+            sched = build_scheduler(
+                "hier_async" if self.topology.pattern == "hierarchical" else "fedasync"
+            )
         # remember whatever actually runs, so a later run_async() continues
         # this federation instead of silently starting a fresh default one
         self.scheduler = sched

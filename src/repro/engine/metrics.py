@@ -28,6 +28,11 @@ class RoundRecord:
     applied: int = 0
     #: mean staleness (in global versions) of the merged updates
     staleness_mean: float = 0.0
+    #: which tier produced this record: "global" (root aggregations, the
+    #: default) or "site" (per-site collectors in hierarchical async runs)
+    tier: str = "global"
+    #: site uploads merged by this aggregation (hierarchical outer tier)
+    sites_merged: int = 0
     per_node: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -43,6 +48,8 @@ class RoundRecord:
             "sim_time": self.sim_time,
             "applied": self.applied,
             "staleness_mean": self.staleness_mean,
+            "tier": self.tier,
+            "sites_merged": self.sites_merged,
         }
 
 

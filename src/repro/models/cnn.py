@@ -9,7 +9,7 @@ import numpy as np
 from repro.models.base import FederatedModel
 from repro.models.registry import MODELS
 from repro.nn import functional as F
-from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, MaxPool2d, Sequential
+from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, MaxPool2d
 from repro.nn.tensor import Tensor
 
 __all__ = ["SimpleCNN", "simple_cnn"]

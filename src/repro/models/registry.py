@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
-import numpy as np
 
 from repro.models.base import FederatedModel
 from repro.utils.registry import Registry

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.models.base import FederatedModel
 from repro.models.registry import MODELS
-from repro.nn import functional as F
 from repro.nn.layers import (
     AdaptiveAvgPool2d,
     BatchNorm2d,

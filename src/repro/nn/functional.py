@@ -14,7 +14,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.nn.tensor import Tensor, _as_array, is_grad_enabled
+from repro.nn.tensor import Tensor, _as_array
 
 __all__ = [
     "relu",

@@ -8,7 +8,7 @@ FL, where every client must start from *identical* global weights.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

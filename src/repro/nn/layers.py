@@ -8,7 +8,7 @@ a process-global default generator is used (tests always pass one).
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

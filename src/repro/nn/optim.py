@@ -7,8 +7,7 @@ AdamW inner / Nesterov outer split) transfer unchanged.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

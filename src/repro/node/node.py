@@ -294,6 +294,37 @@ class Node:
         return {"state": state, "meta": meta, "stats": stats, "version": int(version)}
 
     # ------------------------------------------------------------------
+    # hierarchical async: site-head <-> root exchange without collectives
+    # ------------------------------------------------------------------
+    def adopt_global(self, payload: Mapping[str, np.ndarray]) -> None:
+        """Install a freshly dispatched global payload as this head's site
+        model (the async counterpart of the head's inner broadcast)."""
+        assert self.role.aggregates(), f"node {self.name} does not aggregate"
+        self.global_state = self.algorithm._strip_payload(dict(payload))
+
+    def site_upload(
+        self, reference: Optional[Dict[str, np.ndarray]], num_samples: int
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Encode this site head's aggregated site model for the slow outer
+        link: delta-coded against ``reference`` (the global state the site
+        was dispatched from), through the head's ``outer_compressor`` and —
+        if one is configured on the head — its DP plugin, exactly like the
+        synchronous hierarchical round (paper §3.4.5)."""
+        assert self.role.aggregates() and self.global_state is not None
+        wire, extra = encode_update(self.global_state, self.outer_compressor, self.dp, reference)
+        meta = {"num_samples": int(num_samples), **extra}
+        return wire, meta
+
+    def decode_site_upload(
+        self,
+        wire_state: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+        reference: Optional[Dict[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Root-side inverse of :meth:`site_upload` (same outer compressor)."""
+        return decode_update(wire_state, meta, self.outer_compressor, reference)
+
+    # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def evaluate(self, state: Optional[Mapping[str, np.ndarray]] = None, max_batches: Optional[int] = None) -> Tuple[float, float]:

@@ -14,7 +14,6 @@ Larger ε ⇒ less noise ⇒ higher accuracy — the trend Table 3a reports.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

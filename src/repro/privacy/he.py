@@ -17,7 +17,6 @@ server ever seeing an individual update.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence
 
 import numpy as np

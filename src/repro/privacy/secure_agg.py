@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import struct
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

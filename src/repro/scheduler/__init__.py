@@ -13,7 +13,11 @@ updates enter the global model a fourth configurable axis.  It provides
   dropout;
 * four **execution policies** (:mod:`~repro.scheduler.policies`) over a
   virtual-time event queue: ``sync``, ``semi_sync`` (deadline),
-  ``fedasync``, ``fedbuff``.
+  ``fedasync``, ``fedbuff``;
+* a **hierarchical coordinator** (:mod:`~repro.scheduler.hierarchical`):
+  ``hier_async`` nests a per-site inner policy under an asynchronous (or
+  barrier) outer merge at the global root — the paper's cross-facility
+  scenario with per-tier policy choice.
 
 Compose like any other axis::
 
@@ -21,12 +25,15 @@ Compose like any other axis::
     engine.run_async(total_updates=48)
 
 or from YAML (``scheduler=fedasync`` on the CLI selects
-``conf/scheduler/fedasync.yaml``).
+``conf/scheduler/fedasync.yaml``; ``scheduler=hier_async
+scheduler.inner=fedbuff scheduler.outer=fedasync`` picks per-tier
+policies on a hierarchical topology).
 """
 
 from repro.scheduler.base import SCHEDULERS, Scheduler, build_scheduler
 from repro.scheduler.events import EventQueue, PendingUpdate
 from repro.scheduler.heterogeneity import HeterogeneityModel
+from repro.scheduler.hierarchical import HierarchicalScheduler
 from repro.scheduler.policies import (
     FedAsyncScheduler,
     FedBuffScheduler,
@@ -57,6 +64,7 @@ __all__ = [
     "SemiSyncScheduler",
     "FedAsyncScheduler",
     "FedBuffScheduler",
+    "HierarchicalScheduler",
     "SelectionStrategy",
     "RandomSelection",
     "RoundRobinSelection",

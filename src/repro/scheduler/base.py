@@ -20,6 +20,7 @@ policies (sync barrier, semi-sync deadline, FedAsync, FedBuff) live in
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
@@ -85,6 +86,8 @@ class Scheduler:
 
         # runtime state, populated by bind()/run()
         self.engine: Optional["Engine"] = None
+        self.metrics: Optional["MetricsCollector"] = None
+        self.tier = "global"  # "site" when bound as a nested per-site policy
         self.selector: Optional[SelectionStrategy] = None
         self.discount: Optional[StalenessFn] = None
         self.hetero: Optional[HeterogeneityModel] = None
@@ -114,32 +117,80 @@ class Scheduler:
     #: are freed as soon as the next aggregation replaces them
     needs_base_state = False
 
-    def bind(self, engine: "Engine") -> "Scheduler":
-        """Attach to an engine: resolve server, client pool, and models."""
-        if engine.topology.pattern != "server":
+    #: topology coordination patterns this scheduler can drive when bound as
+    #: the engine's top-level execution policy (scoped site-tier bindings
+    #: skip the check — the coordinator vouches for them)
+    patterns = ("server",)
+
+    def bind(
+        self,
+        engine: "Engine",
+        *,
+        clients: Optional[Sequence[int]] = None,
+        server_idx: Optional[int] = None,
+        metrics: Optional["MetricsCollector"] = None,
+    ) -> "Scheduler":
+        """Attach to an engine: resolve server, client pool, and models.
+
+        Without keyword arguments this is a *flat* binding — the scheduler
+        drives the whole federation against the engine's single aggregator.
+        A hierarchical coordinator instead binds one policy per site with
+        ``clients`` (that site's trainer indices), ``server_idx`` (the site
+        head's position in ``engine.nodes``), and a private ``metrics``
+        collector, turning any flat policy into that site's intra-site
+        execution policy.
+        """
+        scoped = clients is not None or server_idx is not None
+        if not scoped and engine.topology.pattern not in self.patterns:
+            need = "/".join(self.patterns)
+            if "hierarchical" in self.patterns:
+                hint = (
+                    "flat topologies use the flat policies "
+                    "(sync, semi_sync, fedasync, fedbuff)"
+                )
+            else:
+                hint = (
+                    "use scheduler=hier_async (with scheduler.inner=... per site) "
+                    "for hierarchical federations; gossip federations keep the "
+                    "synchronous Engine.run path"
+                )
             raise ValueError(
-                f"scheduler {self.name!r} needs a server-pattern topology "
-                f"(got {engine.topology.pattern!r}); gossip/hierarchical "
-                "federations keep the synchronous Engine.run path"
+                f"scheduler {self.name!r} needs a {need}-pattern topology "
+                f"(got {engine.topology.pattern!r}); {hint}"
             )
         self.engine = engine
+        self.metrics = metrics if metrics is not None else engine.metrics
+        self.tier = "site" if scoped else "global"
         seed = int(self.seed if self.seed is not None else engine.seed)
         if self._selection is None:
             # no scheduler-level override: honor the engine's configured
             # strategy (so `selection=power_of_choice scheduler=fedasync`
-            # behaves the same with and without a scheduler)
-            self.selector = engine.selector
+            # behaves the same with and without a scheduler); site-tier
+            # bindings get their own copy so per-site selection state
+            # (round-robin cursors, rng streams) stays independent
+            self.selector = copy.deepcopy(engine.selector) if scoped else engine.selector
         else:
             self.selector = build_selector(self._selection, seed=seed, **self._selection_kwargs)
         self.discount = build_staleness(self._staleness_spec, **self._staleness_kwargs)
         self.hetero = HeterogeneityModel.from_config(self._hetero_cfg, seed=seed)
-        self.clients = [n.spec.index for n in engine.nodes if n.role.trains()]
-        try:
-            self._server_idx = next(
-                i for i, n in enumerate(engine.nodes) if n.role is NodeRole.AGGREGATOR
-            )
-        except StopIteration:
-            raise ValueError("scheduler needs a topology with an aggregator node") from None
+        if clients is not None:
+            self.clients = [int(c) for c in clients]
+        else:
+            self.clients = [n.spec.index for n in engine.nodes if n.role.trains()]
+        if server_idx is not None:
+            self._server_idx = int(server_idx)
+            if not engine.nodes[self._server_idx].role.aggregates():
+                raise ValueError(
+                    f"node {self._server_idx} cannot serve a site tier: role "
+                    f"{engine.nodes[self._server_idx].role.value!r} does not aggregate"
+                )
+        else:
+            try:
+                self._server_idx = next(
+                    i for i, n in enumerate(engine.nodes) if n.role is NodeRole.AGGREGATOR
+                )
+            except StopIteration:
+                raise ValueError("scheduler needs a topology with an aggregator node") from None
         if self.requires_full_state:
             algo = engine.nodes[self._server_idx].algorithm
             if not algo.uploads_full_state:
@@ -264,14 +315,15 @@ class Scheduler:
         # here would close that cycle before Scheduler exists
         from repro.engine.metrics import RoundRecord
 
-        assert self.engine is not None
+        assert self.engine is not None and self.metrics is not None
         wall = time.perf_counter() - self._wall_anchor
         record = RoundRecord(
-            round_idx=len(self.engine.metrics.history),
+            round_idx=len(self.metrics.history),
             wall_seconds=wall,
             sim_time=self.now,
             applied=len(merged),
             staleness_mean=float(np.mean(staleness)) if len(staleness) else 0.0,
+            tier=self.tier,
         )
         losses, accs, weights = [], [], []
         for res in merged:
@@ -292,7 +344,7 @@ class Scheduler:
         # re-anchor after evaluation so its cost is charged to no record —
         # mirroring the sync engine, whose round timer also excludes eval
         self._wall_anchor = time.perf_counter()
-        self.engine.metrics.add(record)
+        self.metrics.add(record)
         return record
 
     # ------------------------------------------------------------------
@@ -308,7 +360,11 @@ class Scheduler:
     def _start(self, total_updates: Optional[int]) -> int:
         """Per-run bookkeeping; returns the target value of ``self.applied``."""
         assert self.engine is not None, "call bind(engine) before run()"
-        self.engine.setup_async()
+        if self.tier != "site":
+            # site-tier chunks run many times per federation; their
+            # coordinator already set up every node before the first chunk,
+            # so they skip the fleet-wide actor round-trip
+            self.engine.setup_async()
         self._wall_anchor = time.perf_counter()
         if total_updates is None:
             total_updates = self.engine.global_rounds * len(self.clients)
@@ -323,19 +379,25 @@ class Scheduler:
 
         Called at the end of a run so no training futures are left queued on
         the actors (they would otherwise stall ``engine.shutdown``) and no
-        pinned dispatch-time state outlives the run."""
+        pinned dispatch-time state outlives the run.  Site-tier bindings
+        restore the clock afterwards: cancelled-at-the-boundary dispatches
+        must not delay the site's upload timestamp (their updates never
+        merge anywhere, so their latency gates nothing)."""
+        before = self.now
         while self.queue:
             self.retire(self.queue.pop())
+        if self.tier == "site":
+            self.now = before
 
     def _finish(self) -> "MetricsCollector":
         """Drain, make sure the run ends on an evaluated record, and return
         the metrics (mirrors the sync engine's always-evaluate-last-round)."""
-        assert self.engine is not None
+        assert self.engine is not None and self.metrics is not None
         self.drain()
-        history = self.engine.metrics.history
+        history = self.metrics.history
         if self._eval_updates and history and history[-1].eval_accuracy is None:
             history[-1].eval_loss, history[-1].eval_accuracy = self.engine.evaluate()
-        return self.engine.metrics
+        return self.metrics
 
     def __repr__(self) -> str:
         return (

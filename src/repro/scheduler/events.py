@@ -21,7 +21,14 @@ __all__ = ["PendingUpdate", "EventQueue"]
 
 @dataclass(order=True)
 class PendingUpdate:
-    """One dispatched-but-not-yet-aggregated client update."""
+    """One dispatched-but-not-yet-aggregated update (client or site-head).
+
+    Trainer updates carry a ``future`` (local training still running on the
+    client's actor thread); site-head updates in hierarchical federations are
+    computed before they are enqueued — the site's inner rounds have already
+    run — so they carry their payload in ``value`` instead and :meth:`result`
+    returns it without blocking.
+    """
 
     arrival: float  # virtual seconds at which the update reaches the server
     seq: int  # tie-breaker: dispatch order
@@ -30,11 +37,15 @@ class PendingUpdate:
     dispatched_at: float = field(compare=False)  # virtual dispatch time
     dropped: bool = field(compare=False, default=False)
     future: Optional["Future[Any]"] = field(compare=False, default=None)
+    #: pre-computed payload for events with no future (site-head uploads)
+    value: Optional[Any] = field(compare=False, default=None)
     #: global state at dispatch time (delta-buffering policies need it)
     base_state: Optional[Any] = field(compare=False, default=None)
 
     def result(self, timeout: Optional[float] = None) -> Any:
-        assert self.future is not None
+        if self.future is None:
+            assert self.value is not None, "event has neither future nor value"
+            return self.value
         return self.future.result(timeout)
 
 

@@ -59,6 +59,40 @@ def _interpolate(
     return out
 
 
+def _float_delta(
+    state: Dict[str, np.ndarray], base: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """``state − base`` on float entries (what delta-buffering policies
+    accumulate); integer buffers are skipped."""
+    delta: Dict[str, np.ndarray] = {}
+    for key, c in state.items():
+        b = base.get(key)
+        if b is not None and np.issubdtype(np.asarray(b).dtype, np.floating):
+            delta[key] = np.asarray(c) - b
+    return delta
+
+
+def _apply_buffered_deltas(
+    global_state: Dict[str, np.ndarray],
+    buffer: List[Dict[str, Any]],
+    server_lr: float,
+) -> Dict[str, np.ndarray]:
+    """One FedBuff flush: mean of discounted deltas scaled by ``server_lr``.
+
+    Dividing by the buffer count (not the weight sum) keeps the staleness
+    discount absolute — a buffer of uniformly stale updates steps
+    proportionally smaller, instead of the discount cancelling out of the
+    normalization.  Shared by the flat FedBuff policy and the hierarchical
+    outer tier so the two "fedbuff" semantics cannot diverge.
+    """
+    new_state = clone_state(global_state)
+    for item in buffer:
+        scale = server_lr * item["weight"] / len(buffer)
+        for key, d in item["delta"].items():
+            new_state[key] = (new_state[key] + scale * d).astype(new_state[key].dtype)
+    return new_state
+
+
 # ----------------------------------------------------------------------
 # round-based policies
 # ----------------------------------------------------------------------
@@ -259,12 +293,7 @@ class FedBuffScheduler(_ContinuousScheduler):
         assert self.discount is not None and event.base_state is not None
         tau = self.staleness_of(event)
         weight = self.discount(tau)
-        delta: Dict[str, np.ndarray] = {}
-        base = event.base_state
-        for key, c in result["state"].items():
-            b = base.get(key)
-            if b is not None and np.issubdtype(np.asarray(b).dtype, np.floating):
-                delta[key] = np.asarray(c) - b
+        delta = _float_delta(result["state"], event.base_state)
         self._buffer.append(
             {"delta": delta, "weight": weight, "staleness": tau, "result": result}
         )
@@ -274,16 +303,9 @@ class FedBuffScheduler(_ContinuousScheduler):
     def _flush_buffer(self) -> None:
         if not self._buffer:
             return
-        new_state = clone_state(self.global_state)
-        # mean of discounted deltas: dividing by the buffer count (not the
-        # weight sum) keeps the staleness discount absolute — a buffer of
-        # uniformly stale updates steps proportionally smaller, instead of
-        # the discount cancelling out of the normalization
-        for item in self._buffer:
-            scale = self.server_lr * item["weight"] / len(self._buffer)
-            for key, d in item["delta"].items():
-                new_state[key] = (new_state[key] + scale * d).astype(new_state[key].dtype)
-        self.global_state = new_state
+        self.global_state = _apply_buffered_deltas(
+            self.global_state, self._buffer, self.server_lr
+        )
         self.version += 1
         self.applied += len(self._buffer)
         self.flush_count += 1

@@ -12,7 +12,7 @@ follow FedAsync (Xie et al. 2019):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Union
 
 __all__ = [
     "constant_discount",

@@ -4,9 +4,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.streaming.broker import KafkaBroker
 

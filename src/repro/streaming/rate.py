@@ -10,9 +10,8 @@ Fig. 6b fixes target 32 and sweeps client count.
 from __future__ import annotations
 
 import itertools
-import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 

@@ -10,7 +10,15 @@ import networkx as nx
 
 from repro.utils.registry import Registry
 
-__all__ = ["NodeRole", "GroupSpec", "NodeSpec", "Topology", "TOPOLOGIES", "build_topology"]
+__all__ = [
+    "NodeRole",
+    "GroupSpec",
+    "NodeSpec",
+    "SiteGroup",
+    "Topology",
+    "TOPOLOGIES",
+    "build_topology",
+]
 
 TOPOLOGIES: Registry["Topology"] = Registry("topology")
 
@@ -67,6 +75,20 @@ class NodeSpec:
         return self.groups.get("outer")
 
 
+@dataclass
+class SiteGroup:
+    """One site of a hierarchical federation, in engine-node indices.
+
+    ``head`` is the site's aggregating relay; ``trainers`` are the node
+    indices of the trainers below it.  The scheduler subsystem consumes this
+    to bind a nested per-site execution policy.
+    """
+
+    site: int
+    head: int
+    trainers: List[int]
+
+
 class Topology:
     """Defines the node graph and coordination pattern.
 
@@ -96,6 +118,10 @@ class Topology:
 
     def trainer_count(self) -> int:
         return sum(1 for s in self.specs() if s.role.trains())
+
+    def site_groups(self) -> List[SiteGroup]:
+        """Site structure for multi-tier topologies (empty for flat ones)."""
+        return []
 
     def describe(self) -> str:
         """One-line summary for logs."""

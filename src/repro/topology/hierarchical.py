@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import networkx as nx
 
-from repro.topology.base import GroupSpec, NodeRole, NodeSpec, TOPOLOGIES, Topology
+from repro.topology.base import GroupSpec, NodeRole, NodeSpec, SiteGroup, TOPOLOGIES, Topology
 
 __all__ = ["HierarchicalTopology"]
 
@@ -105,6 +105,20 @@ class HierarchicalTopology(Topology):
                     shard += 1
             self._specs = out
         return self._specs
+
+    def site_groups(self) -> List[SiteGroup]:
+        """Per-site (head, trainers) structure in engine-node indices.
+
+        Index arithmetic mirrors :meth:`specs`: the root is node 0, then each
+        site contributes its head followed by its trainers."""
+        out: List[SiteGroup] = []
+        index = 1
+        for site, size in enumerate(self.site_sizes):
+            head = index
+            trainers = list(range(index + 1, index + 1 + size))
+            out.append(SiteGroup(site=site, head=head, trainers=trainers))
+            index += 1 + size
+        return out
 
     def graph(self) -> "nx.Graph":
         g = nx.Graph()

@@ -1,0 +1,115 @@
+"""Wire-format property tests: exhaustive dtype roundtrips (including the
+half-precision and complex128 payloads the compression codecs produce),
+0-d arrays, and rejection of truncated frames and trailing garbage."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm.wire import _DTYPES, WireError, decode_message, encode_message
+
+SUPPORTED_DTYPES = list(_DTYPES)
+
+
+def _sample(dtype: np.dtype, shape, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if dtype.kind == "b":
+        return rng.integers(0, 2, size=shape).astype(dtype)
+    if dtype.kind in "iu":
+        return rng.integers(0, 100, size=shape).astype(dtype)
+    if dtype.kind == "c":
+        return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(dtype)
+    return rng.standard_normal(shape).astype(dtype)
+
+
+@pytest.mark.parametrize("dtype", SUPPORTED_DTYPES, ids=[d.name for d in SUPPORTED_DTYPES])
+def test_every_supported_dtype_roundtrips(dtype):
+    arr = _sample(dtype, (3, 4))
+    _, _, decoded = decode_message(encode_message("data", {}, {"v": arr}))
+    assert decoded["v"].dtype == dtype
+    assert np.array_equal(decoded["v"], arr)
+
+
+@pytest.mark.parametrize("dtype", [np.dtype("float16"), np.dtype("complex128")])
+def test_new_dtype_codes_are_stable(dtype):
+    """float16/complex128 were appended, never interleaved: existing codes
+    must be untouched so old frames still decode."""
+    assert _DTYPES.index(np.dtype("float32")) == 0
+    assert _DTYPES.index(np.dtype("complex64")) == 11
+    assert _DTYPES.index(dtype) >= 12
+
+
+def test_half_precision_payload_roundtrip():
+    """The regression this file exists for: fp16 arrays — the natural
+    pairing with the compression codecs — must cross the wire bit-exactly."""
+    arr = np.array([1.5, -0.25, 65504.0, np.inf, np.nan], dtype=np.float16)
+    _, _, decoded = decode_message(encode_message("data", {}, {"v": arr}))
+    assert decoded["v"].dtype == np.float16
+    assert np.array_equal(decoded["v"], arr, equal_nan=True)
+
+
+def test_complex128_payload_roundtrip():
+    arr = np.array([1 + 2j, -3.5 - 0.5j, 0j], dtype=np.complex128)
+    _, _, decoded = decode_message(encode_message("data", {}, {"v": arr}))
+    assert decoded["v"].dtype == np.complex128
+    assert np.array_equal(decoded["v"], arr)
+
+
+@pytest.mark.parametrize("dtype", SUPPORTED_DTYPES, ids=[d.name for d in SUPPORTED_DTYPES])
+def test_zero_d_arrays_roundtrip_for_every_dtype(dtype):
+    arr = _sample(dtype, ())
+    _, _, decoded = decode_message(encode_message("data", {}, {"s": arr}))
+    assert decoded["s"].shape == () and decoded["s"].dtype == dtype
+    assert np.array_equal(decoded["s"], arr, equal_nan=dtype.kind in "fc")
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    arrays=st.dictionaries(
+        st.text(alphabet="abcdef_", min_size=1, max_size=8),
+        hnp.arrays(
+            dtype=st.sampled_from([np.dtype("float16"), np.dtype("complex128"), np.dtype("float32")]),
+            shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=4),
+        ),
+        max_size=3,
+    ),
+)
+def test_new_dtypes_roundtrip_property(arrays):
+    _, _, decoded = decode_message(encode_message("data", {}, arrays))
+    assert set(decoded) == set(arrays)
+    for k, arr in arrays.items():
+        assert decoded[k].dtype == arr.dtype and decoded[k].shape == arr.shape
+        assert np.array_equal(decoded[k], arr, equal_nan=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.integers(min_value=1, max_value=200), data=st.data())
+def test_truncated_frames_never_decode(cut, data):
+    """Chopping any number of trailing bytes off a valid frame must raise,
+    never return partially decoded arrays."""
+    arr = _sample(np.dtype("float32"), (4, 3), seed=data.draw(st.integers(0, 10)))
+    frame = encode_message("data", {"r": 1}, {"v": arr})
+    cut = min(cut, len(frame) - 1)
+    with pytest.raises((WireError, ValueError, IndexError, struct.error)):
+        decode_message(frame[:-cut])
+
+
+@settings(max_examples=40, deadline=None)
+@given(junk=st.binary(min_size=1, max_size=32))
+def test_trailing_bytes_always_rejected(junk):
+    frame = encode_message("data", {}, {"v": np.ones(3, np.float32)})
+    with pytest.raises(WireError):
+        decode_message(frame + junk)
+
+
+def test_unknown_dtype_code_rejected():
+    frame = bytearray(encode_message("data", {}, {"v": np.ones(2, np.float32)}))
+    # dtype code byte sits right after the key; find and corrupt it
+    key_off = frame.index(b"\x01\x00v") + 3
+    frame[key_off] = 0xEE
+    with pytest.raises(WireError, match="dtype code"):
+        decode_message(bytes(frame))

@@ -1,7 +1,5 @@
 """Engine.from_config: the full YAML-driven construction path."""
 
-import numpy as np
-import pytest
 
 from repro.config import ConfigNode
 from repro.engine import Engine

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.engine.metrics import MetricsCollector, RoundRecord
 

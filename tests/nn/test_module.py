@@ -1,8 +1,8 @@
 import numpy as np
 import pytest
 
-from repro.nn.layers import BatchNorm2d, Conv2d, Dropout, Linear, ReLU, Sequential
-from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.layers import BatchNorm2d, Dropout, Linear, ReLU, Sequential
+from repro.nn.module import Module, ModuleList
 from repro.nn.tensor import Tensor
 
 

@@ -1,7 +1,6 @@
 """End-to-end scheduler runs: convergence, staleness math, deadlines,
 dropout resilience, and the sync vs. async makespan ordering."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Streaming + training integration: the §3.4.3 'real-time learning' loop."""
 
-import numpy as np
 
 from repro.data import build_datamodule
 from repro.models import build_model

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from benchmarks.report import fmt_seconds, main, render_group, row_label
 

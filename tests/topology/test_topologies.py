@@ -1,5 +1,4 @@
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.topology import (
