@@ -1,0 +1,113 @@
+"""Decentralized gossip ablation — does the per-round barrier cost makespan?
+
+Four peers on a ring train under the same seed, the same per-peer lognormal
+compute model (with a persistent speed spread: one peer is simply slower),
+and the same per-edge link model.  The arms differ only in the gossip
+execution mode:
+
+``barrier``      synchronous gossip rounds: every peer trains, every
+                 message lands, everyone mixes at the slowest arrival —
+                 each round pays the stragglers at both the compute and
+                 the link level;
+``async_all``    asynchronous gossip, publish to all neighbors: a fast
+                 peer keeps training and mixing while slow peers and slow
+                 links catch up (staleness-discounted);
+``async_pair``   asynchronous randomized pairwise gossip: one partner per
+                 step — the lightest exchange schedule.
+
+The headline: at *equal aggregated-update counts*, async gossip completes
+in strictly less virtual makespan than the synchronous gossip barrier.
+
+Run:    pytest benchmarks/bench_gossip_async.py --benchmark-only
+Smoke:  BENCH_SMOKE=1 pytest benchmarks/bench_gossip_async.py -q
+"""
+
+import os
+
+import pytest
+
+from repro.engine import Engine
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+
+COMPUTE = {"latency": "lognormal", "mean": 0.5, "sigma": 0.8, "client_spread": 1.0}
+EDGE = {"latency": "lognormal", "mean": 0.3, "sigma": 0.8, "client_spread": 0.5}
+
+ARMS = {
+    "barrier": {"barrier": True},
+    "async_all": {"barrier": False, "neighbor_selection": "all"},
+    "async_pair": {"barrier": False, "neighbor_selection": "pairwise"},
+}
+
+PEERS = 4
+# divisible by the peer count so barrier rounds hit the target exactly
+TOTAL_UPDATES = 8 if SMOKE else 24
+TRAIN_SIZE = 256 if SMOKE else 512
+
+
+def make_engine(arm: str, port: int) -> Engine:
+    return Engine.from_names(
+        topology="ring",
+        algorithm="fedavg",
+        model="mlp",
+        datamodule="blobs",
+        topology_kwargs={
+            "num_clients": PEERS,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        datamodule_kwargs={"train_size": TRAIN_SIZE, "test_size": 128},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        global_rounds=TOTAL_UPDATES // PEERS,
+        batch_size=32,
+        seed=0,
+        scheduler={
+            "name": "gossip_async",
+            "heterogeneity": dict(COMPUTE),
+            "edge_heterogeneity": dict(EDGE),
+            **ARMS[arm],
+        },
+    )
+
+
+def run_once(arm: str, port: int):
+    engine = make_engine(arm, port)
+    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
+    scheduler = engine.scheduler
+    engine.shutdown()
+    return metrics, scheduler
+
+
+@pytest.mark.parametrize("arm", list(ARMS))
+def test_gossip_async_virtual_makespan(benchmark, arm, fresh_port):
+    holder = {}
+    ports = iter(range(fresh_port, fresh_port + 10_000, 37))
+
+    def once():
+        holder["result"] = run_once(arm, next(ports))
+
+    benchmark.group = "gossip-async"
+    benchmark.pedantic(once, rounds=1 if SMOKE else 2, iterations=1, warmup_rounds=0)
+    metrics, scheduler = holder["result"]
+    last_dist = next(
+        (r.consensus_dist for r in reversed(metrics.history) if r.consensus_dist is not None),
+        None,
+    )
+    benchmark.extra_info["arm"] = arm
+    benchmark.extra_info["sim_makespan_s"] = round(metrics.sim_makespan(), 4)
+    benchmark.extra_info["applied_updates"] = metrics.total_applied()
+    benchmark.extra_info["final_accuracy"] = metrics.final_accuracy()
+    benchmark.extra_info["exchange_bytes"] = metrics.total_bytes()
+    benchmark.extra_info["messages_sent"] = scheduler.msgs_sent
+    benchmark.extra_info["consensus_dist"] = last_dist
+
+
+def test_async_gossip_strictly_beats_barrier(fresh_port):
+    """The acceptance check: same seed, same compute and link models, equal
+    aggregated-update counts — async gossip finishes in strictly less
+    virtual time than the synchronous gossip barrier."""
+    barrier_m, _ = run_once("barrier", fresh_port)
+    async_m, _ = run_once("async_all", fresh_port + 4000)
+    assert barrier_m.total_applied() == async_m.total_applied() == TOTAL_UPDATES
+    assert async_m.sim_makespan() < barrier_m.sim_makespan()
+    assert async_m.final_accuracy() is not None
+    assert barrier_m.final_accuracy() is not None

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Decentralized async gossip: no server, no barrier, no stalled ring.
+
+Four peers on a ring (the paper's Fig. 1b decentralized pattern) federate
+with no coordinator at all: each peer trains locally, pushes its state to
+neighbors over links with their own latency model, and mixes whatever has
+arrived — AD-PSGD-style.  One seed, one per-peer compute model (with a
+persistent speed spread: one peer is simply slower), one per-edge link
+model.  The arms differ only in the gossip execution mode
+(``scheduler.barrier`` / ``scheduler.neighbor_selection``):
+
+* ``barrier``     — synchronous gossip rounds: everyone mixes at the
+                    slowest arrival, so each round pays the stragglers;
+* ``async_all``   — asynchronous gossip, publish to all neighbors;
+* ``async_pair``  — asynchronous randomized pairwise gossip (one random
+                    partner per step).
+
+Latency is *virtual* (no sleeping): makespans are what an edge deployment
+would see, reproduced in milliseconds of laptop time.
+
+Run:  python examples/gossip_async.py
+"""
+
+from repro.engine import Engine
+
+COMPUTE = {"latency": "lognormal", "mean": 0.5, "sigma": 0.8, "client_spread": 1.0}
+EDGE = {"latency": "lognormal", "mean": 0.3, "sigma": 0.8, "client_spread": 0.5}
+
+ARMS = {
+    "barrier": {"barrier": True},
+    "async_all": {"barrier": False, "neighbor_selection": "all"},
+    "async_pair": {"barrier": False, "neighbor_selection": "pairwise"},
+}
+
+PEERS = 4
+TOTAL_UPDATES = 24
+
+
+def run(arm: str, port: int):
+    engine = Engine.from_names(
+        topology="ring",
+        algorithm="fedavg",
+        model="mlp",
+        datamodule="blobs",
+        topology_kwargs={
+            "num_clients": PEERS,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        datamodule_kwargs={"train_size": 512, "test_size": 128},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        global_rounds=TOTAL_UPDATES // PEERS,
+        batch_size=32,
+        seed=0,
+        scheduler={
+            "name": "gossip_async",
+            "heterogeneity": dict(COMPUTE),
+            "edge_heterogeneity": dict(EDGE),
+            **ARMS[arm],
+        },
+    )
+    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
+    scheduler = engine.scheduler
+    engine.shutdown()
+    return metrics, scheduler
+
+
+def main() -> None:
+    print(f"{'arm':>12} {'sim makespan':>13} {'updates':>8} {'msgs':>6} "
+          f"{'MB moved':>9} {'consensus':>10} {'final acc':>10}")
+    baseline = None
+    for i, arm in enumerate(ARMS):
+        metrics, scheduler = run(arm, 53000 + 50 * i)
+        span = metrics.sim_makespan()
+        if baseline is None:
+            baseline = span
+        speedup = f"({baseline / span:.2f}x)" if span else ""
+        dist = next(
+            (r.consensus_dist for r in reversed(metrics.history)
+             if r.consensus_dist is not None),
+            float("nan"),
+        )
+        print(f"{arm:>12} {span:>10.2f}s {speedup:<8} "
+              f"{metrics.total_applied():>5} {scheduler.msgs_sent:>6} "
+              f"{metrics.total_bytes() / 1e6:>9.2f} {dist:>10.4f} "
+              f"{metrics.final_accuracy():>10.4f}")
+    print("\nasync gossip reaches the same update count without ever paying "
+          "the slowest peer's round — lower virtual makespan, same network.")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@ Usage::
     python -m repro scheduler=fedbuff scheduler.buffer_size=8
     python -m repro topology=hierarchical scheduler=hier_async \
         scheduler.inner=fedbuff scheduler.outer=fedasync   # per-tier policies
+    python -m repro topology=ring scheduler=gossip_async \
+        scheduler.neighbor_selection=pairwise              # decentralized gossip
     python -m repro --config-dir my_confs --config-name exp  algorithm=moon
     python -m repro --list                             # show config groups
 
@@ -59,6 +61,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             if getattr(sched, "sites", None):
                 tiers = (f", {len(sched.sites)} sites, "
                          f"inner={sched.inner} outer={sched.outer}")
+            elif getattr(sched, "peers", None):
+                last_dist = next(
+                    (r.consensus_dist for r in reversed(metrics.history)
+                     if r.consensus_dist is not None),
+                    None,
+                )
+                tiers = (f", {len(sched.peers)} peers, "
+                         f"{sched.neighbor_selection}/{sched.mixing} gossip")
+                if last_dist is not None:
+                    tiers += f", consensus dist {last_dist:.4f}"
             print(f"scheduler: {sched.name} "
                   f"(sim makespan {metrics.sim_makespan():.2f}s, "
                   f"{metrics.total_applied()} updates applied{tiers})")

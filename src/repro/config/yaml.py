@@ -376,7 +376,9 @@ def load(source: Union[str, "io.TextIOBase"]) -> Any:
 # Dumper
 # --------------------------------------------------------------------------
 
-_PLAIN_SAFE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-/]*$")
+# \Z, not $: "$" matches before a trailing newline, which would let a value
+# like "A\n" dump as a bare scalar and lose its newline on the way back in
+_PLAIN_SAFE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-/]*\Z")
 
 
 def _dump_scalar(value: Any) -> str:

@@ -26,6 +26,7 @@ from repro.engine.actor import ThreadActor, wait_all
 from repro.engine.metrics import MetricsCollector, RoundRecord
 from repro.models.base import FederatedModel
 from repro.models.registry import build_model
+from repro.nn.serialization import state_average
 from repro.node.node import Node
 from repro.privacy.dp import DifferentialPrivacy
 from repro.scheduler.base import Scheduler, build_scheduler
@@ -348,15 +349,18 @@ class Engine:
         ``hier_async``: every site head runs a nested inner policy over its
         trainers while the root merges site uploads asynchronously on the
         slow outer link (``scheduler.inner=...`` / ``scheduler.outer=...``
-        pick the per-tier policies).  Runs until ``total_updates`` client
-        updates have been aggregated (default: ``global_rounds ×`` the
-        trainer count).
+        pick the per-tier policies).  On a gossip (ring/p2p/custom)
+        topology the default is ``gossip_async``: serverless asynchronous
+        neighbor exchange under per-edge latency, with
+        ``scheduler.neighbor_selection`` / ``scheduler.mixing`` choosing
+        who exchanges and how states average.  Runs until ``total_updates``
+        client updates have been aggregated (default: ``global_rounds ×``
+        the trainer count).
         """
         sched = self._resolve_scheduler(scheduler) if scheduler is not None else self.scheduler
         if sched is None:
-            sched = build_scheduler(
-                "hier_async" if self.topology.pattern == "hierarchical" else "fedasync"
-            )
+            default = {"hierarchical": "hier_async", "gossip": "gossip_async"}
+            sched = build_scheduler(default.get(self.topology.pattern, "fedasync"))
         # remember whatever actually runs, so a later run_async() continues
         # this federation instead of silently starting a fresh default one
         self.scheduler = sched
@@ -380,7 +384,19 @@ class Engine:
         for node in self.nodes:
             if node.role is NodeRole.AGGREGATOR and node.global_state is not None:
                 return node.global_state
-        # gossip topologies: consensus average is approximated by node 0
+        if self.topology.pattern == "gossip":
+            # consensus (mixing-weighted) average of the peers, not node 0's
+            # state: with a gossip scheduler live, its ledger is the source
+            # of truth (safe to read while training futures are in flight);
+            # otherwise average the node models directly (the synchronous
+            # path, where rounds have fully completed)
+            sched = self.scheduler
+            if sched is not None and getattr(sched, "peer_states", None):
+                return sched.consensus_state()
+            return state_average(
+                [n.model.state_dict() for n in self.nodes],
+                [float(w) for w in self.topology.consensus_weights()],
+            )
         return self.nodes[0].model.state_dict()
 
     def evaluate(self) -> tuple:

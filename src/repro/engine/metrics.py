@@ -33,6 +33,11 @@ class RoundRecord:
     tier: str = "global"
     #: site uploads merged by this aggregation (hierarchical outer tier)
     sites_merged: int = 0
+    #: RMS distance of peer models from the consensus average (gossip runs)
+    consensus_dist: Optional[float] = None
+    #: bytes moved per directed edge ("u->v") since the previous record
+    #: (gossip runs; per-edge accounting of the exchange traffic)
+    per_edge: Dict[str, int] = field(default_factory=dict)
     per_node: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -50,6 +55,7 @@ class RoundRecord:
             "staleness_mean": self.staleness_mean,
             "tier": self.tier,
             "sites_merged": self.sites_merged,
+            "consensus_dist": self.consensus_dist,
         }
 
 

@@ -294,6 +294,48 @@ class Node:
         return {"state": state, "meta": meta, "stats": stats, "version": int(version)}
 
     # ------------------------------------------------------------------
+    # decentralized async: gossip train/exchange/mix without collectives
+    # ------------------------------------------------------------------
+    def gossip_update(self, payload: Mapping[str, np.ndarray], step: int) -> Dict[str, Any]:
+        """One local training step from ``payload`` (this peer's mixed state)
+        for the decentralized async runtime.
+
+        No codec here: in gossip the compressor/DP plugins apply to the
+        *neighbor exchange* (:meth:`gossip_publish`), not to training — a
+        peer's own state never crosses a link on this path.
+        """
+        self.algorithm.on_round_start(self, dict(payload), step)
+        stats = self.algorithm.local_train(self, step)
+        self.algorithm.on_round_end(self, step)
+        self.last_train_stats = stats
+        return {
+            "state": self.model.state_dict(),
+            "stats": stats,
+            "num_samples": int(self.num_samples),
+        }
+
+    def gossip_publish(self, reference: Optional[Dict[str, np.ndarray]]) -> Dict[str, Any]:
+        """Encode this peer's current model state for a neighbor push.
+
+        Delta-coded against ``reference`` — the replica of what this peer
+        last published, which every receiver tracks (the CHOCO-SGD scheme)
+        — through the peer's compressor and, if configured, DP plugin;
+        decoded right back (there is no real wire) so the caller gets
+        exactly what receivers would reconstruct, plus the byte count the
+        wire form would have cost.
+        """
+        state = self.model.state_dict()
+        wire, meta = encode_update(state, self.compressor, self.dp, reference)
+        nbytes = int(sum(np.asarray(v).nbytes for v in wire.values()))
+        decoded = decode_update(wire, meta, self.compressor, reference)
+        return {"state": decoded, "bytes": nbytes, "num_samples": int(self.num_samples)}
+
+    def gossip_adopt(self, state: Mapping[str, np.ndarray]) -> None:
+        """Install a mixed state as this peer's model (the async counterpart
+        of the synchronous gossip round's post-mix ``load_state_dict``)."""
+        self.model.load_state_dict(dict(state), strict=False)
+
+    # ------------------------------------------------------------------
     # hierarchical async: site-head <-> root exchange without collectives
     # ------------------------------------------------------------------
     def adopt_global(self, payload: Mapping[str, np.ndarray]) -> None:

@@ -17,7 +17,13 @@ updates enter the global model a fourth configurable axis.  It provides
 * a **hierarchical coordinator** (:mod:`~repro.scheduler.hierarchical`):
   ``hier_async`` nests a per-site inner policy under an asynchronous (or
   barrier) outer merge at the global root — the paper's cross-facility
-  scenario with per-tier policy choice.
+  scenario with per-tier policy choice;
+* a **decentralized gossip runtime** (:mod:`~repro.scheduler.gossip`):
+  ``gossip_async`` runs ring/p2p/custom-graph federations serverless —
+  each peer trains, pushes its state to a sampled neighbor set over a
+  per-edge latency/loss model, and mixes arrivals with mixing-matrix
+  weights scaled by a staleness discount (``barrier=true`` reproduces the
+  synchronous gossip round under the same clock).
 
 Compose like any other axis::
 
@@ -32,6 +38,7 @@ policies on a hierarchical topology).
 
 from repro.scheduler.base import SCHEDULERS, Scheduler, build_scheduler
 from repro.scheduler.events import EventQueue, PendingUpdate
+from repro.scheduler.gossip import GossipScheduler
 from repro.scheduler.heterogeneity import HeterogeneityModel
 from repro.scheduler.hierarchical import HierarchicalScheduler
 from repro.scheduler.policies import (
@@ -65,6 +72,7 @@ __all__ = [
     "FedAsyncScheduler",
     "FedBuffScheduler",
     "HierarchicalScheduler",
+    "GossipScheduler",
     "SelectionStrategy",
     "RandomSelection",
     "RoundRobinSelection",

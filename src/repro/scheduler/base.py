@@ -117,6 +117,10 @@ class Scheduler:
     #: are freed as soon as the next aggregation replaces them
     needs_base_state = False
 
+    #: server-driven policies resolve an aggregator node at bind time;
+    #: decentralized (gossip) policies have no server and skip that step
+    requires_aggregator = True
+
     #: topology coordination patterns this scheduler can drive when bound as
     #: the engine's top-level execution policy (scoped site-tier bindings
     #: skip the check — the coordinator vouches for them)
@@ -148,11 +152,16 @@ class Scheduler:
                     "flat topologies use the flat policies "
                     "(sync, semi_sync, fedasync, fedbuff)"
                 )
+            elif "gossip" in self.patterns:
+                hint = (
+                    "gossip policies need a decentralized topology "
+                    "(ring, p2p, or custom)"
+                )
             else:
                 hint = (
                     "use scheduler=hier_async (with scheduler.inner=... per site) "
-                    "for hierarchical federations; gossip federations keep the "
-                    "synchronous Engine.run path"
+                    "for hierarchical federations and scheduler=gossip_async for "
+                    "decentralized (ring/p2p/custom) ones"
                 )
             raise ValueError(
                 f"scheduler {self.name!r} needs a {need}-pattern topology "
@@ -184,14 +193,14 @@ class Scheduler:
                     f"node {self._server_idx} cannot serve a site tier: role "
                     f"{engine.nodes[self._server_idx].role.value!r} does not aggregate"
                 )
-        else:
+        elif self.requires_aggregator:
             try:
                 self._server_idx = next(
                     i for i, n in enumerate(engine.nodes) if n.role is NodeRole.AGGREGATOR
                 )
             except StopIteration:
                 raise ValueError("scheduler needs a topology with an aggregator node") from None
-        if self.requires_full_state:
+        if self.requires_full_state and self._server_idx is not None:
             algo = engine.nodes[self._server_idx].algorithm
             if not algo.uploads_full_state:
                 raise ValueError(

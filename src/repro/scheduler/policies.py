@@ -126,6 +126,8 @@ class SemiSyncScheduler(Scheduler):
         super().__init__(**kwargs)
         if deadline <= 0 and not math.isinf(deadline):
             raise ValueError("deadline must be > 0 (or inf for a full barrier)")
+        if clients_per_round is not None and clients_per_round < 1:
+            raise ValueError("clients_per_round must be >= 1 (or None for the default)")
         self.deadline = float(deadline)
         self.clients_per_round = clients_per_round
         self.min_updates = max(1, int(min_updates))
@@ -147,6 +149,13 @@ class SemiSyncScheduler(Scheduler):
                 k = self.concurrency if self.concurrency else len(self.clients)
             for client in self.select_idle(k):
                 self.dispatch(client)
+            if not self.queue:
+                # nothing dispatched and nothing carried over: no arrival can
+                # ever close this round — fail loudly instead of spinning
+                raise RuntimeError(
+                    "semi-sync round has no updates in flight (empty selection "
+                    "with an empty carry-over queue)"
+                )
             window = self._round_window()
             arrivals = self.queue.pop_until(window)
             while (

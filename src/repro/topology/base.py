@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 import networkx as nx
+import numpy as np
 
 from repro.utils.registry import Registry
 
@@ -18,6 +19,7 @@ __all__ = [
     "Topology",
     "TOPOLOGIES",
     "build_topology",
+    "stationary_distribution",
 ]
 
 TOPOLOGIES: Registry["Topology"] = Registry("topology")
@@ -123,6 +125,61 @@ class Topology:
         """Site structure for multi-tier topologies (empty for flat ones)."""
         return []
 
+    # ------------------------------------------------------------------
+    # graph structure (decentralized runtimes consume these uniformly)
+    # ------------------------------------------------------------------
+    def neighbor_map(self) -> Dict[int, List[int]]:
+        """Adjacency as ``{node index: sorted neighbor indices}``."""
+        g = self.graph()
+        return {int(i): sorted(int(j) for j in g.neighbors(i)) for i in g.nodes}
+
+    def mixing_matrix(self) -> np.ndarray:
+        """Row-stochastic mixing matrix ``W`` (``W[i, j]`` = weight node
+        ``i`` gives node ``j``'s state when averaging).
+
+        Built from the specs' per-node ``mixing`` dicts when the topology
+        declares them (ring/p2p carry hand-tuned weights); otherwise falls
+        back to Metropolis-Hastings weights computed from :meth:`graph`, so
+        every topology exposes a usable matrix.
+        """
+        specs = self.specs()
+        n = len(specs)
+        if not any(s.mixing for s in specs):
+            return self.metropolis_hastings_matrix()
+        w = np.zeros((n, n), dtype=np.float64)
+        for s in specs:
+            if s.mixing:
+                for j, weight in s.mixing.items():
+                    w[s.index, int(j)] = float(weight)
+            else:
+                w[s.index, s.index] = 1.0  # isolated/aggregator rows
+        return w
+
+    def metropolis_hastings_matrix(self) -> np.ndarray:
+        """Symmetric doubly-stochastic mixing weights from the graph alone:
+        ``w_uv = 1 / (1 + max(deg(u), deg(v)))``, self-loops absorb the
+        remainder.  Safe for arbitrary degree skew."""
+        g = self.graph()
+        n = self.world_size
+        w = np.zeros((n, n), dtype=np.float64)
+        for u, v in g.edges:
+            weight = 1.0 / (1.0 + max(g.degree(u), g.degree(v)))
+            w[int(u), int(v)] = weight
+            w[int(v), int(u)] = weight
+        for i in range(n):
+            w[i, i] = 1.0 - w[i].sum()
+        return w
+
+    def consensus_weights(self) -> np.ndarray:
+        """Stationary distribution ``π`` of the mixing matrix (``πW = π``).
+
+        This is the weighting under which repeated gossip averaging
+        preserves the network mean — uniform for the doubly-stochastic
+        matrices the built-in topologies use, and the right consensus
+        weighting for any custom row-stochastic matrix.
+        """
+        return stationary_distribution(self.mixing_matrix())
+
     def describe(self) -> str:
         """One-line summary for logs."""
         g = self.graph()
@@ -149,6 +206,22 @@ class Topology:
                 if gs.rank in ranks:
                     raise ValueError(f"duplicate rank {gs.rank} in group {gname} of {type(self).__name__}")
                 ranks.add(gs.rank)
+
+
+def stationary_distribution(w: np.ndarray) -> np.ndarray:
+    """Stationary distribution ``π`` (``πW = π``) of a row-stochastic matrix,
+    falling back to uniform for defective or degenerate inputs."""
+    n = w.shape[0]
+    vals, vecs = np.linalg.eig(w.T)
+    idx = int(np.argmin(np.abs(vals - 1.0)))
+    pi = np.real(vecs[:, idx])
+    total = pi.sum()
+    if not np.isfinite(pi).all() or abs(total) < 1e-12:
+        return np.full(n, 1.0 / n)
+    pi = pi / total
+    if (pi < -1e-9).any():
+        return np.full(n, 1.0 / n)
+    return np.clip(pi, 0.0, None) / np.clip(pi, 0.0, None).sum()
 
 
 def _group_identity(gs: GroupSpec) -> str:

@@ -1,0 +1,182 @@
+"""Property tests for the compression codecs: for *every* registered codec,
+encode/decode must preserve vector shape, dtype, and finiteness on arbitrary
+inputs; sparsifiers with an explicit ``k`` must emit at most ``k`` nonzeros;
+and the error-feedback wrapper must shrink the cumulative reconstruction
+error of a repeated signal step over step."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import COMPRESSORS, ErrorFeedback, TopK, build_compressor
+
+#: one canonical construction per registered codec (aliases collapse onto
+#: the same factory, so a codec added without a row here fails the test
+#: below — the suite can't silently lose coverage)
+CODEC_FACTORIES = {
+    "identity": lambda: build_compressor("identity"),
+    "topk": lambda: build_compressor("topk", ratio=4.0),
+    "randomk": lambda: build_compressor("randomk", ratio=4.0, seed=0),
+    "qsgd": lambda: build_compressor("qsgd", bits=8, seed=0),
+    "powersgd": lambda: build_compressor("powersgd", rank=4, seed=0),
+    "dgc": lambda: build_compressor("dgc", ratio=4.0, seed=0),
+    "redsync": lambda: build_compressor("redsync", ratio=4.0),
+    "sidco": lambda: build_compressor("sidco", ratio=4.0),
+    "error_feedback": lambda: build_compressor("ef", inner=TopK(ratio=4.0)),
+}
+
+ALIASES = {"none": "identity", "ef": "error_feedback"}
+
+
+def test_every_registered_codec_is_covered():
+    registered = {ALIASES.get(n, n) for n in COMPRESSORS.names()}
+    assert registered == set(CODEC_FACTORIES)
+
+
+vectors = hnp.arrays(
+    dtype=np.float32,
+    shape=st.integers(min_value=1, max_value=400),
+    elements=st.floats(
+        min_value=-1e4, max_value=1e4, allow_nan=False, width=32
+    ),
+)
+
+
+# ------------------------------------------------------------ roundtrip laws
+@pytest.mark.parametrize("name", sorted(CODEC_FACTORIES))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vec=vectors)
+def test_roundtrip_preserves_shape_dtype_finiteness(name, vec):
+    codec = CODEC_FACTORIES[name]()
+    out = codec.decompress(codec.compress(vec))
+    assert out.shape == vec.shape
+    assert out.dtype == np.float32
+    assert np.isfinite(out).all()
+
+
+@pytest.mark.parametrize("name", sorted(CODEC_FACTORIES))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vec=vectors)
+def test_payload_is_self_describing(name, vec):
+    """Compressed payloads must decode standalone on a *fresh* stateless
+    codec instance of the same configuration (what a receiver holds) —
+    except stateful wrappers, which document that they decode with their
+    own instance."""
+    codec = CODEC_FACTORIES[name]()
+    payload = codec.compress(vec)
+    receiver = CODEC_FACTORIES[name]()
+    out = receiver.decompress(payload)
+    assert out.shape == vec.shape
+    assert np.isfinite(out).all()
+
+
+@pytest.mark.parametrize("name", sorted(CODEC_FACTORIES))
+def test_empty_vector_rejected(name):
+    codec = CODEC_FACTORIES[name]()
+    with pytest.raises(ValueError):
+        codec.compress(np.empty(0, dtype=np.float32))
+
+
+@settings(max_examples=25, deadline=None)
+@given(vec=vectors)
+def test_identity_roundtrip_is_exact(vec):
+    codec = CODEC_FACTORIES["identity"]()
+    np.testing.assert_array_equal(codec.decompress(codec.compress(vec)), vec)
+
+
+# ------------------------------------------------------------ sparsity budgets
+@settings(max_examples=40, deadline=None)
+@given(
+    vec=hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=2, max_value=400),
+        elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32),
+    ),
+    k=st.integers(min_value=1, max_value=50),
+)
+def test_topk_emits_at_most_k_nonzeros(vec, k):
+    codec = build_compressor("topk", k=k)
+    out = codec.decompress(codec.compress(vec))
+    assert np.count_nonzero(out) <= min(k, vec.size)
+    payload = codec.compress(vec)
+    assert payload.arrays["values"].size <= min(k, vec.size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vec=hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=2, max_value=400),
+        elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32),
+    ),
+    k=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_randomk_emits_at_most_k_nonzeros(vec, k, seed):
+    codec = build_compressor("randomk", k=k, seed=seed)
+    out = codec.decompress(codec.compress(vec))
+    assert np.count_nonzero(out) <= min(k, vec.size)
+    payload = codec.compress(vec)
+    assert payload.arrays["values"].size <= min(k, vec.size)
+
+
+@settings(max_examples=25, deadline=None)
+@given(vec=vectors)
+def test_topk_keeps_the_largest_magnitudes(vec):
+    k = max(1, vec.size // 4)
+    codec = build_compressor("topk", k=k)
+    out = codec.decompress(codec.compress(vec))
+    kept = np.abs(vec[np.flatnonzero(out)])
+    dropped = np.abs(vec[np.flatnonzero(out == 0)])
+    if kept.size and dropped.size:
+        assert kept.min() >= dropped.max() - 1e-6
+
+
+# ------------------------------------------------------------ error feedback
+def test_error_feedback_residual_shrinks_reconstruction_error():
+    """Feeding the same gradient through EF(TopK) repeatedly must reduce the
+    error of the *accumulated* transmitted signal: the residual re-injects
+    what compression dropped, so sum_t(decode_t) -> t * g."""
+    rng = np.random.default_rng(0)
+    g = rng.standard_normal(512).astype(np.float32)
+    ef = ErrorFeedback(TopK(ratio=8.0))
+    acc = np.zeros_like(g)
+    errors = []
+    for t in range(1, 13):
+        acc = acc + ef.decompress(ef.compress(g))
+        errors.append(float(np.linalg.norm(acc - t * g)) / t)
+    # normalized error decays monotonically-ish; compare thirds to be robust
+    assert np.mean(errors[-4:]) < np.mean(errors[:4]) / 2
+    assert errors[-1] < errors[0]
+
+
+def test_error_feedback_beats_plain_compression_on_accumulated_signal():
+    rng = np.random.default_rng(1)
+    g = rng.standard_normal(512).astype(np.float32)
+    steps = 10
+
+    ef = ErrorFeedback(TopK(ratio=16.0))
+    plain = TopK(ratio=16.0)
+    acc_ef = np.zeros_like(g)
+    acc_plain = np.zeros_like(g)
+    for _ in range(steps):
+        acc_ef = acc_ef + ef.decompress(ef.compress(g))
+        acc_plain = acc_plain + plain.decompress(plain.compress(g))
+    target = steps * g
+    assert np.linalg.norm(acc_ef - target) < np.linalg.norm(acc_plain - target)
+
+
+def test_error_feedback_residual_stays_bounded():
+    rng = np.random.default_rng(2)
+    ef = ErrorFeedback(TopK(ratio=8.0))
+    norms = []
+    for _ in range(30):
+        g = rng.standard_normal(256).astype(np.float32)
+        ef.compress(g)
+        norms.append(ef.residual_norm)
+    # the residual must not grow without bound relative to the signal
+    assert max(norms[10:]) < 10 * float(np.linalg.norm(np.ones(256)))
+    ef.reset()
+    assert ef.residual_norm == 0.0

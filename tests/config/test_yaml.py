@@ -132,3 +132,10 @@ _values = st.recursive(
 @given(st.dictionaries(st.text(alphabet="abcdefg_", min_size=1, max_size=6), _values, max_size=5))
 def test_dump_load_roundtrip(doc):
     assert y.loads(y.dumps(doc)) == doc
+
+
+def test_trailing_newline_string_roundtrips():
+    """Regression: '$' in the plain-scalar regex matched before a trailing
+    newline, so values like 'A\\n' dumped unquoted and lost the newline."""
+    for doc in ({"k": "A\n"}, {"k": "A\r"}, {"k": "A\n", "m": ["b\n"]}):
+        assert y.loads(y.dumps(doc)) == doc
