@@ -14,10 +14,10 @@ import threading
 import numpy as np
 import pytest
 
+from repro import DataSpec, Engine, ExperimentSpec, FaultSpec, TrainSpec
 from repro.comm import GrpcCommunicator
 from repro.comm.collectives import CollectiveGroup
 from repro.compression import ErrorFeedback, TopK
-from repro.engine import Engine
 from repro.privacy import HomomorphicEncryption, generate_keypair
 
 PAYLOAD = 100_000
@@ -73,16 +73,21 @@ def test_error_feedback_accuracy(benchmark, use_ef, fresh_port):
 
     def run():
         comp_fn = (lambda: ErrorFeedback(TopK(ratio=200))) if use_ef else (lambda: TopK(ratio=200))
-        engine = Engine.from_names(
-            topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
-            num_clients=4, global_rounds=5, batch_size=32, seed=0,
-            topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
-            datamodule_kwargs={"train_size": 512, "test_size": 128},
-            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-            eval_every=5,
+        spec = ExperimentSpec(
+            topology="centralized",
+            topology_kwargs={
+                "num_clients": 4,
+                "inner_comm": {"backend": "torchdist", "master_port": fresh_port},
+            },
+            data=DataSpec(dataset="blobs", kwargs={"train_size": 512, "test_size": 128}),
+            train=TrainSpec(
+                algorithm="fedavg", algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+                model="mlp", global_rounds=5, eval_every=5,
+            ),
+            seed=0,
         )
-        engine.compressor_fn = None  # engine built; inject per-node below
-        for node in engine.nodes:
+        engine = Engine.from_spec(spec)
+        for node in engine.nodes:  # engine built; inject the wrapped codec per-node
             node.compressor = comp_fn()
             node.outer_compressor = node.compressor
         metrics = engine.run()
@@ -147,16 +152,24 @@ def test_rpc_transport(benchmark, transport, fresh_port, rng):
 # ---------------------------------------------------------------- stragglers
 @pytest.mark.parametrize("straggler", [False, True])
 def test_straggler_round_time(benchmark, straggler, fresh_port):
-    engine = Engine.from_names(
-        topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
-        num_clients=4, global_rounds=1, batch_size=32, seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
-        datamodule_kwargs={"train_size": 256, "test_size": 64},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        straggler_prob=1.0 if straggler else 0.0,
-        straggler_delay=0.2,
-        eval_every=0,
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": 4,
+            "inner_comm": {"backend": "torchdist", "master_port": fresh_port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 256, "test_size": 64}),
+        train=TrainSpec(
+            algorithm="fedavg", algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp", global_rounds=1, eval_every=0,
+        ),
+        faults=FaultSpec(
+            straggler_prob=1.0 if straggler else 0.0,
+            straggler_delay=0.2,
+        ),
+        seed=0,
     )
+    engine = Engine.from_spec(spec)
     engine.setup()
     counter = iter(range(10_000))
 

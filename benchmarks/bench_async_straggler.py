@@ -15,17 +15,17 @@ import os
 
 import pytest
 
-from repro.engine import Engine
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
 
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 
 HETERO = {"latency": "lognormal", "mean": 1.0, "sigma": 1.0}
 
 SCHEDULERS = {
-    "sync": {"name": "sync", "heterogeneity": HETERO},
-    "semi_sync": {"name": "semi_sync", "deadline": 1.0, "heterogeneity": HETERO},
-    "fedasync": {"name": "fedasync", "alpha": 0.6, "heterogeneity": HETERO},
-    "fedbuff": {"name": "fedbuff", "buffer_size": 4, "heterogeneity": HETERO},
+    "sync": SchedulerSpec(name="sync", kwargs={"heterogeneity": HETERO}),
+    "semi_sync": SchedulerSpec(name="semi_sync", kwargs={"deadline": 1.0, "heterogeneity": HETERO}),
+    "fedasync": SchedulerSpec(name="fedasync", kwargs={"alpha": 0.6, "heterogeneity": HETERO}),
+    "fedbuff": SchedulerSpec(name="fedbuff", kwargs={"buffer_size": 4, "heterogeneity": HETERO}),
 }
 
 CLIENTS = 4
@@ -33,35 +33,36 @@ TOTAL_UPDATES = 12 if SMOKE else 24
 TARGET_ACCURACY = 0.8
 
 
-def make_engine(mode: str, port: int) -> Engine:
-    return Engine.from_names(
+def make_spec(mode: str, port: int) -> ExperimentSpec:
+    return ExperimentSpec(
         topology="centralized",
-        algorithm="fedavg",
-        model="mlp",
-        datamodule="blobs",
-        num_clients=CLIENTS,
-        global_rounds=TOTAL_UPDATES // CLIENTS,
-        batch_size=32,
+        topology_kwargs={
+            "num_clients": CLIENTS,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 512, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=TOTAL_UPDATES // CLIENTS,
+        ),
+        scheduler=SCHEDULERS[mode],
+        total_updates=TOTAL_UPDATES,
         seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
-        datamodule_kwargs={"train_size": 512, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        scheduler=dict(SCHEDULERS[mode]),
     )
 
 
 def run_once(mode: str, port: int):
-    engine = make_engine(mode, port)
-    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
-    engine.shutdown()
+    result = Experiment(make_spec(mode, port)).run()
     updates_to_target = None
     applied = 0
-    for rec in metrics.history:
+    for rec in result.history:
         applied += rec.applied
         if rec.eval_accuracy is not None and rec.eval_accuracy >= TARGET_ACCURACY:
             updates_to_target = applied
             break
-    return metrics, updates_to_target
+    return result, updates_to_target
 
 
 @pytest.mark.parametrize("mode", list(SCHEDULERS))
@@ -74,15 +75,15 @@ def test_straggler_wall_clock(benchmark, mode, fresh_port):
 
     benchmark.group = "async-straggler"
     benchmark.pedantic(once, rounds=1 if SMOKE else 2, iterations=1, warmup_rounds=0)
-    metrics, updates_to_target = holder["result"]
+    result, updates_to_target = holder["result"]
     benchmark.extra_info["strategy"] = mode
-    benchmark.extra_info["sim_makespan_s"] = round(metrics.sim_makespan(), 4)
-    benchmark.extra_info["applied_updates"] = metrics.total_applied()
-    benchmark.extra_info["final_accuracy"] = metrics.final_accuracy()
+    benchmark.extra_info["sim_makespan_s"] = round(result.sim_makespan(), 4)
+    benchmark.extra_info["applied_updates"] = result.total_applied()
+    benchmark.extra_info["final_accuracy"] = result.final_accuracy()
     benchmark.extra_info["updates_to_target"] = updates_to_target
     benchmark.extra_info["mean_staleness"] = round(
-        sum(r.staleness_mean * r.applied for r in metrics.history)
-        / max(1, metrics.total_applied()),
+        sum(r.staleness_mean * r.applied for r in result.history)
+        / max(1, result.total_applied()),
         4,
     )
 
@@ -93,8 +94,8 @@ def test_async_strictly_beats_sync_wall_clock(fresh_port):
     time than the barrier."""
     spans = {}
     for i, mode in enumerate(SCHEDULERS):
-        metrics, _ = run_once(mode, fresh_port + 61 * (i + 1))
-        spans[mode] = metrics.sim_makespan()
+        result, _ = run_once(mode, fresh_port + 61 * (i + 1))
+        spans[mode] = result.sim_makespan()
     assert spans["semi_sync"] < spans["sync"]
     assert spans["fedasync"] < spans["sync"]
     assert spans["fedbuff"] < spans["sync"]

@@ -5,14 +5,16 @@ time of one full federated round (one local epoch on every client plus
 aggregation).  Absolute numbers are CPU/NumPy-scale, but the *relative*
 ordering the paper shows — plain-averaging algorithms cluster, stateful or
 multi-pass ones (Scaffold, Moon, Ditto, FedDyn, DiLoCo) pay extra — is the
-reproduced shape.
+reproduced shape.  The engine is driven round-by-round here (the timing
+harness owns the loop), so the run is constructed with ``Engine.from_spec``
+rather than ``Experiment.run``.
 
 Run:  pytest benchmarks/bench_fig3_algorithm_epoch_time.py --benchmark-only
 """
 
 import pytest
 
-from repro.engine import Engine
+from repro import DataSpec, Engine, ExperimentSpec, TrainSpec
 
 ALGORITHMS = [
     "fedavg", "fedprox", "fedmom", "fednova", "scaffold",
@@ -25,20 +27,23 @@ _DATAMODULE = {"resnet18": "cifar10", "vgg11": "cifar100",
 
 
 def make_engine(algorithm: str, model: str, port: int) -> Engine:
-    return Engine.from_names(
+    spec = ExperimentSpec(
         topology="centralized",
-        algorithm=algorithm,
-        model=model,
-        datamodule=_DATAMODULE[model],
-        num_clients=4,
-        global_rounds=1,
-        batch_size=32,
+        topology_kwargs={
+            "num_clients": 4,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset=_DATAMODULE[model], kwargs={"train_size": 256, "test_size": 64}),
+        train=TrainSpec(
+            algorithm=algorithm,
+            algorithm_kwargs={"lr": 0.01, "local_epochs": 1},
+            model=model,
+            global_rounds=1,
+            eval_every=0,  # Fig. 3 measures epoch time, not accuracy
+        ),
         seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
-        datamodule_kwargs={"train_size": 256, "test_size": 64},
-        algorithm_kwargs={"lr": 0.01, "local_epochs": 1},
-        eval_every=0,  # Fig. 3 measures epoch time, not accuracy
     )
+    return Engine.from_spec(spec)
 
 
 @pytest.mark.parametrize("model", MODELS)

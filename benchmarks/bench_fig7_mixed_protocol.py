@@ -16,33 +16,31 @@ import threading
 
 import numpy as np
 
-from repro.algorithms import build_algorithm
+from repro import DataSpec, Engine, ExperimentSpec, TrainSpec
 from repro.comm import GrpcCommunicator, TorchDistCommunicator
-from repro.data import build_datamodule
-from repro.engine import Engine
-from repro.models import build_model
-from repro.topology import HierarchicalTopology
 
 PAYLOAD = 50_000  # floats, ~ a small model update
 
 
 def test_full_round_inner_vs_outer(benchmark, fresh_port):
     """One hierarchical round; inner/outer simulated seconds in extra_info."""
-    topo = HierarchicalTopology(
-        num_sites=2, clients_per_site=3,
-        inner_comm={"backend": "torchdist", "master_port": fresh_port,
-                    "network_preset": "hpc_interconnect"},
-        outer_comm={"backend": "grpc", "master_port": fresh_port + 500,
-                    "transport": "inproc", "network_preset": "wan"},
+    spec = ExperimentSpec(
+        topology="hierarchical",
+        topology_kwargs={
+            "num_sites": 2, "clients_per_site": 3,
+            "inner_comm": {"backend": "torchdist", "master_port": fresh_port,
+                           "network_preset": "hpc_interconnect"},
+            "outer_comm": {"backend": "grpc", "master_port": fresh_port + 500,
+                           "transport": "inproc", "network_preset": "wan"},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 384, "test_size": 64}),
+        train=TrainSpec(
+            algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+            model="mlp", global_rounds=1, eval_every=0,
+        ),
+        seed=0,
     )
-    dm = build_datamodule("blobs", train_size=384, test_size=64)
-    engine = Engine(
-        topology=topo, datamodule=dm,
-        model_fn=lambda: build_model("mlp", in_features=dm.in_features,
-                                     num_classes=dm.num_classes, seed=0),
-        algorithm_fn=lambda: build_algorithm("fedavg", lr=0.05),
-        global_rounds=1, batch_size=32, seed=0, eval_every=0,
-    )
+    engine = Engine.from_spec(spec)
     engine.setup()
     counter = iter(range(10_000))
 

@@ -26,7 +26,7 @@ import os
 
 import pytest
 
-from repro.engine import Engine
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
 
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 
@@ -45,36 +45,37 @@ TOTAL_UPDATES = 8 if SMOKE else 24
 TRAIN_SIZE = 256 if SMOKE else 512
 
 
-def make_engine(arm: str, port: int) -> Engine:
-    return Engine.from_names(
+def make_spec(arm: str, port: int) -> ExperimentSpec:
+    return ExperimentSpec(
         topology="ring",
-        algorithm="fedavg",
-        model="mlp",
-        datamodule="blobs",
         topology_kwargs={
             "num_clients": PEERS,
             "inner_comm": {"backend": "torchdist", "master_port": port},
         },
-        datamodule_kwargs={"train_size": TRAIN_SIZE, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        global_rounds=TOTAL_UPDATES // PEERS,
-        batch_size=32,
+        data=DataSpec(dataset="blobs", kwargs={"train_size": TRAIN_SIZE, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=TOTAL_UPDATES // PEERS,
+        ),
+        scheduler=SchedulerSpec(
+            name="gossip_async",
+            kwargs={
+                "heterogeneity": dict(COMPUTE),
+                "edge_heterogeneity": dict(EDGE),
+                **ARMS[arm],
+            },
+        ),
+        total_updates=TOTAL_UPDATES,
         seed=0,
-        scheduler={
-            "name": "gossip_async",
-            "heterogeneity": dict(COMPUTE),
-            "edge_heterogeneity": dict(EDGE),
-            **ARMS[arm],
-        },
     )
 
 
 def run_once(arm: str, port: int):
-    engine = make_engine(arm, port)
-    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
-    scheduler = engine.scheduler
-    engine.shutdown()
-    return metrics, scheduler
+    experiment = Experiment(make_spec(arm, port))
+    result = experiment.run()
+    return result, experiment.engine.scheduler
 
 
 @pytest.mark.parametrize("arm", list(ARMS))
@@ -87,16 +88,16 @@ def test_gossip_async_virtual_makespan(benchmark, arm, fresh_port):
 
     benchmark.group = "gossip-async"
     benchmark.pedantic(once, rounds=1 if SMOKE else 2, iterations=1, warmup_rounds=0)
-    metrics, scheduler = holder["result"]
+    result, scheduler = holder["result"]
     last_dist = next(
-        (r.consensus_dist for r in reversed(metrics.history) if r.consensus_dist is not None),
+        (r.consensus_dist for r in reversed(result.history) if r.consensus_dist is not None),
         None,
     )
     benchmark.extra_info["arm"] = arm
-    benchmark.extra_info["sim_makespan_s"] = round(metrics.sim_makespan(), 4)
-    benchmark.extra_info["applied_updates"] = metrics.total_applied()
-    benchmark.extra_info["final_accuracy"] = metrics.final_accuracy()
-    benchmark.extra_info["exchange_bytes"] = metrics.total_bytes()
+    benchmark.extra_info["sim_makespan_s"] = round(result.sim_makespan(), 4)
+    benchmark.extra_info["applied_updates"] = result.total_applied()
+    benchmark.extra_info["final_accuracy"] = result.final_accuracy()
+    benchmark.extra_info["exchange_bytes"] = result.total_bytes()
     benchmark.extra_info["messages_sent"] = scheduler.msgs_sent
     benchmark.extra_info["consensus_dist"] = last_dist
 
@@ -105,9 +106,9 @@ def test_async_gossip_strictly_beats_barrier(fresh_port):
     """The acceptance check: same seed, same compute and link models, equal
     aggregated-update counts — async gossip finishes in strictly less
     virtual time than the synchronous gossip barrier."""
-    barrier_m, _ = run_once("barrier", fresh_port)
-    async_m, _ = run_once("async_all", fresh_port + 4000)
-    assert barrier_m.total_applied() == async_m.total_applied() == TOTAL_UPDATES
-    assert async_m.sim_makespan() < barrier_m.sim_makespan()
-    assert async_m.final_accuracy() is not None
-    assert barrier_m.final_accuracy() is not None
+    barrier_r, _ = run_once("barrier", fresh_port)
+    async_r, _ = run_once("async_all", fresh_port + 4000)
+    assert barrier_r.total_applied() == async_r.total_applied() == TOTAL_UPDATES
+    assert async_r.sim_makespan() < barrier_r.sim_makespan()
+    assert async_r.final_accuracy() is not None
+    assert barrier_r.final_accuracy() is not None

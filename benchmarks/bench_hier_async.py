@@ -25,7 +25,7 @@ import os
 
 import pytest
 
-from repro.engine import Engine
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
 
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
 
@@ -45,13 +45,9 @@ TOTAL_UPDATES = 8 if SMOKE else 24
 TRAIN_SIZE = 256 if SMOKE else 512
 
 
-def make_engine(arm: str, port: int) -> Engine:
-    spec = dict(ARMS[arm])
-    return Engine.from_names(
+def make_spec(arm: str, port: int) -> ExperimentSpec:
+    return ExperimentSpec(
         topology="hierarchical",
-        algorithm="fedavg",
-        model="mlp",
-        datamodule="blobs",
         topology_kwargs={
             "num_sites": SITES,
             "clients_per_site": CLIENTS_PER_SITE,
@@ -62,25 +58,28 @@ def make_engine(arm: str, port: int) -> Engine:
                 "transport": "inproc",
             },
         },
-        datamodule_kwargs={"train_size": TRAIN_SIZE, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        global_rounds=TOTAL_UPDATES // (SITES * CLIENTS_PER_SITE),
-        batch_size=32,
+        data=DataSpec(dataset="blobs", kwargs={"train_size": TRAIN_SIZE, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=TOTAL_UPDATES // (SITES * CLIENTS_PER_SITE),
+        ),
+        scheduler=SchedulerSpec(
+            name="hier_async",
+            kwargs={
+                "heterogeneity": dict(INNER_HETERO),
+                "outer_heterogeneity": dict(OUTER_HETERO),
+                **ARMS[arm],
+            },
+        ),
+        total_updates=TOTAL_UPDATES,
         seed=0,
-        scheduler={
-            "name": "hier_async",
-            "heterogeneity": dict(INNER_HETERO),
-            "outer_heterogeneity": dict(OUTER_HETERO),
-            **spec,
-        },
     )
 
 
 def run_once(arm: str, port: int):
-    engine = make_engine(arm, port)
-    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
-    engine.shutdown()
-    return metrics
+    return Experiment(make_spec(arm, port)).run()
 
 
 @pytest.mark.parametrize("arm", list(ARMS))
@@ -89,19 +88,19 @@ def test_hier_async_virtual_makespan(benchmark, arm, fresh_port):
     ports = iter(range(fresh_port, fresh_port + 10_000, 37))
 
     def once():
-        holder["metrics"] = run_once(arm, next(ports))
+        holder["result"] = run_once(arm, next(ports))
 
     benchmark.group = "hier-async"
     benchmark.pedantic(once, rounds=1 if SMOKE else 2, iterations=1, warmup_rounds=0)
-    metrics = holder["metrics"]
+    result = holder["result"]
     benchmark.extra_info["arm"] = arm
-    benchmark.extra_info["sim_makespan_s"] = round(metrics.sim_makespan(), 4)
-    benchmark.extra_info["applied_updates"] = metrics.total_applied()
-    benchmark.extra_info["final_accuracy"] = metrics.final_accuracy()
-    benchmark.extra_info["outer_aggregations"] = len(metrics.history)
+    benchmark.extra_info["sim_makespan_s"] = round(result.sim_makespan(), 4)
+    benchmark.extra_info["applied_updates"] = result.total_applied()
+    benchmark.extra_info["final_accuracy"] = result.final_accuracy()
+    benchmark.extra_info["outer_aggregations"] = len(result.history)
     benchmark.extra_info["mean_staleness"] = round(
-        sum(r.staleness_mean * r.sites_merged for r in metrics.history)
-        / max(1, sum(r.sites_merged for r in metrics.history)),
+        sum(r.staleness_mean * r.sites_merged for r in result.history)
+        / max(1, sum(r.sites_merged for r in result.history)),
         4,
     )
 
@@ -110,12 +109,12 @@ def test_async_outer_strictly_beats_all_sync(fresh_port):
     """The acceptance check: same seed, same straggler models, equal
     aggregated-update counts — async outer finishes in strictly less
     virtual time at equal-or-better accuracy."""
-    sync_m = run_once("all_sync", fresh_port)
-    async_m = run_once("async_outer", fresh_port + 4000)
-    assert sync_m.total_applied() == async_m.total_applied() == TOTAL_UPDATES
-    assert async_m.sim_makespan() < sync_m.sim_makespan()
-    assert async_m.final_accuracy() is not None and sync_m.final_accuracy() is not None
+    sync_r = run_once("all_sync", fresh_port)
+    async_r = run_once("async_outer", fresh_port + 4000)
+    assert sync_r.total_applied() == async_r.total_applied() == TOTAL_UPDATES
+    assert async_r.sim_makespan() < sync_r.sim_makespan()
+    assert async_r.final_accuracy() is not None and sync_r.final_accuracy() is not None
     if not SMOKE:
         # equal-or-better accuracy, with a small tolerance for eval noise
         # (the smoke horizon is too short for the accuracy claim)
-        assert async_m.final_accuracy() >= sync_m.final_accuracy() - 0.05
+        assert async_r.final_accuracy() >= sync_r.final_accuracy() - 0.05

@@ -13,7 +13,7 @@ Run:  pytest benchmarks/bench_table1_algorithm_convergence.py --benchmark-only
 
 import pytest
 
-from repro.engine import Engine
+from repro import DataSpec, Experiment, ExperimentSpec, TrainSpec
 
 ALGORITHMS = [
     "fedavg", "fedprox", "fedmom", "fednova", "scaffold",
@@ -45,25 +45,29 @@ ROUNDS = 5
 
 def run_experiment(algorithm: str, model: str, datamodule: str, dm_kwargs: dict,
                    algo_kwargs: dict, port: int) -> float:
-    engine = Engine.from_names(
+    spec = ExperimentSpec(
         topology="centralized",
-        algorithm=algorithm,
-        model=model,
-        datamodule=datamodule,
-        num_clients=4,
-        global_rounds=ROUNDS,
-        batch_size=32,
+        topology_kwargs={
+            "num_clients": 4,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(
+            dataset=datamodule,
+            kwargs=dict(dm_kwargs),
+            partition="dirichlet",
+            partition_alpha=0.3,
+        ),
+        train=TrainSpec(
+            algorithm=algorithm,
+            algorithm_kwargs=dict(algo_kwargs),
+            model=model,
+            global_rounds=ROUNDS,
+            eval_every=ROUNDS,
+        ),
         seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
-        datamodule_kwargs=dm_kwargs,
-        algorithm_kwargs=algo_kwargs,
-        partition="dirichlet",
-        partition_alpha=0.3,
-        eval_every=ROUNDS,
     )
-    metrics = engine.run()
-    engine.shutdown()
-    return float(metrics.final_accuracy())
+    result = Experiment(spec).run()
+    return float(result.final_accuracy())
 
 
 @pytest.mark.parametrize("model,datamodule,dm_kwargs,algo_kwargs", PAIRS)

@@ -10,7 +10,7 @@ Run:  pytest benchmarks/bench_table2_compression_convergence.py --benchmark-only
 
 import pytest
 
-from repro.engine import Engine
+from repro import DataSpec, Experiment, ExperimentSpec, PluginSpec, TrainSpec
 
 CONFIGS = [
     ("identity", {}),
@@ -29,18 +29,25 @@ ROUNDS = 5
 
 
 def run_experiment(comp_name, kw, port) -> float:
-    engine = Engine.from_names(
-        topology="centralized", algorithm="fedavg", model="simple_cnn", datamodule="cifar10",
-        num_clients=4, global_rounds=ROUNDS, batch_size=32, seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
-        datamodule_kwargs={"train_size": 512, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 2},
-        compressor=comp_name, compressor_kwargs=kw,
-        eval_every=ROUNDS,
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": 4,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset="cifar10", kwargs={"train_size": 512, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 2},
+            model="simple_cnn",
+            global_rounds=ROUNDS,
+            eval_every=ROUNDS,
+        ),
+        plugins=PluginSpec(compressor=comp_name, compressor_kwargs=dict(kw)),
+        seed=0,
     )
-    metrics = engine.run()
-    engine.shutdown()
-    return float(metrics.final_accuracy())
+    result = Experiment(spec).run()
+    return float(result.final_accuracy())
 
 
 @pytest.mark.parametrize("comp_name,kw", CONFIGS)

@@ -10,8 +10,7 @@ Run:  pytest benchmarks/bench_table3a_dp_accuracy.py --benchmark-only
 
 import pytest
 
-from repro.engine import Engine
-from repro.privacy import DifferentialPrivacy
+from repro import DataSpec, Experiment, ExperimentSpec, PluginSpec, TrainSpec
 
 ROUNDS = 6
 
@@ -25,24 +24,29 @@ _MODEL_KW = {"mlp": {"hidden": [16]}, "resnet18": {"base_width": 4},
 
 
 def run_experiment(model, datamodule, epsilon, port) -> float:
-    dp_fn = None
+    dp = None
     if epsilon is not None:
-        dp_fn = lambda: DifferentialPrivacy(  # noqa: E731
-            epsilon=epsilon, delta=1e-5, clip_norm=0.5, seed=0
-        )
-    engine = Engine.from_names(
-        topology="centralized", algorithm="fedavg", model=model, datamodule=datamodule,
-        num_clients=8, global_rounds=ROUNDS, batch_size=32, seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
-        datamodule_kwargs={"train_size": 768, "test_size": 192},
-        model_kwargs=_MODEL_KW.get(model, {}),
-        algorithm_kwargs={"lr": 0.1, "local_epochs": 1},
-        dp_fn=dp_fn,
-        eval_every=ROUNDS,
+        dp = {"epsilon": epsilon, "delta": 1e-5, "clip_norm": 0.5, "seed": 0}
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": 8,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset=datamodule, kwargs={"train_size": 768, "test_size": 192}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.1, "local_epochs": 1},
+            model=model,
+            model_kwargs=_MODEL_KW.get(model, {}),
+            global_rounds=ROUNDS,
+            eval_every=ROUNDS,
+        ),
+        plugins=PluginSpec(dp=dp),
+        seed=0,
     )
-    metrics = engine.run()
-    engine.shutdown()
-    return float(metrics.final_accuracy())
+    result = Experiment(spec).run()
+    return float(result.final_accuracy())
 
 
 @pytest.mark.parametrize("model,datamodule", MODELS)

@@ -3,19 +3,20 @@
 
 Every algorithm runs the same model, data partition, round budget and
 hyperparameter defaults — the point is OmniFed's "swap one line, compare
-fairly" workflow, not tuned accuracy.
+fairly" workflow, not tuned accuracy.  Each arm is one
+:class:`ExperimentSpec` that differs from the baseline in exactly one
+field: ``train.algorithm``.
 
 Run:  python examples/algorithm_comparison.py [--rounds N] [--clients N]
 """
 
 import argparse
 import itertools
-import time
 
+from repro import DataSpec, Experiment, ExperimentSpec, TrainSpec
 from repro.comm.pubsub import reset_brokers
 from repro.comm.torchdist import reset_rendezvous
 from repro.comm.transport import reset_inproc_registry
-from repro.engine import Engine
 
 ALGORITHMS = [
     "fedavg", "fedprox", "fedmom", "fednova", "scaffold",
@@ -29,31 +30,33 @@ def run_one(algorithm: str, rounds: int, clients: int) -> dict:
     reset_rendezvous()
     reset_inproc_registry()
     reset_brokers()
-    engine = Engine.from_names(
+    spec = ExperimentSpec(
         topology="centralized",
-        algorithm=algorithm,
-        model="simple_cnn",
-        datamodule="cifar10",
-        num_clients=clients,
-        global_rounds=rounds,
-        batch_size=32,
+        topology_kwargs={
+            "num_clients": clients,
+            "inner_comm": {"backend": "torchdist", "master_port": next(_ports)},
+        },
+        data=DataSpec(
+            dataset="cifar10",
+            kwargs={"train_size": 768, "test_size": 192},
+            partition="dirichlet",
+            partition_alpha=0.3,
+        ),
+        train=TrainSpec(
+            algorithm=algorithm,                      # <- the one-line swap
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="simple_cnn",
+            global_rounds=rounds,
+            eval_every=rounds,  # evaluate once at the end
+        ),
         seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": next(_ports)}},
-        datamodule_kwargs={"train_size": 768, "test_size": 192},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        partition="dirichlet",
-        partition_alpha=0.3,
-        eval_every=rounds,  # evaluate once at the end
     )
-    start = time.perf_counter()
-    metrics = engine.run()
-    wall = time.perf_counter() - start
-    engine.shutdown()
+    result = Experiment(spec).run()
     return {
         "algorithm": algorithm,
-        "accuracy": metrics.final_accuracy(),
-        "median_round_s": metrics.median_round_time(),
-        "total_s": wall,
+        "accuracy": result.final_accuracy(),
+        "median_round_s": result.metrics.median_round_time(),
+        "total_s": result.wall_seconds,
     }
 
 

@@ -12,43 +12,52 @@ under four execution policies against an identical lognormal latency model:
 
 Latency is *virtual* (no sleeping): the scheduler advances a simulated
 clock, so the printed makespans are what a real WAN deployment would see,
-reproduced in milliseconds of laptop time.
+reproduced in milliseconds of laptop time.  Each arm is one
+:class:`ExperimentSpec` differing only in its ``scheduler`` field; the
+``mode="auto"`` dispatcher picks the async runtime because a scheduler is
+configured.
 
 Run:  python examples/async_straggler.py
 """
 
-from repro.engine import Engine
+import os
+
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
+
+SMOKE = bool(int(os.environ.get("EXAMPLES_SMOKE", "0")))
 
 HETERO = {"latency": "lognormal", "mean": 1.0, "sigma": 1.0}
 
 POLICIES = {
-    "sync": {"name": "sync", "heterogeneity": HETERO},
-    "semi_sync": {"name": "semi_sync", "deadline": 1.0, "heterogeneity": HETERO},
-    "fedasync": {"name": "fedasync", "alpha": 0.6, "heterogeneity": HETERO},
-    "fedbuff": {"name": "fedbuff", "buffer_size": 4, "heterogeneity": HETERO},
+    "sync": SchedulerSpec(name="sync", kwargs={"heterogeneity": HETERO}),
+    "semi_sync": SchedulerSpec(name="semi_sync", kwargs={"deadline": 1.0, "heterogeneity": HETERO}),
+    "fedasync": SchedulerSpec(name="fedasync", kwargs={"alpha": 0.6, "heterogeneity": HETERO}),
+    "fedbuff": SchedulerSpec(name="fedbuff", kwargs={"buffer_size": 4, "heterogeneity": HETERO}),
 }
 
-TOTAL_UPDATES = 24
+TOTAL_UPDATES = 12 if SMOKE else 24
+TRAIN_SIZE = 256 if SMOKE else 512
 
 
 def run(mode: str, port: int):
-    engine = Engine.from_names(
+    spec = ExperimentSpec(
         topology="centralized",
-        algorithm="fedavg",
-        model="mlp",
-        datamodule="blobs",
-        num_clients=4,
-        global_rounds=TOTAL_UPDATES // 4,
-        batch_size=32,
+        topology_kwargs={
+            "num_clients": 4,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": TRAIN_SIZE, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=TOTAL_UPDATES // 4,
+        ),
+        scheduler=POLICIES[mode],
+        total_updates=TOTAL_UPDATES,
         seed=0,
-        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
-        datamodule_kwargs={"train_size": 512, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        scheduler=dict(POLICIES[mode]),
     )
-    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
-    engine.shutdown()
-    return metrics
+    return Experiment(spec).run()
 
 
 def main() -> None:
@@ -56,15 +65,15 @@ def main() -> None:
           f"{'mean staleness':>15} {'final acc':>10}")
     baseline = None
     for i, mode in enumerate(POLICIES):
-        metrics = run(mode, 51000 + 50 * i)
-        span = metrics.sim_makespan()
+        result = run(mode, 51000 + 50 * i)
+        span = result.sim_makespan()
         if baseline is None:
             baseline = span
-        staleness = sum(r.staleness_mean * r.applied for r in metrics.history)
-        staleness /= max(1, metrics.total_applied())
+        staleness = sum(r.staleness_mean * r.applied for r in result.history)
+        staleness /= max(1, result.total_applied())
         speedup = f"({baseline / span:.2f}x vs sync)" if span else ""
-        print(f"{mode:>10} {span:>10.2f}s {speedup:<14} {len(metrics.history):>6} "
-              f"{staleness:>15.2f} {metrics.final_accuracy():>10.3f}")
+        print(f"{mode:>10} {span:>10.2f}s {speedup:<14} {len(result.history):>6} "
+              f"{staleness:>15.2f} {result.final_accuracy():>10.3f}")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,8 @@
 
 For each compressor: per-call overhead and effective compression factor on a
 model-sized update, then final accuracy of a short federated run with the
-compressor applied to client uploads.
+compressor applied to client uploads — each run one :class:`ExperimentSpec`
+differing only in its ``plugins.compressor`` field.
 
 Run:  python examples/compression_comparison.py
 """
@@ -13,9 +14,9 @@ import time
 
 import numpy as np
 
+from repro import DataSpec, Experiment, ExperimentSpec, PluginSpec, TrainSpec
 from repro.comm.torchdist import reset_rendezvous
 from repro.compression import build_compressor
-from repro.engine import Engine
 
 CONFIGS = [
     ("topk", {"ratio": 10}),
@@ -57,19 +58,26 @@ def accuracy_table(rounds: int = 3) -> None:
     print(f"{'compressor':>14} {'final acc':>10}")
     for name, kw in CONFIGS:
         reset_rendezvous()
-        engine = Engine.from_names(
-            topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
-            num_clients=4, global_rounds=rounds, batch_size=32, seed=0,
-            topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": next(_ports)}},
-            datamodule_kwargs={"train_size": 512, "test_size": 128},
-            algorithm_kwargs={"lr": 0.05, "local_epochs": 2},
-            compressor=name, compressor_kwargs=kw,
-            eval_every=rounds,
+        spec = ExperimentSpec(
+            topology="centralized",
+            topology_kwargs={
+                "num_clients": 4,
+                "inner_comm": {"backend": "torchdist", "master_port": next(_ports)},
+            },
+            data=DataSpec(dataset="blobs", kwargs={"train_size": 512, "test_size": 128}),
+            train=TrainSpec(
+                algorithm="fedavg",
+                algorithm_kwargs={"lr": 0.05, "local_epochs": 2},
+                model="mlp",
+                global_rounds=rounds,
+                eval_every=rounds,
+            ),
+            plugins=PluginSpec(compressor=name, compressor_kwargs=dict(kw)),
+            seed=0,
         )
-        metrics = engine.run()
-        engine.shutdown()
+        result = Experiment(spec).run()
         label = f"{name}-{list(kw.values())[0]}"
-        print(f"{label:>14} {metrics.final_accuracy():>10.4f}")
+        print(f"{label:>14} {result.final_accuracy():>10.4f}")
 
 
 if __name__ == "__main__":

@@ -5,65 +5,63 @@ Two "sites" train over a fast collective fabric (TorchDist inner
 communicator, HPC-interconnect network model); site heads synchronize with
 a global root over client-server RPC (gRPC-substitute outer communicator,
 WAN network model).  TopK compression is applied *only* on the slow outer
-link — the paper's headline composition trick.
+link — the paper's headline composition trick, expressed here as the
+``plugins.outer_compressor`` field of one :class:`ExperimentSpec`.
 
 Run:  python examples/cross_facility.py
 """
 
-from repro.algorithms import build_algorithm
-from repro.compression import build_compressor
-from repro.data import build_datamodule
-from repro.engine import Engine
-from repro.models import build_model
-from repro.topology import HierarchicalTopology
+from repro import DataSpec, Experiment, ExperimentSpec, PluginSpec, TrainSpec
 
 
 def main() -> None:
-    topology = HierarchicalTopology(
-        num_sites=2,
-        clients_per_site=3,
-        inner_comm={
-            "backend": "torchdist",          # MPI-style collectives inside a site
-            "master_port": 29800,
-            "network_preset": "hpc_interconnect",
+    spec = ExperimentSpec(
+        topology="hierarchical",
+        topology_kwargs={
+            "num_sites": 2,
+            "clients_per_site": 3,
+            "inner_comm": {
+                "backend": "torchdist",          # MPI-style collectives inside a site
+                "master_port": 29800,
+                "network_preset": "hpc_interconnect",
+            },
+            "outer_comm": {
+                "backend": "grpc",               # RPC across facilities
+                "master_port": 50080,
+                "transport": "inproc",
+                "network_preset": "wan",
+            },
         },
-        outer_comm={
-            "backend": "grpc",               # RPC across facilities
-            "master_port": 50080,
-            "transport": "inproc",
-            "network_preset": "wan",
-        },
-    )
-    print("topology:", topology.describe())
-
-    datamodule = build_datamodule("cifar10", train_size=768, test_size=192)
-    engine = Engine(
-        topology=topology,
-        datamodule=datamodule,
-        model_fn=lambda: build_model("simple_cnn", num_classes=datamodule.num_classes, seed=0),
-        algorithm_fn=lambda: build_algorithm("fedavg", lr=0.05, local_epochs=1),
+        data=DataSpec(
+            dataset="cifar10",
+            kwargs={"train_size": 768, "test_size": 192},
+            partition="dirichlet",
+            partition_alpha=0.5,
+        ),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="simple_cnn",
+            global_rounds=4,
+        ),
         # compress only the cross-facility link (inner stays uncompressed)
-        outer_compressor_fn=lambda: build_compressor("topk", ratio=10),
-        global_rounds=4,
-        batch_size=32,
+        plugins=PluginSpec(outer_compressor="topk", outer_compressor_kwargs={"ratio": 10}),
         seed=0,
-        partition="dirichlet",
-        partition_alpha=0.5,
     )
-    metrics = engine.run()
-    print(metrics.table())
+    experiment = Experiment(spec)
+    print("topology:", experiment.spec.topology, experiment.spec.topology_kwargs["num_sites"], "sites")
+    result = experiment.run()
+    print(result.table())
 
-    comm = engine.comm_summary()
     print("\ncommunication summary (Fig. 7's inner vs outer gap):")
-    for group, stats in sorted(comm.items()):
+    for group, stats in sorted(result.comm.items()):
         print(
             f"  {group:6s} bytes={int(stats['bytes_sent']):>10,d} "
             f"simulated={stats['sim_seconds']:.4f}s"
         )
-    inner, outer = comm["inner"]["sim_seconds"], comm["outer"]["sim_seconds"]
+    inner, outer = result.comm["inner"]["sim_seconds"], result.comm["outer"]["sim_seconds"]
     if inner > 0:
         print(f"  outer/inner simulated-cost ratio: {outer / inner:,.0f}x")
-    engine.shutdown()
 
 
 if __name__ == "__main__":

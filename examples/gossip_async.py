@@ -16,12 +16,17 @@ model.  The arms differ only in the gossip execution mode
                     partner per step).
 
 Latency is *virtual* (no sleeping): makespans are what an edge deployment
-would see, reproduced in milliseconds of laptop time.
+would see, reproduced in milliseconds of laptop time.  Each arm is one
+:class:`ExperimentSpec` differing only in its ``scheduler`` field.
 
 Run:  python examples/gossip_async.py
 """
 
-from repro.engine import Engine
+import os
+
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
+
+SMOKE = bool(int(os.environ.get("EXAMPLES_SMOKE", "0")))
 
 COMPUTE = {"latency": "lognormal", "mean": 0.5, "sigma": 0.8, "client_spread": 1.0}
 EDGE = {"latency": "lognormal", "mean": 0.3, "sigma": 0.8, "client_spread": 0.5}
@@ -33,35 +38,38 @@ ARMS = {
 }
 
 PEERS = 4
-TOTAL_UPDATES = 24
+TOTAL_UPDATES = 12 if SMOKE else 24
+TRAIN_SIZE = 256 if SMOKE else 512
 
 
 def run(arm: str, port: int):
-    engine = Engine.from_names(
+    spec = ExperimentSpec(
         topology="ring",
-        algorithm="fedavg",
-        model="mlp",
-        datamodule="blobs",
         topology_kwargs={
             "num_clients": PEERS,
             "inner_comm": {"backend": "torchdist", "master_port": port},
         },
-        datamodule_kwargs={"train_size": 512, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        global_rounds=TOTAL_UPDATES // PEERS,
-        batch_size=32,
+        data=DataSpec(dataset="blobs", kwargs={"train_size": TRAIN_SIZE, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=TOTAL_UPDATES // PEERS,
+        ),
+        scheduler=SchedulerSpec(
+            name="gossip_async",
+            kwargs={
+                "heterogeneity": dict(COMPUTE),
+                "edge_heterogeneity": dict(EDGE),
+                **ARMS[arm],
+            },
+        ),
+        total_updates=TOTAL_UPDATES,
         seed=0,
-        scheduler={
-            "name": "gossip_async",
-            "heterogeneity": dict(COMPUTE),
-            "edge_heterogeneity": dict(EDGE),
-            **ARMS[arm],
-        },
     )
-    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
-    scheduler = engine.scheduler
-    engine.shutdown()
-    return metrics, scheduler
+    experiment = Experiment(spec)
+    result = experiment.run()
+    return result, experiment.engine.scheduler
 
 
 def main() -> None:
@@ -69,20 +77,20 @@ def main() -> None:
           f"{'MB moved':>9} {'consensus':>10} {'final acc':>10}")
     baseline = None
     for i, arm in enumerate(ARMS):
-        metrics, scheduler = run(arm, 53000 + 50 * i)
-        span = metrics.sim_makespan()
+        result, scheduler = run(arm, 53000 + 50 * i)
+        span = result.sim_makespan()
         if baseline is None:
             baseline = span
         speedup = f"({baseline / span:.2f}x)" if span else ""
         dist = next(
-            (r.consensus_dist for r in reversed(metrics.history)
+            (r.consensus_dist for r in reversed(result.history)
              if r.consensus_dist is not None),
             float("nan"),
         )
         print(f"{arm:>12} {span:>10.2f}s {speedup:<8} "
-              f"{metrics.total_applied():>5} {scheduler.msgs_sent:>6} "
-              f"{metrics.total_bytes() / 1e6:>9.2f} {dist:>10.4f} "
-              f"{metrics.final_accuracy():>10.4f}")
+              f"{result.total_applied():>5} {scheduler.msgs_sent:>6} "
+              f"{result.total_bytes() / 1e6:>9.2f} {dist:>10.4f} "
+              f"{result.final_accuracy():>10.4f}")
     print("\nasync gossip reaches the same update count without ever paying "
           "the slowest peer's round — lower virtual makespan, same network.")
 

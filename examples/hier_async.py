@@ -16,12 +16,17 @@ differ only in the per-tier execution policies (``scheduler.inner`` /
 * ``mixed``        — fedbuff inside sites, fedasync across them.
 
 Latency is *virtual* (no sleeping): makespans are what a WAN deployment
-would see, reproduced in milliseconds of laptop time.
+would see, reproduced in milliseconds of laptop time.  Each arm is one
+:class:`ExperimentSpec` differing only in its ``scheduler`` field.
 
 Run:  python examples/hier_async.py
 """
 
-from repro.engine import Engine
+import os
+
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
+
+SMOKE = bool(int(os.environ.get("EXAMPLES_SMOKE", "0")))
 
 INNER_HETERO = {"latency": "lognormal", "mean": 0.1, "sigma": 0.8}
 OUTER_HETERO = {"latency": "lognormal", "mean": 1.0, "sigma": 0.8, "client_spread": 1.0}
@@ -32,37 +37,40 @@ ARMS = {
     "mixed": {"inner": "fedbuff", "outer": "fedasync"},
 }
 
-TOTAL_UPDATES = 24
+TOTAL_UPDATES = 8 if SMOKE else 24
+TRAIN_SIZE = 256 if SMOKE else 512
 
 
 def run(arm: str, port: int):
-    engine = Engine.from_names(
+    spec = ExperimentSpec(
         topology="hierarchical",
-        algorithm="fedavg",
-        model="mlp",
-        datamodule="blobs",
         topology_kwargs={
             "num_sites": 2,
             "clients_per_site": 2,
             "inner_comm": {"backend": "torchdist", "master_port": port},
             "outer_comm": {"backend": "grpc", "master_port": port + 1000, "transport": "inproc"},
         },
-        datamodule_kwargs={"train_size": 512, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        global_rounds=TOTAL_UPDATES // 4,
-        batch_size=32,
+        data=DataSpec(dataset="blobs", kwargs={"train_size": TRAIN_SIZE, "test_size": 128}),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=TOTAL_UPDATES // 4,
+        ),
+        scheduler=SchedulerSpec(
+            name="hier_async",
+            kwargs={
+                "heterogeneity": dict(INNER_HETERO),
+                "outer_heterogeneity": dict(OUTER_HETERO),
+                **ARMS[arm],
+            },
+        ),
+        total_updates=TOTAL_UPDATES,
         seed=0,
-        scheduler={
-            "name": "hier_async",
-            "heterogeneity": dict(INNER_HETERO),
-            "outer_heterogeneity": dict(OUTER_HETERO),
-            **ARMS[arm],
-        },
     )
-    metrics = engine.run_async(total_updates=TOTAL_UPDATES)
-    scheduler = engine.scheduler
-    engine.shutdown()
-    return metrics, scheduler
+    experiment = Experiment(spec)
+    result = experiment.run()
+    return result, experiment.engine.scheduler
 
 
 def main() -> None:
@@ -70,15 +78,15 @@ def main() -> None:
           f"{'outer aggs':>11} {'final acc':>10}")
     baseline = None
     for i, arm in enumerate(ARMS):
-        metrics, scheduler = run(arm, 52000 + 50 * i)
-        span = metrics.sim_makespan()
+        result, scheduler = run(arm, 52000 + 50 * i)
+        span = result.sim_makespan()
         if baseline is None:
             baseline = span
         tiers = f"{scheduler.inner}/{scheduler.outer}"
         speedup = f"({baseline / span:.2f}x)" if span else ""
         print(f"{arm:>12} {tiers:>16} {span:>10.2f}s {speedup:<8} "
-              f"{metrics.total_applied():>5} {len(metrics.history):>11} "
-              f"{metrics.final_accuracy():>10.3f}")
+              f"{result.total_applied():>5} {len(result.history):>11} "
+              f"{result.final_accuracy():>10.3f}")
         for site, collector in enumerate(scheduler.site_metrics):
             last = collector.history[-1] if collector.history else None
             site_now = scheduler.sites[site].inner.now

@@ -2,7 +2,8 @@
 """Compare privacy mechanisms: DP vs HE vs SA (the paper's §3.4.4 / Table 3).
 
 Applies each mechanism to model-update vectors of realistic sizes and
-reports (a) accuracy impact of DP at ε ∈ {1, 10} in a real FL run, and
+reports (a) accuracy impact of DP at ε ∈ {1, 10} in a real FL run — each
+arm one :class:`ExperimentSpec` differing only in ``plugins.dp`` — and
 (b) the mechanism compute overhead on a fixed update size.
 
 Run:  python examples/privacy_comparison.py
@@ -12,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.engine import Engine
+from repro import DataSpec, Experiment, ExperimentSpec, PluginSpec, TrainSpec
 from repro.comm.torchdist import reset_rendezvous
 from repro.privacy import DifferentialPrivacy, HomomorphicEncryption, SecureAggregation, generate_keypair
 
@@ -23,22 +24,30 @@ def dp_accuracy_sweep() -> None:
     # compact network keeps the eps=1 vs eps=10 contrast visible in few rounds
     for eps in [1.0, 10.0, None]:
         reset_rendezvous()
-        engine = Engine.from_names(
-            topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
-            num_clients=8, global_rounds=6, batch_size=32, seed=0,
-            topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": 29950 + int(eps or 0)}},
-            datamodule_kwargs={"train_size": 768, "test_size": 192},
-            model_kwargs={"hidden": [16]},
-            algorithm_kwargs={"lr": 0.1, "local_epochs": 1},
-            dp_fn=None if eps is None else (
-                lambda e=eps: DifferentialPrivacy(epsilon=e, delta=1e-5, clip_norm=0.5, seed=0)
+        spec = ExperimentSpec(
+            topology="centralized",
+            topology_kwargs={
+                "num_clients": 8,
+                "inner_comm": {"backend": "torchdist", "master_port": 29950 + int(eps or 0)},
+            },
+            data=DataSpec(dataset="blobs", kwargs={"train_size": 768, "test_size": 192}),
+            train=TrainSpec(
+                algorithm="fedavg",
+                algorithm_kwargs={"lr": 0.1, "local_epochs": 1},
+                model="mlp",
+                model_kwargs={"hidden": [16]},
+                global_rounds=6,
+                eval_every=6,
             ),
-            eval_every=6,
+            plugins=PluginSpec(
+                dp=None if eps is None else
+                {"epsilon": eps, "delta": 1e-5, "clip_norm": 0.5, "seed": 0}
+            ),
+            seed=0,
         )
-        metrics = engine.run()
-        engine.shutdown()
+        result = Experiment(spec).run()
         label = f"eps={eps:5.1f}" if eps is not None else "no DP    "
-        print(f"  {label}  final accuracy={metrics.final_accuracy():.4f}")
+        print(f"  {label}  final accuracy={result.final_accuracy():.4f}")
 
 
 def mechanism_overheads(n_params: int = 20000, n_clients: int = 4) -> None:

@@ -1,42 +1,66 @@
 #!/usr/bin/env python3
 """Quickstart: centralized FedAvg in a dozen lines (the paper's Fig. 2 flow).
 
-Two equivalent ways to launch an experiment are shown:
+Two equivalent ways to launch an experiment through the Experiment API:
 
-1. registry names through ``Engine.from_names`` (fast prototyping);
+1. a typed :class:`ExperimentSpec` built in Python (fast prototyping);
 2. full YAML composition through the built-in config store, including a
    one-line algorithm swap and dotted CLI-style overrides — the workflow the
-   paper demonstrates.
+   paper demonstrates — turned into the same spec via
+   ``ExperimentSpec.from_config``.
+
+Both return a structured :class:`RunResult` (metrics history, final global
+state, comm summary, resolved-spec fingerprint) that can be archived with
+``result.save(dir)`` and reloaded with ``RunResult.load(dir)``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Engine
+import os
+
+from repro import DataSpec, Experiment, ExperimentSpec, TrainSpec
 from repro.conf import builtin_store
 from repro.config import compose
 
+SMOKE = bool(int(os.environ.get("EXAMPLES_SMOKE", "0")))
+ROUNDS = 1 if SMOKE else 3
+TRAIN_SIZE = 256 if SMOKE else 512
 
-def run_from_names() -> None:
-    print("=== 1. registry-name API ===")
-    engine = Engine.from_names(
+
+def run_from_spec() -> None:
+    print("=== 1. typed ExperimentSpec API ===")
+    spec = ExperimentSpec(
         topology="centralized",
-        algorithm="fedavg",
-        model="simple_cnn",
-        datamodule="cifar10",
-        num_clients=4,
-        global_rounds=3,
-        batch_size=32,
+        topology_kwargs={
+            "num_clients": 4,
+            "inner_comm": {"backend": "grpc", "master_port": 50071},
+        },
+        data=DataSpec(
+            dataset="cifar10",
+            kwargs={"train_size": TRAIN_SIZE, "test_size": 128},
+            partition="dirichlet",
+            partition_alpha=0.5,
+            batch_size=32,
+        ),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="simple_cnn",
+            global_rounds=ROUNDS,
+        ),
         seed=0,
-        topology_kwargs={"inner_comm": {"backend": "grpc", "master_port": 50071}},
-        datamodule_kwargs={"train_size": 512, "test_size": 128},
-        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
-        partition="dirichlet",
-        partition_alpha=0.5,
     )
-    metrics = engine.run()
-    engine.shutdown()
-    print(metrics.table())
-    print("summary:", metrics.summary())
+    result = Experiment(spec).run()
+    print(result.table())
+    print("summary:", result.summary())
+
+    # a RunResult archives to a directory and loads back losslessly
+    out = result.save("/tmp/repro-quickstart-run")
+    from repro import RunResult
+
+    reloaded = RunResult.load(out)
+    assert reloaded.spec == spec and len(reloaded.history) == len(result.history)
+    print(f"archived to {out} (fingerprint {result.fingerprint})")
 
 
 def run_from_config() -> None:
@@ -50,18 +74,17 @@ def run_from_config() -> None:
             "model=simple_cnn",
             "topology.num_clients=4",
             "topology.inner_comm.master_port=50072",
-            "datamodule.train_size=512",
+            f"datamodule.train_size={TRAIN_SIZE}",
             "datamodule.test_size=128",
-            "global_rounds=3",
+            f"global_rounds={ROUNDS}",
         ],
     )
-    engine = Engine.from_config(cfg)
-    metrics = engine.run()
-    engine.shutdown()
-    print(metrics.table())
-    print("summary:", metrics.summary())
+    spec = ExperimentSpec.from_config(cfg)
+    result = Experiment(spec).run()
+    print(result.table())
+    print("summary:", result.summary())
 
 
 if __name__ == "__main__":
-    run_from_names()
+    run_from_spec()
     run_from_config()

@@ -2,32 +2,55 @@
 
 Top-level convenience surface; see DESIGN.md for the system inventory.
 
-Quickstart::
+Quickstart (the Experiment API v2)::
 
-    from repro import Engine
+    from repro import DataSpec, Experiment, ExperimentSpec, TrainSpec
 
-    engine = Engine.from_names(
-        topology="centralized", algorithm="fedavg",
-        model="resnet18", datamodule="cifar10", num_clients=8,
-        topology_kwargs={"inner_comm": {"backend": "grpc", "master_port": 50051}},
-        global_rounds=2,
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={"num_clients": 8,
+                         "inner_comm": {"backend": "grpc", "master_port": 50051}},
+        data=DataSpec(dataset="cifar10"),
+        train=TrainSpec(algorithm="fedavg", model="resnet18", global_rounds=2),
     )
-    metrics = engine.run()
-    print(metrics.summary())
+    result = Experiment(spec).run()
+    print(result.summary())
 """
 
 from repro.algorithms import ALGORITHMS, build_algorithm
 from repro.compression import COMPRESSORS, build_compressor
 from repro.config import ConfigStore, compose, instantiate
 from repro.data import DATAMODULES, build_datamodule
-from repro.engine import Engine
+from repro.engine import Callback, Checkpoint, CSVLogger, EarlyStopping, Engine
+from repro.experiment import (
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    FaultSpec,
+    PluginSpec,
+    RunResult,
+    SchedulerSpec,
+    TrainSpec,
+)
 from repro.models import MODELS, build_model
 from repro.topology import TOPOLOGIES, build_topology
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Engine",
+    "Experiment",
+    "ExperimentSpec",
+    "RunResult",
+    "DataSpec",
+    "TrainSpec",
+    "PluginSpec",
+    "FaultSpec",
+    "SchedulerSpec",
+    "Callback",
+    "EarlyStopping",
+    "Checkpoint",
+    "CSVLogger",
     "ALGORITHMS",
     "build_algorithm",
     "COMPRESSORS",

@@ -11,11 +11,17 @@ Usage::
         scheduler.inner=fedbuff scheduler.outer=fedasync   # per-tier policies
     python -m repro topology=ring scheduler=gossip_async \
         scheduler.neighbor_selection=pairwise              # decentralized gossip
+    python -m repro --print-config algorithm=moon      # dump the resolved spec
+    python -m repro run my_spec.yaml                   # run a saved spec file
+    python -m repro run my_spec.yaml --save runs/exp1  # archive the RunResult
     python -m repro --config-dir my_confs --config-name exp  algorithm=moon
     python -m repro --list                             # show config groups
 
 Every positional argument is a Hydra-style override (``group=option``,
-``key.path=value``, ``+new.key=value``, ``~key``).
+``key.path=value``, ``+new.key=value``, ``~key``).  ``run <spec.yaml>``
+instead loads a typed :class:`~repro.experiment.ExperimentSpec` dumped by
+``--print-config`` (or ``ExperimentSpec.save``) and executes it through
+``Experiment.run()``.
 """
 
 from __future__ import annotations
@@ -25,16 +31,60 @@ from typing import List, Optional
 
 from repro.conf import builtin_store
 from repro.config import ConfigStore, compose, dumps
-from repro.engine import Engine
+from repro.experiment import Experiment, ExperimentSpec, RunResult
+
+
+def _print_result(experiment: Experiment, result: RunResult) -> None:
+    engine = experiment.engine
+    sched = engine.scheduler if engine is not None else None
+    if result.mode == "async" and sched is not None:
+        metrics = result.metrics
+        tiers = ""
+        if getattr(sched, "sites", None):
+            tiers = (f", {len(sched.sites)} sites, "
+                     f"inner={sched.inner} outer={sched.outer}")
+        elif getattr(sched, "peers", None):
+            last_dist = next(
+                (r.consensus_dist for r in reversed(metrics.history)
+                 if r.consensus_dist is not None),
+                None,
+            )
+            tiers = (f", {len(sched.peers)} peers, "
+                     f"{sched.neighbor_selection}/{sched.mixing} gossip")
+            if last_dist is not None:
+                tiers += f", consensus dist {last_dist:.4f}"
+        print(f"scheduler: {sched.name} "
+              f"(sim makespan {metrics.sim_makespan():.2f}s, "
+              f"{metrics.total_applied()} updates applied{tiers})")
+    print(result.table())
+    print("summary:", result.summary())
+    for group, stats in sorted(result.comm.items()):
+        print(
+            f"comm[{group}]: {int(stats['bytes_sent']):,d} bytes, "
+            f"{stats['sim_seconds']:.4f}s simulated"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
-    parser.add_argument("overrides", nargs="*", help="Hydra-style overrides (key=value)")
+    parser.add_argument(
+        "overrides", nargs="*",
+        help="Hydra-style overrides (key=value); or `run <spec.yaml>` to "
+             "execute a saved ExperimentSpec",
+    )
     parser.add_argument("--config-dir", default=None, help="directory of config groups")
     parser.add_argument("--config-name", default="experiment", help="primary config name")
     parser.add_argument("--list", action="store_true", help="list available config groups")
     parser.add_argument("--dry-run", action="store_true", help="print the composed config and exit")
+    parser.add_argument(
+        "--print-config", action="store_true",
+        help="print the resolved ExperimentSpec as YAML and exit "
+             "(reusable via `python -m repro run <file>`)",
+    )
+    parser.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="archive the RunResult (metrics, spec, final state) to DIR",
+    )
     args = parser.parse_args(argv)
 
     store = ConfigStore(args.config_dir) if args.config_dir else builtin_store()
@@ -47,45 +97,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{group:12s} {', '.join(options)}")
         return 0
 
-    cfg = compose(store, args.config_name, overrides=args.overrides)
-    if args.dry_run:
-        print(dumps(cfg.to_container()))
+    if args.overrides and args.overrides[0] == "run":
+        # spec-file mode: `python -m repro run <spec.yaml>`
+        if len(args.overrides) != 2:
+            parser.error("usage: python -m repro run <spec.yaml>")
+        spec = ExperimentSpec.load(args.overrides[1])
+    else:
+        cfg = compose(store, args.config_name, overrides=args.overrides)
+        if args.dry_run:
+            print(dumps(cfg.to_container()))
+            return 0
+        spec = ExperimentSpec.from_config(cfg)
+
+    if args.print_config:
+        print(spec.to_yaml(), end="")
         return 0
 
-    engine = Engine.from_config(cfg)
-    try:
-        if engine.scheduler is not None:
-            metrics = engine.run_async()
-            sched = engine.scheduler
-            tiers = ""
-            if getattr(sched, "sites", None):
-                tiers = (f", {len(sched.sites)} sites, "
-                         f"inner={sched.inner} outer={sched.outer}")
-            elif getattr(sched, "peers", None):
-                last_dist = next(
-                    (r.consensus_dist for r in reversed(metrics.history)
-                     if r.consensus_dist is not None),
-                    None,
-                )
-                tiers = (f", {len(sched.peers)} peers, "
-                         f"{sched.neighbor_selection}/{sched.mixing} gossip")
-                if last_dist is not None:
-                    tiers += f", consensus dist {last_dist:.4f}"
-            print(f"scheduler: {sched.name} "
-                  f"(sim makespan {metrics.sim_makespan():.2f}s, "
-                  f"{metrics.total_applied()} updates applied{tiers})")
-        else:
-            metrics = engine.run()
-        print(metrics.table())
-        print("summary:", metrics.summary())
-        comm = engine.comm_summary()
-        for group, stats in sorted(comm.items()):
-            print(
-                f"comm[{group}]: {int(stats['bytes_sent']):,d} bytes, "
-                f"{stats['sim_seconds']:.4f}s simulated"
-            )
-    finally:
-        engine.shutdown()
+    experiment = Experiment(spec)
+    result = experiment.run()
+    _print_result(experiment, result)
+    if args.save:
+        path = result.save(args.save)
+        print(f"saved: {path}")
     return 0
 
 

@@ -4,11 +4,25 @@ The paper's Engine "launches and coordinates all distributed experiments,
 manages node lifecycle and resource allocation, and collects report
 metrics".  Here nodes run as thread actors (the Ray substitute); the engine
 spawns one per :class:`~repro.topology.base.NodeSpec`, drives synchronized
-rounds, and aggregates metrics and communication statistics.
+rounds, and aggregates metrics and communication statistics.  Build it from
+a spec with ``Engine.from_spec`` — or stay one level up and use
+:class:`repro.experiment.Experiment`.
 """
 
 from repro.engine.actor import ActorHandle, ThreadActor
+from repro.engine.callbacks import Callback, Checkpoint, CSVLogger, EarlyStopping
 from repro.engine.engine import Engine
-from repro.engine.metrics import MetricsCollector, RoundRecord
+from repro.engine.metrics import MetricsCollector, RoundRecord, StopRun
 
-__all__ = ["Engine", "ThreadActor", "ActorHandle", "MetricsCollector", "RoundRecord"]
+__all__ = [
+    "Engine",
+    "ThreadActor",
+    "ActorHandle",
+    "MetricsCollector",
+    "RoundRecord",
+    "StopRun",
+    "Callback",
+    "EarlyStopping",
+    "Checkpoint",
+    "CSVLogger",
+]

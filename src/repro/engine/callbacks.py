@@ -1,0 +1,207 @@
+"""Callback subsystem: uniform lifecycle hooks over every execution path.
+
+A :class:`Callback` observes a run through five hooks.  The record hooks
+(``on_update`` / ``on_evaluate`` / ``on_round_end``) are fired from the
+single hook point at :meth:`repro.engine.metrics.MetricsCollector.add`, so
+the synchronous round loop and all scheduler policies (sync, semi_sync,
+fedasync, fedbuff, hier_async, gossip_async) invoke callbacks identically —
+a callback written once works under every execution mode.  The lifecycle
+hooks (``on_setup`` / ``on_shutdown``) are fired by the engine.
+
+Hook semantics:
+
+``on_setup(engine)``        once, after the engine's nodes are set up;
+``on_update(record, m)``    every aggregation record, any tier;
+``on_evaluate(record, m)``  records that carry an evaluation result;
+``on_round_end(record, m)`` global-tier records (one per global round /
+                            aggregation; site-tier records skip this);
+``on_shutdown(engine)``     once, when the engine shuts down.
+
+A callback stops the run by calling ``metrics.request_stop(reason)``; the
+collector then raises :class:`~repro.engine.metrics.StopRun`, which both
+the round loop and the scheduler runtime catch to finish cleanly (drain
+in-flight updates, final evaluation, metrics returned as usual).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import IO, TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.engine.metrics import MetricsCollector, RoundRecord, StopRun
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import Engine
+
+__all__ = ["Callback", "EarlyStopping", "Checkpoint", "CSVLogger", "StopRun"]
+
+_LOG = get_logger("callbacks")
+
+
+class Callback:
+    """Base callback: every hook is a no-op; override what you need."""
+
+    def on_setup(self, engine: "Engine") -> None:
+        """The engine's nodes are built and set up; the run is starting."""
+
+    def on_update(self, record: RoundRecord, metrics: MetricsCollector) -> None:
+        """One aggregation entered the metrics history (any tier)."""
+
+    def on_evaluate(self, record: RoundRecord, metrics: MetricsCollector) -> None:
+        """The record carries an evaluation result."""
+
+    def on_round_end(self, record: RoundRecord, metrics: MetricsCollector) -> None:
+        """A global-tier aggregation (one global round) completed."""
+
+    def on_shutdown(self, engine: "Engine") -> None:
+        """The engine is shutting down; release any held resources."""
+
+
+def _monitor_mode(monitor: str, mode: str) -> str:
+    if mode in ("min", "max"):
+        return mode
+    return "min" if "loss" in monitor else "max"
+
+
+class EarlyStopping(Callback):
+    """Stop the run once a monitored metric stops improving.
+
+    Works identically under synchronous rounds and every scheduler policy
+    because it observes the unified record stream: each record carrying the
+    monitored field counts as one observation, and after ``patience``
+    consecutive observations without an improvement of at least
+    ``min_delta`` the callback requests a stop.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "eval_accuracy",
+        patience: int = 3,
+        min_delta: float = 0.0,
+        mode: str = "auto",
+    ) -> None:
+        if patience < 0:
+            raise ValueError("patience must be >= 0")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.mode = _monitor_mode(monitor, mode)
+        self.best: Optional[float] = None
+        self.stale = 0
+        self.stopped = False
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def on_update(self, record: RoundRecord, metrics: MetricsCollector) -> None:
+        value = getattr(record, self.monitor, None)
+        if value is None:
+            return
+        value = float(value)
+        if self._improved(value):
+            self.best = value
+            self.stale = 0
+            return
+        self.stale += 1
+        if self.stale > self.patience and not self.stopped:
+            self.stopped = True
+            metrics.request_stop(
+                f"early stopping: {self.monitor} did not improve past "
+                f"{self.best:.6g} for {self.stale} records"
+            )
+
+
+class Checkpoint(Callback):
+    """Save the global model state to ``directory`` as the run progresses.
+
+    ``last.npz`` always tracks the newest global round; with ``monitor``
+    set, ``best.npz`` tracks the round where the monitored metric peaked.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        every: int = 1,
+        monitor: Optional[str] = None,
+        mode: str = "auto",
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.directory = directory
+        self.every = int(every)
+        self.monitor = monitor
+        self.mode = _monitor_mode(monitor or "", mode) if monitor else "max"
+        self.best: Optional[float] = None
+        self.engine: Optional["Engine"] = None
+        self._rounds = 0
+
+    def on_setup(self, engine: "Engine") -> None:
+        self.engine = engine
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _save(self, filename: str) -> None:
+        assert self.engine is not None, "Checkpoint used before engine setup"
+        state = self.engine.global_state()
+        np.savez(os.path.join(self.directory, filename), **state)
+
+    def on_round_end(self, record: RoundRecord, metrics: MetricsCollector) -> None:
+        self._rounds += 1
+        if self._rounds % self.every == 0:
+            self._save("last.npz")
+        if self.monitor is None:
+            return
+        value = getattr(record, self.monitor, None)
+        if value is None:
+            return
+        value = float(value)
+        better = self.best is None or (
+            value > self.best if self.mode == "max" else value < self.best
+        )
+        if better:
+            self.best = value
+            self._save("best.npz")
+
+
+class CSVLogger(Callback):
+    """Append one CSV row per record (every tier) to ``path``."""
+
+    FIELDS = [
+        "round", "tier", "train_loss", "train_accuracy", "eval_loss",
+        "eval_accuracy", "applied", "staleness_mean", "sim_time",
+        "sim_comm_seconds", "bytes_sent", "wall_seconds",
+    ]
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+        self._writer: Optional[Any] = None
+
+    def _ensure_open(self) -> Any:
+        if self._writer is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "w", newline="", encoding="utf8")
+            self._writer = csv.DictWriter(self._fh, fieldnames=self.FIELDS)
+            self._writer.writeheader()
+        return self._writer
+
+    def on_update(self, record: RoundRecord, metrics: MetricsCollector) -> None:
+        row = {k: v for k, v in record.as_dict().items() if k in self.FIELDS}
+        row["tier"] = record.tier
+        self._ensure_open().writerow(row)
+        assert self._fh is not None
+        self._fh.flush()
+
+    def on_shutdown(self, engine: "Engine") -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._writer = None

@@ -1,9 +1,11 @@
-"""The Engine: builds nodes from a topology and drives synchronized rounds.
+"""The Engine: the internal executor behind the Experiment API.
 
-Construction mirrors the paper's flow: a Hydra-style config (or direct
-Python objects) names the topology, algorithm, model and datamodule; the
-engine instantiates node actors, wires their communicators, partitions data,
-runs ``global_rounds`` rounds, and collects metrics.
+The engine is built from one validated :class:`~repro.experiment.spec.
+ExperimentSpec` via :meth:`Engine.from_spec`: it instantiates node actors,
+wires their communicators, partitions data, drives rounds (or hands control
+to the scheduler runtime), and collects metrics.  The legacy constructors —
+``Engine(**kwargs)``, ``Engine.from_names``, ``Engine.from_config`` — are
+deprecated shims that assemble a spec and route through the same path.
 
 Plugins compose exactly as in OmniFed: a ``compressor`` applies to client
 uploads (or, in hierarchical deployments, ``outer_compressor`` only to the
@@ -14,34 +16,43 @@ updates before they leave the node.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.algorithms.base import Algorithm, build_algorithm
+from repro.algorithms.base import Algorithm
 from repro.comm.factory import build_communicator
-from repro.compression.base import Compressor, build_compressor
-from repro.data.registry import DataModule, build_datamodule
+from repro.compression.base import Compressor
+from repro.data.registry import DataModule
 from repro.engine.actor import ThreadActor, wait_all
-from repro.engine.metrics import MetricsCollector, RoundRecord
+from repro.engine.metrics import MetricsCollector, RoundRecord, StopRun
 from repro.models.base import FederatedModel
-from repro.models.registry import build_model
 from repro.nn.serialization import state_average
 from repro.node.node import Node
 from repro.privacy.dp import DifferentialPrivacy
 from repro.scheduler.base import Scheduler, build_scheduler
 from repro.scheduler.selection import build_selector
-from repro.topology.base import NodeRole, Topology, build_topology
+from repro.topology.base import NodeRole, Topology
 from repro.utils.logging import get_logger
 from repro.utils.timer import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.callbacks import Callback
+    from repro.experiment.spec import ExperimentSpec
 
 __all__ = ["Engine"]
 
 _LOG = get_logger("engine")
 
+_DEPRECATION_TEMPLATE = (
+    "{api} is deprecated; describe the run with an ExperimentSpec and use "
+    "Engine.from_spec(spec) — or better, Experiment(spec).run() — instead"
+)
+
 
 class Engine:
-    """Orchestrates one federated experiment."""
+    """Orchestrates one federated experiment (build with :meth:`from_spec`)."""
 
     def __init__(
         self,
@@ -68,68 +79,137 @@ class Engine:
         selection_kwargs: Optional[Dict[str, Any]] = None,
         scheduler: Optional[Any] = None,
     ) -> None:
-        if global_rounds < 1:
-            raise ValueError("global_rounds must be >= 1")
-        if not (0.0 < client_fraction <= 1.0):
-            raise ValueError("client_fraction must be in (0, 1]")
+        """Deprecated: assemble an :class:`ExperimentSpec` instead.
+
+        This legacy constructor wraps its arguments (live topology/
+        datamodule objects and component factories become opaque spec
+        fields) and routes through the spec path, so old call sites behave
+        identically while emitting one :class:`DeprecationWarning`.
+        """
+        warnings.warn(
+            _DEPRECATION_TEMPLATE.format(api="Engine(**kwargs)"),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.experiment.spec import spec_from_parts
+
+        spec = spec_from_parts(
+            topology=topology,
+            datamodule=datamodule,
+            model=model_fn,
+            algorithm=algorithm_fn,
+            compressor=compressor_fn,
+            outer_compressor=outer_compressor_fn,
+            dp=dp_fn,
+            global_rounds=global_rounds,
+            batch_size=batch_size,
+            seed=seed,
+            partition=partition,
+            partition_alpha=partition_alpha,
+            eval_every=eval_every,
+            eval_max_batches=eval_max_batches,
+            client_fraction=client_fraction,
+            drop_prob=drop_prob,
+            straggler_prob=straggler_prob,
+            straggler_delay=straggler_delay,
+            feature_noniid=feature_noniid,
+            selection=selection,
+            selection_kwargs=selection_kwargs,
+            scheduler=scheduler,
+        )
+        self._init_from_spec(spec)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "ExperimentSpec",
+        callbacks: Iterable["Callback"] = (),
+    ) -> "Engine":
+        """Build the executor for one :class:`ExperimentSpec` (the v2 path)."""
+        engine = cls.__new__(cls)
+        engine._init_from_spec(spec)
+        engine.metrics.callbacks.extend(callbacks)
+        return engine
+
+    def _init_from_spec(self, spec: "ExperimentSpec") -> None:
+        from repro.experiment import spec as spec_mod
+
+        if not isinstance(spec, spec_mod.ExperimentSpec):
+            raise TypeError(f"Engine.from_spec needs an ExperimentSpec, got {type(spec).__name__}")
+        topology = spec_mod.resolve_topology(spec)
+        datamodule = spec_mod.resolve_datamodule(spec)
+        model_fn = spec_mod.resolve_model_fn(spec, datamodule)
+        algorithm_fn = spec_mod.resolve_algorithm_fn(spec)
+        compressor_fn, outer_compressor_fn, dp_fn = spec_mod.resolve_plugin_fns(spec)
+        seed = int(spec.seed)
+
         topology.validate()
+        self.spec = spec
         self.topology = topology
         self.datamodule = datamodule
-        self.global_rounds = int(global_rounds)
-        self.eval_every = int(eval_every)
-        self.eval_max_batches = eval_max_batches
-        self.client_fraction = float(client_fraction)
-        self.seed = int(seed)
+        self.global_rounds = int(spec.train.global_rounds)
+        self.eval_every = int(spec.train.eval_every)
+        self.eval_max_batches = spec.train.eval_max_batches
+        self.client_fraction = float(spec.faults.client_fraction)
+        self.seed = seed
         self.metrics = MetricsCollector()
         self.sim_clock = SimClock()
-        self.selector = build_selector(selection, seed=seed, **(selection_kwargs or {}))
-        self.scheduler = self._resolve_scheduler(scheduler)
+        self.selector = build_selector(
+            spec.faults.selection, seed=seed, **dict(spec.faults.selection_kwargs)
+        )
+        self.scheduler = self._resolve_scheduler(spec_mod.resolve_scheduler_value(spec))
         self._last_losses: Dict[int, float] = {}
         self._bytes_seen = 0
         self._sim_comm_seen = 0.0
 
-        specs = topology.specs()
+        node_specs = topology.specs()
         n_trainers = topology.trainer_count()
-        shards = datamodule.partition(n_trainers, partition, alpha=partition_alpha, seed=seed)
+        shards = datamodule.partition(
+            n_trainers, spec.data.partition, alpha=spec.data.partition_alpha, seed=seed
+        )
+        feature_noniid = float(spec.data.feature_noniid)
 
         self.nodes: List[Node] = []
         self.actors: List[ThreadActor] = []
-        for spec in specs:
+        for nspec in node_specs:
             model = model_fn()
             algorithm = algorithm_fn()
             train_ds = None
-            if spec.shard is not None:
-                train_ds = shards[spec.shard]
+            if nspec.shard is not None:
+                train_ds = shards[nspec.shard]
                 if feature_noniid > 0.0 and hasattr(train_ds.dataset, "spawn"):
                     # regenerate this client's shard with a per-site feature
                     # shift (non-IID features; FedBN's setting)
-                    shift = datamodule.feature_shift_for(spec.shard, feature_noniid)
+                    shift = datamodule.feature_shift_for(nspec.shard, feature_noniid)
                     train_ds = train_ds.dataset.spawn(
-                        len(train_ds), seed=seed + 1000 + spec.shard, feature_shift=shift
+                        len(train_ds), seed=seed + 1000 + nspec.shard, feature_shift=shift
                     )
             node = Node(
-                spec=spec,
+                spec=nspec,
                 model=model,
                 algorithm=algorithm,
                 train_dataset=train_ds,
                 test_dataset=datamodule.test,
-                batch_size=batch_size,
+                batch_size=int(spec.data.batch_size),
                 seed=seed,
-                dp=dp_fn() if (dp_fn is not None and spec.role.trains()) else None,
+                dp=dp_fn() if (dp_fn is not None and nspec.role.trains()) else None,
                 compressor=compressor_fn() if compressor_fn is not None else None,
                 outer_compressor=outer_compressor_fn() if outer_compressor_fn is not None else None,
-                drop_prob=drop_prob if spec.role.trains() else 0.0,
-                straggler_prob=straggler_prob if spec.role.trains() else 0.0,
-                straggler_delay=straggler_delay,
+                drop_prob=spec.faults.drop_prob if nspec.role.trains() else 0.0,
+                straggler_prob=spec.faults.straggler_prob if nspec.role.trains() else 0.0,
+                straggler_delay=spec.faults.straggler_delay,
             )
-            for gname, gspec in spec.groups.items():
+            for gname, gspec in nspec.groups.items():
                 node.comms[gname] = build_communicator(
                     gspec.comm_config, gspec.rank, gspec.world_size, self.sim_clock
                 )
             self.nodes.append(node)
-            self.actors.append(ThreadActor(node, name=spec.name))
+            self.actors.append(ThreadActor(node, name=nspec.name))
 
         self._setup_done = False
+        self._shutdown_done = False
+        self._callbacks_setup_fired = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -148,84 +228,45 @@ class Engine:
         compressor_kwargs: Optional[Dict[str, Any]] = None,
         **engine_kwargs: Any,
     ) -> "Engine":
-        """Registry-name convenience constructor (what examples use)."""
-        topo_kw = dict(topology_kwargs or {})
-        topo_kw.setdefault("num_clients", num_clients)
-        if topology in ("hierarchical", "tree", "hub_spoke"):
-            topo_kw.pop("num_clients", None)
-        topo = build_topology(topology, **topo_kw)
-        dm = build_datamodule(datamodule, **(datamodule_kwargs or {}))
-        seed = int(engine_kwargs.get("seed", 0))
-        model_kw = dict(model_kwargs or {})
-        model_kw.setdefault("num_classes", dm.num_classes)
-        if model == "mlp" and dm.in_features is not None:
-            model_kw.setdefault("in_features", dm.in_features)
-        elif dm.in_channels:
-            model_kw.setdefault("in_channels", dm.in_channels)
-        model_kw.setdefault("seed", seed)
-        algo_kw = dict(algorithm_kwargs or {})
-        comp_fn = None
-        if compressor is not None:
-            comp_kw = dict(compressor_kwargs or {})
-            comp_fn = lambda: build_compressor(compressor, **comp_kw)  # noqa: E731
-        return cls(
-            topology=topo,
-            datamodule=dm,
-            model_fn=lambda: build_model(model, **model_kw),
-            algorithm_fn=lambda: build_algorithm(algorithm, **algo_kw),
-            compressor_fn=comp_fn,
-            **engine_kwargs,
+        """Deprecated registry-name constructor; routes through the spec."""
+        warnings.warn(
+            _DEPRECATION_TEMPLATE.format(api="Engine.from_names"),
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.experiment.spec import spec_from_names
+
+        return cls.from_spec(spec_from_names(
+            topology=topology,
+            algorithm=algorithm,
+            model=model,
+            datamodule=datamodule,
+            num_clients=num_clients,
+            topology_kwargs=topology_kwargs,
+            algorithm_kwargs=algorithm_kwargs,
+            model_kwargs=model_kwargs,
+            datamodule_kwargs=datamodule_kwargs,
+            compressor=compressor,
+            compressor_kwargs=compressor_kwargs,
+            **engine_kwargs,
+        ))
 
     # ------------------------------------------------------------------
     @classmethod
     def from_config(cls, cfg: Any) -> "Engine":
-        """Build an engine from a composed config (the paper's Fig. 2 flow).
+        """Deprecated composed-config constructor; routes through the spec.
 
-        Expects the layout of ``repro/conf/experiment.yaml``: ``topology``,
-        ``algorithm``, ``model``, ``datamodule`` nodes (each with a
-        ``_target_``) plus scalar engine settings; optional ``compression``
-        and ``privacy`` nodes configure the plugins.
+        Expects the layout of ``repro/conf/experiment.yaml``; prefer
+        ``Experiment(ExperimentSpec.from_config(cfg)).run()``.
         """
-        from repro.config.instantiate import instantiate
-        from repro.config.node import ConfigNode
-
-        if isinstance(cfg, ConfigNode):
-            cfg = cfg.to_container(resolve=True)
-        topo = instantiate(cfg["topology"])
-        dm = instantiate(cfg["datamodule"])
-        seed = int(cfg.get("seed", 0))
-
-        model_cfg = dict(cfg["model"])
-        model_cfg.setdefault("num_classes", dm.num_classes)
-        if dm.in_features is not None and "mlp" in str(model_cfg.get("_target_", "")):
-            model_cfg.setdefault("in_features", dm.in_features)
-        elif dm.in_channels:
-            model_cfg.setdefault("in_channels", dm.in_channels)
-        model_cfg.setdefault("seed", seed)
-        algo_cfg = dict(cfg["algorithm"])
-
-        comp_cfg = cfg.get("compression")
-        dp_cfg = cfg.get("privacy")
-        sched_cfg = cfg.get("scheduler")
-        return cls(
-            topology=topo,
-            datamodule=dm,
-            model_fn=lambda: instantiate(dict(model_cfg)),
-            algorithm_fn=lambda: instantiate(dict(algo_cfg)),
-            compressor_fn=(lambda: instantiate(dict(comp_cfg))) if comp_cfg else None,
-            dp_fn=(lambda: instantiate(dict(dp_cfg))) if dp_cfg else None,
-            global_rounds=int(cfg.get("global_rounds", 2)),
-            batch_size=int(cfg.get("batch_size", 32)),
-            seed=seed,
-            partition=str(cfg.get("partition", "dirichlet")),
-            partition_alpha=float(cfg.get("partition_alpha", 0.5)),
-            eval_every=int(cfg.get("eval_every", 1)),
-            client_fraction=float(cfg.get("client_fraction", 1.0)),
-            selection=str(cfg.get("selection", "random")),
-            selection_kwargs=dict(cfg.get("selection_kwargs") or {}),
-            scheduler=dict(sched_cfg) if isinstance(sched_cfg, dict) else sched_cfg,
+        warnings.warn(
+            _DEPRECATION_TEMPLATE.format(api="Engine.from_config"),
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.experiment.spec import ExperimentSpec
+
+        return cls.from_spec(ExperimentSpec.from_config(cfg))
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -251,6 +292,13 @@ class Engine:
         raise TypeError(f"cannot build a scheduler from {type(spec).__name__}")
 
     # ------------------------------------------------------------------
+    def _fire_setup_callbacks(self) -> None:
+        if self._callbacks_setup_fired:
+            return
+        self._callbacks_setup_fired = True
+        for cb in self.metrics.callbacks:
+            cb.on_setup(self)
+
     def setup(self) -> None:
         if self._setup_done:
             return
@@ -266,6 +314,7 @@ class Engine:
         ]
         wait_all(futures, timeout=60)
         self._setup_done = True
+        self._fire_setup_callbacks()
         _LOG.info("engine ready: %s", self.topology.describe())
 
     def setup_async(self) -> None:
@@ -277,9 +326,16 @@ class Engine:
         """
         futures = [actor.submit("setup_local") for actor in self.actors]
         wait_all(futures, timeout=60)
+        self._fire_setup_callbacks()
 
     # ------------------------------------------------------------------
-    def run_round(self, round_idx: int) -> RoundRecord:
+    def run_round(self, round_idx: int, total_rounds: Optional[int] = None) -> RoundRecord:
+        """Run one synchronized round.
+
+        ``total_rounds`` is the length of the run this round belongs to
+        (defaults to the configured ``global_rounds``): the final round of
+        the *actual* run always evaluates, regardless of cadence.
+        """
         self.setup()
         pattern = self.topology.pattern
         participants = self._select_participants(round_idx)
@@ -314,7 +370,11 @@ class Engine:
         )
         record.bytes_sent = bytes_total - self._bytes_seen
         self._bytes_seen = bytes_total
-        if self.eval_every > 0 and ((round_idx + 1) % self.eval_every == 0 or round_idx == self.global_rounds - 1):
+        # the final round of the run always evaluates; gate on the actual run
+        # length, not the configured default (run(rounds=n) used to mis-time
+        # or skip its last evaluation when n != global_rounds)
+        final_idx = (total_rounds if total_rounds is not None else self.global_rounds) - 1
+        if self.eval_every > 0 and ((round_idx + 1) % self.eval_every == 0 or round_idx == final_idx):
             record.eval_loss, record.eval_accuracy = self.evaluate()
         self.metrics.add(record)
         return record
@@ -322,14 +382,23 @@ class Engine:
     def run(self, rounds: Optional[int] = None) -> MetricsCollector:
         """Run the full experiment; returns the metrics history."""
         n = rounds if rounds is not None else self.global_rounds
-        for r in range(n):
-            rec = self.run_round(r)
-            _LOG.info(
-                "round %d: loss=%.4f acc=%.4f eval=%s (%.2fs)",
-                r, rec.train_loss, rec.train_accuracy,
-                f"{rec.eval_accuracy:.4f}" if rec.eval_accuracy is not None else "-",
-                rec.wall_seconds,
-            )
+        self.metrics.reset_stop()  # a stop from a previous run is spent
+        try:
+            for r in range(n):
+                rec = self.run_round(r, total_rounds=n)
+                _LOG.info(
+                    "round %d: loss=%.4f acc=%.4f eval=%s (%.2fs)",
+                    r, rec.train_loss, rec.train_accuracy,
+                    f"{rec.eval_accuracy:.4f}" if rec.eval_accuracy is not None else "-",
+                    rec.wall_seconds,
+                )
+        except StopRun as stop:
+            _LOG.info("run stopped early: %s", stop.reason)
+            # mirror the scheduler runtime's _finish: a stopped run still
+            # ends on an evaluated record
+            history = self.metrics.history
+            if self.eval_every > 0 and history and history[-1].eval_accuracy is None:
+                history[-1].eval_loss, history[-1].eval_accuracy = self.evaluate()
         return self.metrics
 
     def run_async(
@@ -435,13 +504,36 @@ class Engine:
         return totals
 
     def shutdown(self) -> None:
-        futures = [actor.submit("shutdown") for actor in self.actors]
-        wait_all(futures, timeout=30)
+        """Stop every node and actor; idempotent and safe after a failed
+        :meth:`setup` (a node whose setup never ran, or raised partway,
+        must not hang the teardown of the rest of the fleet)."""
+        if self._shutdown_done:
+            return
+        self._shutdown_done = True
+        futures = []
         for actor in self.actors:
-            actor.stop()
+            try:
+                futures.append(actor.submit("shutdown"))
+            except RuntimeError:
+                continue  # actor already stopped
+        try:
+            wait_all(futures, timeout=30)
+        except Exception as exc:  # noqa: BLE001 - teardown must not mask the run
+            _LOG.warning("node shutdown reported %s: %s", type(exc).__name__, exc)
+        finally:
+            for actor in self.actors:
+                actor.stop()
+        for cb in self.metrics.callbacks:
+            cb.on_shutdown(self)
 
     def __enter__(self) -> "Engine":
-        self.setup()
+        try:
+            self.setup()
+        except BaseException:
+            # the with-body (and so __exit__) never runs when setup raises:
+            # tear actors down here or their threads outlive the failure
+            self.shutdown()
+            raise
         return self
 
     def __exit__(self, *exc_info: Any) -> None:

@@ -1,12 +1,34 @@
-"""Round-level metrics collection and reporting."""
+"""Round-level metrics collection and reporting.
+
+:meth:`MetricsCollector.add` is also the framework's single callback hook
+point: every execution path — the synchronous round loop and all scheduler
+policies — funnels its :class:`RoundRecord` stream through one ``add`` call,
+so callbacks registered on the collector observe every aggregation uniformly
+without each policy growing its own hook wiring.  A callback that calls
+:meth:`MetricsCollector.request_stop` makes the next ``add`` raise
+:class:`StopRun`, which the round loop and the scheduler runtime both catch
+to finish the run cleanly (drain in-flight work, final evaluation).
+"""
 
 from __future__ import annotations
 
+import numbers
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-__all__ = ["RoundRecord", "MetricsCollector"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.callbacks import Callback
+
+__all__ = ["RoundRecord", "MetricsCollector", "StopRun"]
+
+
+class StopRun(Exception):
+    """Control-flow signal: a callback requested the run to stop early."""
+
+    def __init__(self, reason: str = "stop requested") -> None:
+        self.reason = reason
+        super().__init__(reason)
 
 
 @dataclass
@@ -58,15 +80,81 @@ class RoundRecord:
             "consensus_dist": self.consensus_dist,
         }
 
+    def to_payload(self) -> Dict[str, Any]:
+        """Full, plain-scalar serialization (``RunResult.save`` format)."""
+
+        def scalar(v: Any) -> Any:
+            # numpy scalars must become native ints/floats or the YAML
+            # dumper would emit their repr instead of a number
+            if v is None or isinstance(v, (bool, str)):
+                return v
+            if isinstance(v, numbers.Integral):
+                return int(v)
+            return float(v)
+
+        payload = {k: scalar(v) for k, v in self.as_dict().items()}
+        payload["per_node"] = {
+            name: {k: float(v) for k, v in stats.items()}
+            for name, stats in self.per_node.items()
+        }
+        payload["per_edge"] = {edge: int(n) for edge, n in self.per_edge.items()}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RoundRecord":
+        data = dict(payload)
+        record = cls(round_idx=int(data.pop("round")))
+        record.per_node = {
+            str(name): dict(stats) for name, stats in (data.pop("per_node", {}) or {}).items()
+        }
+        record.per_edge = {
+            str(edge): int(n) for edge, n in (data.pop("per_edge", {}) or {}).items()
+        }
+        for key, value in data.items():
+            if hasattr(record, key):
+                setattr(record, key, value)
+        return record
+
 
 class MetricsCollector:
-    """Accumulates :class:`RoundRecord` history and computes summaries."""
+    """Accumulates :class:`RoundRecord` history and computes summaries.
+
+    Also the callback hook point (see the module docstring): ``callbacks``
+    fire on every :meth:`add`, and a requested stop surfaces as
+    :class:`StopRun` out of the ``add`` that observed it.
+    """
 
     def __init__(self) -> None:
         self.history: List[RoundRecord] = []
+        self.callbacks: List["Callback"] = []
+        self.stop_requested = False
+        self.stop_reason: Optional[str] = None
+
+    def request_stop(self, reason: str = "stop requested") -> None:
+        """Ask the driving loop to finish the run after the current record."""
+        self.stop_requested = True
+        if self.stop_reason is None:
+            self.stop_reason = reason
+
+    def reset_stop(self) -> None:
+        """Re-arm the collector for a continuation run.
+
+        Called at the start of every run so a stop requested in an earlier
+        run does not instantly abort the next one; ``stop_reason`` is kept
+        as the record of why the previous run ended.
+        """
+        self.stop_requested = False
 
     def add(self, record: RoundRecord) -> None:
         self.history.append(record)
+        for cb in self.callbacks:
+            cb.on_update(record, self)
+            if record.eval_accuracy is not None or record.eval_loss is not None:
+                cb.on_evaluate(record, self)
+            if record.tier == "global":
+                cb.on_round_end(record, self)
+        if self.stop_requested:
+            raise StopRun(self.stop_reason or "stop requested")
 
     @property
     def last(self) -> Optional[RoundRecord]:

@@ -1,0 +1,46 @@
+"""Experiment API v2: typed specs, one entrypoint, structured results.
+
+The top-level surface of the framework::
+
+    from repro.experiment import DataSpec, Experiment, ExperimentSpec, TrainSpec
+
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={"num_clients": 4,
+                         "inner_comm": {"backend": "torchdist", "master_port": 29500}},
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 512, "test_size": 128}),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", global_rounds=3),
+    )
+    result = Experiment(spec).run()
+    print(result.table())
+    result.save("runs/quickstart")
+
+See :mod:`repro.experiment.spec` for the spec tree,
+:mod:`repro.experiment.result` for :class:`RunResult`, and
+:mod:`repro.engine.callbacks` for the callback subsystem.
+"""
+
+from repro.experiment.experiment import Experiment
+from repro.experiment.result import RunResult
+from repro.experiment.spec import (
+    DataSpec,
+    ExperimentSpec,
+    FaultSpec,
+    PluginSpec,
+    SchedulerSpec,
+    SpecError,
+    TrainSpec,
+)
+
+__all__ = [
+    "Experiment",
+    "RunResult",
+    "ExperimentSpec",
+    "DataSpec",
+    "TrainSpec",
+    "PluginSpec",
+    "FaultSpec",
+    "SchedulerSpec",
+    "SpecError",
+]

@@ -1,0 +1,662 @@
+"""Typed, validated experiment specifications — the framework's one config.
+
+The paper's core claim is *configuration-driven* federation: one declarative
+description mixing topology, algorithm, comm, compression, and privacy with
+no code changes.  :class:`ExperimentSpec` is that description as a frozen
+dataclass tree:
+
+* :class:`DataSpec`      — dataset + partitioning (who sees what data);
+* :class:`TrainSpec`     — model, algorithm, round/eval budget;
+* :class:`PluginSpec`    — compressor / outer_compressor / dp codecs;
+* :class:`FaultSpec`     — participation, dropouts, stragglers, selection;
+* :class:`SchedulerSpec` — the execution policy (when updates merge).
+
+Component fields (``topology``, ``data.dataset``, ``train.model``, ...)
+accept three shapes:
+
+1. a **registry name** (``"centralized"``, ``"fedavg"``) with kwargs in the
+   sibling ``*_kwargs`` field — the declarative, serializable form;
+2. a **Hydra-style mapping** with a ``_target_`` key — what
+   :func:`ExperimentSpec.from_config` produces from composed YAML;
+3. an **opaque object/factory** — what the deprecated legacy ``Engine``
+   constructors feed through; such specs run fine but cannot serialize.
+
+Specs in forms 1–2 roundtrip losslessly through the framework's own YAML
+dumper: ``ExperimentSpec.from_yaml(spec.to_yaml()) == spec``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, fields, is_dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.config import yaml as _yaml
+
+__all__ = [
+    "SpecError",
+    "DataSpec",
+    "TrainSpec",
+    "PluginSpec",
+    "FaultSpec",
+    "SchedulerSpec",
+    "ExperimentSpec",
+]
+
+_MODES = ("rounds", "async", "auto")
+
+
+class SpecError(ValueError):
+    """Raised on invalid or non-serializable experiment specifications."""
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+def _is_component_ref(value: Any) -> bool:
+    """True for the serializable component shapes (name or _target_ map)."""
+    return isinstance(value, str) or (isinstance(value, Mapping) and "_target_" in value)
+
+
+def _is_opaque(value: Any) -> bool:
+    return value is not None and not _is_component_ref(value)
+
+
+def _check_serializable(value: Any, path: str) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, Mapping):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise SpecError(f"{path}: mapping keys must be strings, got {k!r}")
+            _check_serializable(v, f"{path}.{k}")
+        return
+    if isinstance(value, (list, tuple)):
+        for i, v in enumerate(value):
+            _check_serializable(v, f"{path}[{i}]")
+        return
+    raise SpecError(
+        f"{path}: {type(value).__name__} is not serializable — specs built "
+        "from live objects (the legacy Engine constructors) cannot be dumped; "
+        "use registry names or _target_ mappings instead"
+    )
+
+
+def _freeze(obj: Any, name: str, value: Any) -> None:
+    object.__setattr__(obj, name, value)
+
+
+def _plain(value: Any) -> Any:
+    """Deep-copy mappings/sequences into plain dicts/lists."""
+    if isinstance(value, Mapping):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _from_dict(cls: type, data: Mapping[str, Any], path: str) -> Any:
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{path} must be a mapping, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise SpecError(f"{path}: unknown keys {sorted(unknown)} (known: {sorted(known)})")
+    return cls(**{k: _plain(v) for k, v in data.items()})
+
+
+# --------------------------------------------------------------------------
+# the spec tree
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Dataset and partitioning: who trains on what."""
+
+    dataset: Any = "cifar10"
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    partition: str = "dirichlet"
+    partition_alpha: float = 0.5
+    batch_size: int = 32
+    feature_noniid: float = 0.0
+
+    def __post_init__(self) -> None:
+        _freeze(self, "kwargs", _plain(self.kwargs or {}))
+        if self.batch_size < 1:
+            raise SpecError("data.batch_size must be >= 1")
+        if self.partition_alpha <= 0:
+            raise SpecError("data.partition_alpha must be > 0")
+        if self.feature_noniid < 0:
+            raise SpecError("data.feature_noniid must be >= 0")
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """Model, algorithm, and the round/evaluation budget."""
+
+    algorithm: Any = "fedavg"
+    algorithm_kwargs: Dict[str, Any] = field(default_factory=dict)
+    model: Any = "simple_cnn"
+    model_kwargs: Dict[str, Any] = field(default_factory=dict)
+    global_rounds: int = 5
+    eval_every: int = 1
+    eval_max_batches: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _freeze(self, "algorithm_kwargs", _plain(self.algorithm_kwargs or {}))
+        _freeze(self, "model_kwargs", _plain(self.model_kwargs or {}))
+        if self.global_rounds < 1:
+            raise ValueError("global_rounds must be >= 1")
+        if self.eval_every < 0:
+            raise SpecError("train.eval_every must be >= 0")
+        if self.eval_max_batches is not None and self.eval_max_batches < 1:
+            raise SpecError("train.eval_max_batches must be >= 1 (or null)")
+
+
+@dataclass(frozen=True)
+class PluginSpec:
+    """Update-path plugins: compression and differential privacy.
+
+    ``compressor``/``outer_compressor`` take a registry name (kwargs in the
+    sibling field) or a ``_target_`` mapping; ``dp`` takes keyword arguments
+    for :class:`~repro.privacy.dp.DifferentialPrivacy` or a ``_target_``
+    mapping.  ``outer_compressor`` applies only to the slow cross-site link
+    in hierarchical deployments (the paper's §3.4.5 trick).
+    """
+
+    compressor: Any = None
+    compressor_kwargs: Dict[str, Any] = field(default_factory=dict)
+    outer_compressor: Any = None
+    outer_compressor_kwargs: Dict[str, Any] = field(default_factory=dict)
+    dp: Any = None
+
+    def __post_init__(self) -> None:
+        _freeze(self, "compressor_kwargs", _plain(self.compressor_kwargs or {}))
+        _freeze(self, "outer_compressor_kwargs", _plain(self.outer_compressor_kwargs or {}))
+        if isinstance(self.dp, Mapping):
+            _freeze(self, "dp", _plain(self.dp))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Participation and failure model of the client population."""
+
+    client_fraction: float = 1.0
+    drop_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_delay: float = 0.0
+    selection: str = "random"
+    selection_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _freeze(self, "selection_kwargs", _plain(self.selection_kwargs or {}))
+        if not (0.0 < self.client_fraction <= 1.0):
+            raise ValueError("client_fraction must be in (0, 1]")
+        for name in ("drop_prob", "straggler_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise SpecError(f"faults.{name} must be in [0, 1]")
+        if self.straggler_delay < 0:
+            raise SpecError("faults.straggler_delay must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Execution policy: when client updates enter the global model.
+
+    ``name`` picks a registered policy (``sync``, ``semi_sync``,
+    ``fedasync``, ``fedbuff``, ``hier_async``, ``gossip_async``) with policy
+    kwargs in ``kwargs``; alternatively ``kwargs`` may carry a Hydra-style
+    ``_target_`` mapping and ``name`` stays null.
+    """
+
+    name: Optional[str] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _freeze(self, "kwargs", _plain(self.kwargs or {}))
+        if self.name is None and "_target_" not in self.kwargs:
+            raise SpecError("scheduler needs a policy name or a _target_ mapping")
+        if self.name is not None and not isinstance(self.name, str):
+            raise SpecError("scheduler.name must be a string")
+
+    @classmethod
+    def from_value(cls, value: Any) -> Any:
+        """Normalize the legacy ``scheduler=`` shapes (str / dict / object)."""
+        if value is None or isinstance(value, (cls,)):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            kwargs = _plain(value)
+            if "_target_" in kwargs:
+                return cls(name=None, kwargs=kwargs)
+            name = kwargs.pop("name", None)
+            if name is None:
+                raise SpecError("scheduler mapping needs a 'name' (or '_target_') key")
+            return cls(name=str(name), kwargs=kwargs)
+        return value  # opaque Scheduler instance: legacy passthrough
+
+    def to_value(self) -> Dict[str, Any]:
+        """The mapping shape the engine's scheduler resolver understands."""
+        if self.name is None:
+            return dict(self.kwargs)
+        return {"name": self.name, **self.kwargs}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete, validated federated experiment."""
+
+    topology: Any = "centralized"
+    topology_kwargs: Dict[str, Any] = field(default_factory=dict)
+    data: DataSpec = field(default_factory=DataSpec)
+    train: TrainSpec = field(default_factory=TrainSpec)
+    plugins: PluginSpec = field(default_factory=PluginSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    scheduler: Any = None
+    #: "rounds" forces the synchronous barrier loop, "async" the scheduler
+    #: runtime; "auto" runs async exactly when a scheduler is configured
+    mode: str = "auto"
+    seed: int = 0
+    #: async run length in applied client updates (null: global_rounds x
+    #: trainer count, the scheduler default)
+    total_updates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _freeze(self, "topology_kwargs", _plain(self.topology_kwargs or {}))
+        if isinstance(self.data, Mapping):
+            _freeze(self, "data", _from_dict(DataSpec, self.data, "data"))
+        if isinstance(self.train, Mapping):
+            _freeze(self, "train", _from_dict(TrainSpec, self.train, "train"))
+        if isinstance(self.plugins, Mapping):
+            _freeze(self, "plugins", _from_dict(PluginSpec, self.plugins, "plugins"))
+        if isinstance(self.faults, Mapping):
+            _freeze(self, "faults", _from_dict(FaultSpec, self.faults, "faults"))
+        if isinstance(self.scheduler, (str, Mapping)):
+            _freeze(self, "scheduler", SchedulerSpec.from_value(self.scheduler))
+        if self.mode not in _MODES:
+            raise SpecError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.total_updates is not None and self.total_updates < 1:
+            raise SpecError("total_updates must be >= 1 (or null)")
+
+    # -- dispatch ----------------------------------------------------------
+    def run_mode(self) -> str:
+        """Resolve ``mode='auto'`` to the concrete execution mode."""
+        if self.mode == "auto":
+            return "async" if self.scheduler is not None else "rounds"
+        return self.mode
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-container form (raises :class:`SpecError` on opaque parts)."""
+        out: Dict[str, Any] = {
+            "topology": self.topology,
+            "topology_kwargs": dict(self.topology_kwargs),
+            "data": asdict(self.data),
+            "train": asdict(self.train),
+            "plugins": asdict(self.plugins),
+            "faults": asdict(self.faults),
+            "scheduler": asdict(self.scheduler) if is_dataclass(self.scheduler) else self.scheduler,
+            "mode": self.mode,
+            "seed": self.seed,
+            "total_updates": self.total_updates,
+        }
+        _check_serializable(out, "spec")
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec must be a mapping, got {type(data).__name__}")
+        payload = dict(data)
+        scheduler = payload.pop("scheduler", None)
+        spec_kwargs: Dict[str, Any] = {}
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"spec: unknown keys {sorted(unknown)} (known: {sorted(known)})")
+        for key, value in payload.items():
+            spec_kwargs[key] = _plain(value)
+        if scheduler is not None:
+            if isinstance(scheduler, Mapping) and set(scheduler) <= {"name", "kwargs"}:
+                spec_kwargs["scheduler"] = SchedulerSpec(
+                    name=scheduler.get("name"), kwargs=_plain(scheduler.get("kwargs") or {})
+                )
+            else:
+                spec_kwargs["scheduler"] = SchedulerSpec.from_value(scheduler)
+        return cls(**spec_kwargs)
+
+    def to_yaml(self) -> str:
+        """Serialize through the framework's own YAML dumper."""
+        return _yaml.dumps(self.to_dict())
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "ExperimentSpec":
+        data = _yaml.loads(text)
+        if data is None:
+            data = {}
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentSpec":
+        with open(path, "r", encoding="utf8") as fh:
+            return cls.from_yaml(fh.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf8") as fh:
+            fh.write(self.to_yaml())
+
+    def fingerprint(self) -> str:
+        """Stable hash of the resolved spec (seed included): run identity."""
+        try:
+            canonical = self.to_yaml()
+        except SpecError:
+            canonical = repr(self)  # opaque specs: best-effort identity
+        return hashlib.sha256(canonical.encode("utf8")).hexdigest()[:16]
+
+    # -- construction from composed configs --------------------------------
+    @classmethod
+    def from_config(cls, cfg: Any) -> "ExperimentSpec":
+        """Build a spec from a composed Hydra-style config (Fig. 2 layout).
+
+        Expects the shape of ``repro/conf/experiment.yaml``: ``topology``,
+        ``algorithm``, ``model``, ``datamodule`` nodes (each carrying a
+        ``_target_``) plus scalar engine settings, with optional
+        ``compression``, ``privacy``, and ``scheduler`` nodes.
+        """
+        from repro.config.node import ConfigNode
+
+        if isinstance(cfg, ConfigNode):
+            cfg = cfg.to_container(resolve=True)
+        if not isinstance(cfg, Mapping):
+            raise SpecError(f"config must be a mapping, got {type(cfg).__name__}")
+        for key in ("topology", "algorithm", "model", "datamodule"):
+            if key not in cfg:
+                raise SpecError(f"config is missing the {key!r} node")
+        comp_cfg = cfg.get("compression")
+        dp_cfg = cfg.get("privacy")
+        sched_cfg = cfg.get("scheduler")
+        return cls(
+            topology=_plain(cfg["topology"]),
+            data=DataSpec(
+                dataset=_plain(cfg["datamodule"]),
+                partition=str(cfg.get("partition", "dirichlet")),
+                partition_alpha=float(cfg.get("partition_alpha", 0.5)),
+                batch_size=int(cfg.get("batch_size", 32)),
+                feature_noniid=float(cfg.get("feature_noniid", 0.0)),
+            ),
+            train=TrainSpec(
+                algorithm=_plain(cfg["algorithm"]),
+                model=_plain(cfg["model"]),
+                global_rounds=int(cfg.get("global_rounds", 2)),
+                eval_every=int(cfg.get("eval_every", 1)),
+                eval_max_batches=cfg.get("eval_max_batches"),
+            ),
+            plugins=PluginSpec(
+                compressor=_plain(comp_cfg) if comp_cfg else None,
+                dp=_plain(dp_cfg) if dp_cfg else None,
+            ),
+            faults=FaultSpec(
+                client_fraction=float(cfg.get("client_fraction", 1.0)),
+                drop_prob=float(cfg.get("drop_prob", 0.0)),
+                straggler_prob=float(cfg.get("straggler_prob", 0.0)),
+                straggler_delay=float(cfg.get("straggler_delay", 0.0)),
+                selection=str(cfg.get("selection", "random")),
+                selection_kwargs=_plain(cfg.get("selection_kwargs") or {}),
+            ),
+            scheduler=SchedulerSpec.from_value(
+                _plain(sched_cfg) if isinstance(sched_cfg, Mapping) else sched_cfg
+            ),
+            mode=str(cfg.get("mode", "auto")),
+            seed=int(cfg.get("seed", 0)),
+            total_updates=(
+                int(cfg["total_updates"]) if cfg.get("total_updates") is not None else None
+            ),
+        )
+
+
+# --------------------------------------------------------------------------
+# legacy-kwargs bridges (the deprecated Engine constructors route through
+# these so every construction path produces one ExperimentSpec)
+# --------------------------------------------------------------------------
+
+def spec_from_parts(
+    *,
+    topology: Any,
+    topology_kwargs: Optional[Mapping[str, Any]] = None,
+    datamodule: Any,
+    datamodule_kwargs: Optional[Mapping[str, Any]] = None,
+    model: Any,
+    model_kwargs: Optional[Mapping[str, Any]] = None,
+    algorithm: Any,
+    algorithm_kwargs: Optional[Mapping[str, Any]] = None,
+    compressor: Any = None,
+    compressor_kwargs: Optional[Mapping[str, Any]] = None,
+    outer_compressor: Any = None,
+    outer_compressor_kwargs: Optional[Mapping[str, Any]] = None,
+    dp: Any = None,
+    global_rounds: int = 5,
+    batch_size: int = 32,
+    seed: int = 0,
+    partition: str = "dirichlet",
+    partition_alpha: float = 0.5,
+    eval_every: int = 1,
+    eval_max_batches: Optional[int] = None,
+    client_fraction: float = 1.0,
+    drop_prob: float = 0.0,
+    straggler_prob: float = 0.0,
+    straggler_delay: float = 0.0,
+    feature_noniid: float = 0.0,
+    selection: str = "random",
+    selection_kwargs: Optional[Mapping[str, Any]] = None,
+    scheduler: Any = None,
+    mode: str = "auto",
+    total_updates: Optional[int] = None,
+) -> ExperimentSpec:
+    """Assemble an :class:`ExperimentSpec` from flat engine-style kwargs."""
+    return ExperimentSpec(
+        topology=topology,
+        topology_kwargs=dict(topology_kwargs or {}),
+        data=DataSpec(
+            dataset=datamodule,
+            kwargs=dict(datamodule_kwargs or {}),
+            partition=partition,
+            partition_alpha=partition_alpha,
+            batch_size=batch_size,
+            feature_noniid=feature_noniid,
+        ),
+        train=TrainSpec(
+            algorithm=algorithm,
+            algorithm_kwargs=dict(algorithm_kwargs or {}),
+            model=model,
+            model_kwargs=dict(model_kwargs or {}),
+            global_rounds=global_rounds,
+            eval_every=eval_every,
+            eval_max_batches=eval_max_batches,
+        ),
+        plugins=PluginSpec(
+            compressor=compressor,
+            compressor_kwargs=dict(compressor_kwargs or {}),
+            outer_compressor=outer_compressor,
+            outer_compressor_kwargs=dict(outer_compressor_kwargs or {}),
+            dp=dp,
+        ),
+        faults=FaultSpec(
+            client_fraction=client_fraction,
+            drop_prob=drop_prob,
+            straggler_prob=straggler_prob,
+            straggler_delay=straggler_delay,
+            selection=selection,
+            selection_kwargs=dict(selection_kwargs or {}),
+        ),
+        scheduler=SchedulerSpec.from_value(scheduler),
+        mode=mode,
+        seed=seed,
+        total_updates=total_updates,
+    )
+
+
+def spec_from_names(
+    topology: str = "centralized",
+    algorithm: str = "fedavg",
+    model: str = "simple_cnn",
+    datamodule: str = "cifar10",
+    num_clients: int = 4,
+    topology_kwargs: Optional[Mapping[str, Any]] = None,
+    algorithm_kwargs: Optional[Mapping[str, Any]] = None,
+    model_kwargs: Optional[Mapping[str, Any]] = None,
+    datamodule_kwargs: Optional[Mapping[str, Any]] = None,
+    compressor: Optional[str] = None,
+    compressor_kwargs: Optional[Mapping[str, Any]] = None,
+    **engine_kwargs: Any,
+) -> ExperimentSpec:
+    """The ``Engine.from_names`` argument surface as a spec."""
+    topo_kw = dict(topology_kwargs or {})
+    topo_kw.setdefault("num_clients", num_clients)
+    if topology in ("hierarchical", "tree", "hub_spoke"):
+        topo_kw.pop("num_clients", None)
+    # the legacy surface also accepted plugin factories through engine_kwargs
+    legacy_plugins = {
+        "compressor_fn": "compressor",
+        "outer_compressor_fn": "outer_compressor",
+        "dp_fn": "dp",
+    }
+    extra: Dict[str, Any] = {}
+    for legacy_key, part in legacy_plugins.items():
+        if legacy_key in engine_kwargs:
+            extra[part] = engine_kwargs.pop(legacy_key)
+    if compressor is not None:
+        extra["compressor"] = compressor
+        extra["compressor_kwargs"] = dict(compressor_kwargs or {})
+    return spec_from_parts(
+        topology=topology,
+        topology_kwargs=topo_kw,
+        datamodule=datamodule,
+        datamodule_kwargs=dict(datamodule_kwargs or {}),
+        model=model,
+        model_kwargs=dict(model_kwargs or {}),
+        algorithm=algorithm,
+        algorithm_kwargs=dict(algorithm_kwargs or {}),
+        **extra,
+        **engine_kwargs,
+    )
+
+
+# --------------------------------------------------------------------------
+# component resolution (spec -> live objects the executor consumes)
+# --------------------------------------------------------------------------
+
+def resolve_topology(spec: ExperimentSpec) -> Any:
+    from repro.config.instantiate import instantiate
+    from repro.topology.base import build_topology
+
+    ref = spec.topology
+    if isinstance(ref, str):
+        return build_topology(ref, **dict(spec.topology_kwargs))
+    if isinstance(ref, Mapping):
+        return instantiate(dict(ref), **dict(spec.topology_kwargs))
+    return ref
+
+
+def resolve_datamodule(spec: ExperimentSpec) -> Any:
+    from repro.config.instantiate import instantiate
+    from repro.data.registry import build_datamodule
+
+    ref = spec.data.dataset
+    if isinstance(ref, str):
+        return build_datamodule(ref, **dict(spec.data.kwargs))
+    if isinstance(ref, Mapping):
+        return instantiate(dict(ref), **dict(spec.data.kwargs))
+    return ref
+
+
+def _inject_model_dims(kw: Dict[str, Any], is_mlp: bool, dm: Any, seed: int) -> Dict[str, Any]:
+    kw.setdefault("num_classes", dm.num_classes)
+    if is_mlp and dm.in_features is not None:
+        kw.setdefault("in_features", dm.in_features)
+    elif dm.in_channels:
+        kw.setdefault("in_channels", dm.in_channels)
+    kw.setdefault("seed", seed)
+    return kw
+
+
+def resolve_model_fn(spec: ExperimentSpec, dm: Any) -> Callable[[], Any]:
+    from repro.config.instantiate import instantiate
+    from repro.models.registry import build_model
+
+    ref = spec.train.model
+    if isinstance(ref, str):
+        kw = _inject_model_dims(dict(spec.train.model_kwargs), ref == "mlp", dm, spec.seed)
+        return lambda: build_model(ref, **kw)
+    if isinstance(ref, Mapping):
+        cfg = dict(ref)
+        cfg.update(spec.train.model_kwargs)
+        cfg = _inject_model_dims(cfg, "mlp" in str(cfg.get("_target_", "")), dm, spec.seed)
+        return lambda: instantiate(dict(cfg))
+    return ref  # opaque factory
+
+
+def resolve_algorithm_fn(spec: ExperimentSpec) -> Callable[[], Any]:
+    from repro.algorithms.base import build_algorithm
+    from repro.config.instantiate import instantiate
+
+    ref = spec.train.algorithm
+    if isinstance(ref, str):
+        kw = dict(spec.train.algorithm_kwargs)
+        return lambda: build_algorithm(ref, **kw)
+    if isinstance(ref, Mapping):
+        cfg = dict(ref)
+        cfg.update(spec.train.algorithm_kwargs)
+        return lambda: instantiate(dict(cfg))
+    return ref
+
+
+def _resolve_compressor_fn(ref: Any, kwargs: Mapping[str, Any]) -> Optional[Callable[[], Any]]:
+    from repro.compression.base import build_compressor
+    from repro.config.instantiate import instantiate
+
+    if ref is None:
+        return None
+    if isinstance(ref, str):
+        kw = dict(kwargs)
+        return lambda: build_compressor(ref, **kw)
+    if isinstance(ref, Mapping):
+        cfg = dict(ref)
+        cfg.update(kwargs)
+        return lambda: instantiate(dict(cfg))
+    return ref
+
+
+def resolve_plugin_fns(spec: ExperimentSpec):
+    """(compressor_fn, outer_compressor_fn, dp_fn) factories, each optional."""
+    from repro.config.instantiate import instantiate
+    from repro.privacy.dp import DifferentialPrivacy
+
+    plugins = spec.plugins
+    comp_fn = _resolve_compressor_fn(plugins.compressor, plugins.compressor_kwargs)
+    outer_fn = _resolve_compressor_fn(plugins.outer_compressor, plugins.outer_compressor_kwargs)
+
+    dp_ref = plugins.dp
+    if dp_ref is None:
+        dp_fn = None
+    elif isinstance(dp_ref, Mapping):
+        cfg = dict(dp_ref)
+        if "_target_" in cfg:
+            dp_fn = lambda: instantiate(dict(cfg))  # noqa: E731
+        else:
+            dp_fn = lambda: DifferentialPrivacy(**cfg)  # noqa: E731
+    else:
+        dp_fn = dp_ref  # opaque factory
+    return comp_fn, outer_fn, dp_fn
+
+
+def resolve_scheduler_value(spec: ExperimentSpec) -> Any:
+    """The shape ``Engine._resolve_scheduler`` accepts (dict/None/object)."""
+    sched = spec.scheduler
+    if sched is None:
+        return None
+    if isinstance(sched, SchedulerSpec):
+        return sched.to_value()
+    return sched

@@ -113,8 +113,12 @@ class Node:
         self._local_setup_done = True
 
     def shutdown(self) -> None:
-        for comm in self.comms.values():
-            comm.shutdown()
+        for gname, comm in self.comms.items():
+            try:
+                comm.shutdown()
+            except Exception as exc:  # noqa: BLE001 - a comm that failed setup
+                # must not block the rest of the fleet's teardown
+                _LOG.warning("comm %s shutdown failed on %s: %s", gname, self.name, exc)
 
     def comm_stats(self) -> Dict[str, Dict[str, float]]:
         return {name: c.stats.snapshot() for name, c in self.comms.items()}

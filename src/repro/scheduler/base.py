@@ -363,7 +363,27 @@ class Scheduler:
         """Drive the federation until ``total_updates`` more client updates
         have been merged; returns the engine's metrics history.  Calling
         ``run`` again continues the same federation (version, virtual clock,
-        and metrics carry over)."""
+        and metrics carry over).
+
+        This is a template over the policy's :meth:`_execute` loop: a
+        callback-requested stop (:class:`~repro.engine.metrics.StopRun`,
+        raised from the ``MetricsCollector.add`` hook point) is caught here
+        for *every* policy, so all six execution policies honor callbacks
+        and early stopping without per-policy wiring; the run then finishes
+        normally (drain in-flight updates, final evaluation).
+        """
+        from repro.engine.metrics import StopRun
+
+        if self.metrics is not None:
+            self.metrics.reset_stop()  # a stop from a previous run is spent
+        try:
+            self._execute(total_updates)
+        except StopRun as stop:
+            _LOG.info("scheduler %s stopped early: %s", self.name, stop.reason)
+        return self._finish()
+
+    def _execute(self, total_updates: Optional[int]) -> None:
+        """The policy's driving loop (overridden by concrete policies)."""
         raise NotImplementedError
 
     def _start(self, total_updates: Optional[int]) -> int:

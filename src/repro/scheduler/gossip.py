@@ -401,7 +401,7 @@ class GossipScheduler(Scheduler):
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
-    def run(self, total_updates: Optional[int] = None) -> "MetricsCollector":  # noqa: F821
+    def _execute(self, total_updates: Optional[int]) -> None:
         target = self._start(total_updates)
         self._ensure_states()
         if self.barrier:
@@ -409,7 +409,6 @@ class GossipScheduler(Scheduler):
                 self._barrier_round()
         else:
             self._run_async(target)
-        return self._finish()
 
     def _run_async(self, target: int) -> None:
         for peer in self.peers:

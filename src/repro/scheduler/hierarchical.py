@@ -333,16 +333,18 @@ class HierarchicalScheduler(Scheduler):
     def _flush_outer(self) -> None:
         if not self._outer_buffer:
             return
+        # detach before applying: _record_outer may raise StopRun, and
+        # applied site deltas must not survive to be re-applied next flush
+        buffer, self._outer_buffer = self._outer_buffer, []
         self.global_state = _apply_buffered_deltas(
-            self.global_state, self._outer_buffer, self.outer_server_lr
+            self.global_state, buffer, self.outer_server_lr
         )
         self.version += 1
         self.outer_flushes += 1
         self._record_outer(
-            [item["upload"] for item in self._outer_buffer],
-            [item["tau"] for item in self._outer_buffer],
+            [item["upload"] for item in buffer],
+            [item["tau"] for item in buffer],
         )
-        self._outer_buffer.clear()
 
     # ------------------------------------------------------------------
     # two-tier round accounting
@@ -400,7 +402,7 @@ class HierarchicalScheduler(Scheduler):
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
-    def run(self, total_updates: Optional[int] = None) -> "MetricsCollector":  # noqa: F821
+    def _execute(self, total_updates: Optional[int]) -> None:
         target = self._start(total_updates)
         for site in self.sites:
             if site.state == _IDLE:
@@ -415,7 +417,6 @@ class HierarchicalScheduler(Scheduler):
                 self._merge_next_arrival()
         if self.outer == "fedbuff":
             self._flush_outer()
-        return self._finish()
 
     def drain(self) -> None:
         """Discard queued site uploads without advancing the virtual clock.

@@ -18,7 +18,7 @@ Scheduler`; they differ only in *when* arrivals enter the global model:
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -26,9 +26,6 @@ from repro.nn.serialization import clone_state
 from repro.scheduler.base import SCHEDULERS, Scheduler
 from repro.scheduler.events import PendingUpdate
 from repro.utils.logging import get_logger
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.engine.metrics import MetricsCollector
 
 __all__ = [
     "SyncScheduler",
@@ -141,7 +138,7 @@ class SemiSyncScheduler(Scheduler):
             return last
         return self.now + self.deadline
 
-    def run(self, total_updates: Optional[int] = None) -> "MetricsCollector":
+    def _execute(self, total_updates: Optional[int]) -> None:
         target = self._start(total_updates)
         while self.applied < target:
             k = self.clients_per_round
@@ -175,7 +172,6 @@ class SemiSyncScheduler(Scheduler):
             if merged:
                 self.applied += len(merged)
                 self.record_aggregation(merged, staleness)
-        return self._finish()
 
     def _aggregate_round(self, arrivals: List[PendingUpdate]):
         entries: List[Dict[str, Any]] = []
@@ -221,7 +217,7 @@ class _ContinuousScheduler(Scheduler):
     """Shared loop for event-driven policies: keep ``concurrency`` updates in
     flight, retire the earliest arrival, hand it to :meth:`ingest`, refill."""
 
-    def run(self, total_updates: Optional[int] = None) -> "MetricsCollector":
+    def _execute(self, total_updates: Optional[int]) -> None:
         target = self._start(total_updates)
         for client in self.select_idle(self.concurrency or 1):
             self.dispatch(client)
@@ -238,7 +234,6 @@ class _ContinuousScheduler(Scheduler):
             for client in self.select_idle(1):
                 self.dispatch(client)
         self.flush()
-        return self._finish()
 
     def ingest(self, event: PendingUpdate, result: Dict[str, Any]) -> None:
         raise NotImplementedError
@@ -312,17 +307,18 @@ class FedBuffScheduler(_ContinuousScheduler):
     def _flush_buffer(self) -> None:
         if not self._buffer:
             return
-        self.global_state = _apply_buffered_deltas(
-            self.global_state, self._buffer, self.server_lr
-        )
+        # detach the buffer before touching state: record_aggregation may
+        # raise StopRun (callback-requested stop), and already-applied
+        # deltas must never survive to be re-applied by the next flush
+        buffer, self._buffer = self._buffer, []
+        self.global_state = _apply_buffered_deltas(self.global_state, buffer, self.server_lr)
         self.version += 1
-        self.applied += len(self._buffer)
+        self.applied += len(buffer)
         self.flush_count += 1
         self.record_aggregation(
-            [item["result"] for item in self._buffer],
-            [item["staleness"] for item in self._buffer],
+            [item["result"] for item in buffer],
+            [item["staleness"] for item in buffer],
         )
-        self._buffer.clear()
 
     def flush(self) -> None:
         # leftover partial buffer at the end of a run still carries signal

@@ -1,0 +1,301 @@
+"""Callback subsystem: uniform hook firing at MetricsCollector.add."""
+
+import csv
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.callbacks import Callback, Checkpoint, CSVLogger, EarlyStopping
+from repro.engine.metrics import MetricsCollector, RoundRecord, StopRun
+from repro.experiment import (
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    SchedulerSpec,
+    TrainSpec,
+)
+
+HETERO = {"latency": "lognormal", "mean": 0.3, "sigma": 0.5}
+
+
+class Recorder(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_setup(self, engine):
+        self.events.append(("setup", None))
+
+    def on_update(self, record, metrics):
+        self.events.append(("update", record.round_idx))
+
+    def on_evaluate(self, record, metrics):
+        self.events.append(("evaluate", record.round_idx))
+
+    def on_round_end(self, record, metrics):
+        self.events.append(("round_end", record.round_idx))
+
+    def on_shutdown(self, engine):
+        self.events.append(("shutdown", None))
+
+    def count(self, kind):
+        return sum(1 for k, _ in self.events if k == kind)
+
+
+# ------------------------------------------------------------- unit behavior
+def test_hooks_fire_from_collector_add():
+    collector = MetricsCollector()
+    recorder = Recorder()
+    collector.callbacks.append(recorder)
+    collector.add(RoundRecord(round_idx=0))
+    rec = RoundRecord(round_idx=1)
+    rec.eval_accuracy = 0.5
+    collector.add(rec)
+    site = RoundRecord(round_idx=2, tier="site")
+    collector.add(site)
+    assert recorder.count("update") == 3
+    assert recorder.count("evaluate") == 1
+    assert recorder.count("round_end") == 2  # site-tier records skip it
+
+
+def test_request_stop_raises_stop_run_from_add():
+    collector = MetricsCollector()
+
+    class Stopper(Callback):
+        def on_update(self, record, metrics):
+            metrics.request_stop("enough")
+
+    collector.callbacks.append(Stopper())
+    with pytest.raises(StopRun, match="enough"):
+        collector.add(RoundRecord(round_idx=0))
+    # the record still landed in the history before the signal
+    assert len(collector.history) == 1
+    assert collector.stop_reason == "enough"
+
+
+# ------------------------------------------------ integration: both run modes
+def tiny_spec(port, *, rounds=2, scheduler=None, total_updates=None):
+    return ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": 2,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]},
+                        global_rounds=rounds),
+        scheduler=scheduler,
+        total_updates=total_updates,
+        seed=3,
+    )
+
+
+def test_lifecycle_hooks_fire_in_sync_run(fresh_port):
+    recorder = Recorder()
+    Experiment(tiny_spec(fresh_port), callbacks=[recorder]).run()
+    assert recorder.count("setup") == 1
+    assert recorder.count("shutdown") == 1
+    assert recorder.count("update") == 2
+    assert recorder.count("round_end") == 2
+    assert recorder.events[0][0] == "setup"
+    assert recorder.events[-1][0] == "shutdown"
+
+
+@pytest.mark.parametrize("policy", ["sync", "semi_sync", "fedasync", "fedbuff"])
+def test_record_hooks_fire_under_every_flat_policy(policy, fresh_port):
+    recorder = Recorder()
+    spec = tiny_spec(
+        fresh_port,
+        scheduler=SchedulerSpec(name=policy, kwargs={"heterogeneity": HETERO}),
+        total_updates=4,
+    )
+    result = Experiment(spec, callbacks=[recorder]).run()
+    assert recorder.count("setup") == 1
+    assert recorder.count("update") == len(result.history)
+    assert recorder.count("round_end") == len(result.history)
+
+
+def test_record_hooks_fire_under_hier_async(fresh_port):
+    recorder = Recorder()
+    spec = ExperimentSpec(
+        topology="hierarchical",
+        topology_kwargs={
+            "num_sites": 2, "clients_per_site": 2,
+            "inner_comm": {"backend": "torchdist", "master_port": fresh_port},
+            "outer_comm": {"backend": "grpc", "master_port": fresh_port + 1000,
+                           "transport": "inproc"},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]}, global_rounds=1),
+        scheduler=SchedulerSpec(name="hier_async",
+                                kwargs={"heterogeneity": HETERO}),
+        total_updates=4,
+        seed=3,
+    )
+    result = Experiment(spec, callbacks=[recorder]).run()
+    # global-tier records hit both hooks; site-tier histories are private
+    assert recorder.count("update") == len(result.history)
+    assert recorder.count("round_end") == len(result.history)
+    assert all(r.tier == "global" for r in result.history)
+
+
+def test_record_hooks_fire_under_gossip_async(fresh_port):
+    recorder = Recorder()
+    spec = ExperimentSpec(
+        topology="ring",
+        topology_kwargs={
+            "num_clients": 3,
+            "inner_comm": {"backend": "torchdist", "master_port": fresh_port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]}, global_rounds=1),
+        scheduler=SchedulerSpec(name="gossip_async",
+                                kwargs={"heterogeneity": HETERO}),
+        total_updates=3,
+        seed=3,
+    )
+    result = Experiment(spec, callbacks=[recorder]).run()
+    assert recorder.count("update") == len(result.history) == 3
+
+
+def test_early_stopping_halts_gossip_async(fresh_port):
+    es = EarlyStopping(monitor="train_loss", patience=0, min_delta=100.0)
+    spec = ExperimentSpec(
+        topology="ring",
+        topology_kwargs={
+            "num_clients": 3,
+            "inner_comm": {"backend": "torchdist", "master_port": fresh_port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]}, global_rounds=8),
+        scheduler=SchedulerSpec(name="gossip_async",
+                                kwargs={"heterogeneity": HETERO}),
+        total_updates=24,
+        seed=3,
+    )
+    result = Experiment(spec, callbacks=[es]).run()
+    assert result.total_applied() < 24
+    assert result.stop_reason is not None
+
+
+def test_csv_logger_writes_one_row_per_record(tmp_path, fresh_port):
+    path = str(tmp_path / "log.csv")
+    result = Experiment(tiny_spec(fresh_port), callbacks=[CSVLogger(path)]).run()
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(result.history)
+    assert rows[0]["tier"] == "global"
+    assert float(rows[-1]["train_loss"]) == pytest.approx(result.history[-1].train_loss)
+
+
+def test_checkpoint_saves_last_and_best(tmp_path, fresh_port):
+    ckpt = Checkpoint(str(tmp_path / "ckpt"), monitor="eval_accuracy")
+    Experiment(tiny_spec(fresh_port), callbacks=[ckpt]).run()
+    import numpy as np
+
+    last = np.load(str(tmp_path / "ckpt" / "last.npz"))
+    best = np.load(str(tmp_path / "ckpt" / "best.npz"))
+    assert set(last.files) == set(best.files) and last.files
+
+
+def test_early_stopping_tracks_improvement():
+    es = EarlyStopping(monitor="eval_accuracy", patience=1, min_delta=0.0)
+    collector = MetricsCollector()
+    collector.callbacks.append(es)
+
+    def rec(i, acc):
+        r = RoundRecord(round_idx=i)
+        r.eval_accuracy = acc
+        return r
+
+    collector.add(rec(0, 0.5))
+    collector.add(rec(1, 0.6))   # improvement: counter resets
+    collector.add(rec(2, 0.6))   # stale 1 (== patience): still running
+    with pytest.raises(StopRun):
+        collector.add(rec(3, 0.55))  # stale 2 > patience: stop
+    assert es.best == pytest.approx(0.6)
+
+
+def test_callback_monitor_ignores_missing_values():
+    es = EarlyStopping(monitor="eval_accuracy", patience=0)
+    collector = MetricsCollector()
+    collector.callbacks.append(es)
+    for i in range(5):
+        collector.add(RoundRecord(round_idx=i))  # no evals: never stops
+    assert len(collector.history) == 5
+
+
+class OneShotStop(Callback):
+    """Requests a stop exactly once, after `after` records."""
+
+    def __init__(self, after=1):
+        self.after = after
+        self.seen = 0
+        self.fired = False
+
+    def on_update(self, record, metrics):
+        self.seen += 1
+        if self.seen >= self.after and not self.fired:
+            self.fired = True
+            metrics.request_stop("one-shot")
+
+
+def test_continuation_run_survives_earlier_stop(fresh_port):
+    """Regression: a stop flag left armed by one run must not instantly
+    abort the next run() continuation after a single record."""
+    engine = Engine.from_spec(tiny_spec(fresh_port, rounds=4),
+                              callbacks=[OneShotStop(after=2)])
+    first = engine.run()
+    assert len(first.history) == 2  # stopped where requested
+    second = engine.run(rounds=3)   # continuation runs to completion
+    engine.shutdown()
+    assert len(second.history) == 2 + 3
+
+
+def test_fedbuff_continuation_does_not_replay_buffer(fresh_port):
+    """Regression: a StopRun raised mid-flush must not leave already-applied
+    deltas in the buffer to be re-applied (and re-counted) on continuation."""
+    spec = tiny_spec(
+        fresh_port, rounds=4,
+        scheduler=SchedulerSpec(name="fedbuff",
+                                kwargs={"buffer_size": 2, "heterogeneity": HETERO}),
+    )
+    engine = Engine.from_spec(spec, callbacks=[OneShotStop(after=1)])
+    first = engine.run_async(total_updates=8)
+    stopped_at = first.total_applied()
+    assert stopped_at < 8
+    second = engine.run_async(total_updates=4)
+    engine.shutdown()
+    sched = engine.scheduler
+    # every applied update is counted exactly once across both runs
+    assert second.total_applied() == stopped_at + 4
+    assert sched.applied == second.total_applied()
+
+
+def test_stopped_sync_run_still_ends_on_evaluated_record(fresh_port):
+    """Regression: the round loop's StopRun handler must backfill the final
+    evaluation like the scheduler runtime's _finish does."""
+    spec = tiny_spec(fresh_port, rounds=8)
+    engine = Engine.from_spec(spec, callbacks=[OneShotStop(after=3)])
+    engine.eval_every = 5  # cadence would not have evaluated round 2
+    metrics = engine.run()
+    engine.shutdown()
+    assert len(metrics.history) == 3
+    assert metrics.history[-1].eval_accuracy is not None
+
+
+def test_direct_engine_run_honors_callbacks(fresh_port):
+    """Callbacks work on the executor too, not just through Experiment."""
+    recorder = Recorder()
+    engine = Engine.from_spec(tiny_spec(fresh_port), callbacks=[recorder])
+    engine.run()
+    engine.shutdown()
+    assert recorder.count("update") == 2
+    assert recorder.count("shutdown") == 1

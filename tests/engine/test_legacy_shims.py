@@ -1,0 +1,133 @@
+"""Back-compat shims: legacy constructors warn once and match the spec path."""
+
+import warnings
+
+import pytest
+
+from repro.data import build_datamodule
+from repro.engine import Engine
+from repro.experiment import DataSpec, Experiment, ExperimentSpec, TrainSpec
+from repro.models import build_model
+from repro.algorithms import build_algorithm
+from repro.topology import CentralizedTopology
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+def _named_engine(port, **kwargs):
+    return Engine.from_names(
+        topology="centralized", algorithm="fedavg", model="mlp", datamodule="blobs",
+        num_clients=2, global_rounds=2, batch_size=16, seed=3,
+        topology_kwargs={"inner_comm": {"backend": "torchdist", "master_port": port}},
+        datamodule_kwargs={"train_size": 96, "test_size": 32},
+        algorithm_kwargs={"lr": 0.05},
+        model_kwargs={"hidden": [16]},
+        **kwargs,
+    )
+
+
+def test_from_names_warns_exactly_once(fresh_port):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        engine = _named_engine(fresh_port)
+    assert len(_deprecations(caught)) == 1
+    engine.shutdown()
+
+
+def test_from_config_warns_exactly_once(fresh_port):
+    cfg = {
+        "topology": {"_target_": "repro.topology.CentralizedTopology",
+                     "num_clients": 2,
+                     "inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
+        "algorithm": {"_target_": "repro.algorithms.FedAvg", "lr": 0.05},
+        "model": {"_target_": "repro.models.mlp", "hidden": [16]},
+        "datamodule": {"_target_": "repro.data.registry.blobs",
+                       "train_size": 96, "test_size": 32},
+        "global_rounds": 1,
+        "seed": 3,
+    }
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        engine = Engine.from_config(cfg)
+    assert len(_deprecations(caught)) == 1
+    engine.shutdown()
+
+
+def test_legacy_kwargs_constructor_warns_exactly_once(fresh_port):
+    dm = build_datamodule("blobs", train_size=96, test_size=32)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        engine = Engine(
+            topology=CentralizedTopology(
+                2, {"backend": "torchdist", "master_port": fresh_port}
+            ),
+            datamodule=dm,
+            model_fn=lambda: build_model("mlp", in_features=dm.in_features,
+                                         num_classes=dm.num_classes, hidden=[16], seed=3),
+            algorithm_fn=lambda: build_algorithm("fedavg", lr=0.05),
+            global_rounds=1, batch_size=16, seed=3,
+        )
+    assert len(_deprecations(caught)) == 1
+    metrics = engine.run()
+    engine.shutdown()
+    assert metrics.final_accuracy() is not None
+    # the shim routed through the spec path: the executor carries a spec
+    assert isinstance(engine.spec, ExperimentSpec)
+
+
+def test_from_spec_does_not_warn(fresh_port):
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={"num_clients": 2,
+                         "inner_comm": {"backend": "torchdist", "master_port": fresh_port}},
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]}, global_rounds=1),
+        seed=3,
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        engine = Engine.from_spec(spec)
+    assert not _deprecations(caught)
+    engine.shutdown()
+
+
+def _stream(history):
+    """RoundRecord stream minus wall-clock noise (ports/timing differ)."""
+    out = []
+    for rec in history:
+        payload = rec.to_payload()
+        payload.pop("wall_seconds")
+        payload["per_node"] = {
+            name: {k: v for k, v in stats.items() if "seconds" not in k}
+            for name, stats in payload["per_node"].items()
+        }
+        out.append(payload)
+    return out
+
+
+def test_legacy_and_spec_paths_produce_identical_record_streams(fresh_port):
+    """The acceptance check: same seed, old kwargs API vs new spec API,
+    bit-identical RoundRecord streams (modulo wall-clock)."""
+    with pytest.warns(DeprecationWarning):
+        legacy = _named_engine(fresh_port)
+    legacy_metrics = legacy.run()
+    legacy.shutdown()
+
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={"num_clients": 2,
+                         "inner_comm": {"backend": "torchdist",
+                                        "master_port": fresh_port + 1}},
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]}, global_rounds=2),
+        seed=3,
+    )
+    result = Experiment(spec).run()
+
+    assert _stream(legacy_metrics.history) == _stream(result.history)

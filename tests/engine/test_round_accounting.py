@@ -43,3 +43,27 @@ def test_sim_comm_seconds_is_per_round_delta(fresh_port):
     eng.shutdown()
     total = sum(r.sim_comm_seconds for r in metrics.history)
     assert total == pytest.approx(lifetime_sim)
+
+
+def test_custom_rounds_final_eval_fires(fresh_port):
+    """Regression: ``run(rounds=n)`` used to gate the always-evaluate-last
+    round on ``global_rounds``, so shorter custom runs skipped their final
+    evaluation (and longer ones evaluated mid-run instead of at the end)."""
+    eng = _engine(fresh_port, rounds=5)
+    eng.eval_every = 10  # cadence alone would never trigger within 2 rounds
+    metrics = eng.run(rounds=2)
+    eng.shutdown()
+    assert len(metrics.history) == 2
+    assert metrics.history[-1].eval_accuracy is not None  # final round evaluated
+    assert metrics.history[0].eval_accuracy is None
+
+
+def test_custom_rounds_longer_than_configured(fresh_port):
+    eng = _engine(fresh_port, rounds=2)
+    eng.eval_every = 10
+    metrics = eng.run(rounds=4)
+    eng.shutdown()
+    assert len(metrics.history) == 4
+    # only the true final round evaluates — not round global_rounds-1 == 1
+    evals = [i for i, r in enumerate(metrics.history) if r.eval_accuracy is not None]
+    assert evals == [3]

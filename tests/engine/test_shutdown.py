@@ -1,0 +1,77 @@
+"""Engine.shutdown: idempotency and safety after a partially-failed setup."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.experiment import DataSpec, ExperimentSpec, TrainSpec
+
+
+def tiny_engine(port, clients=2):
+    spec = ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": clients,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]}, global_rounds=1),
+        seed=3,
+    )
+    return Engine.from_spec(spec)
+
+
+def test_shutdown_is_idempotent(fresh_port):
+    engine = tiny_engine(fresh_port)
+    engine.run()
+    engine.shutdown()
+    engine.shutdown()  # second call is a no-op, not an error
+    engine.shutdown()
+
+
+def test_shutdown_without_setup_does_not_hang(fresh_port):
+    engine = tiny_engine(fresh_port)
+    engine.shutdown()  # nothing was ever set up; must return promptly
+
+
+def test_shutdown_after_failed_setup(fresh_port):
+    """A node whose setup raises partway must not wedge the teardown."""
+    engine = tiny_engine(fresh_port)
+
+    def explode():
+        raise RuntimeError("injected setup failure")
+
+    engine.nodes[0].setup = explode
+    with pytest.raises(RuntimeError, match="injected setup failure"):
+        engine.setup()
+    engine.shutdown()
+    engine.shutdown()  # still idempotent after the failure path
+
+
+def test_context_manager_tears_down_on_setup_failure(fresh_port):
+    engine = tiny_engine(fresh_port)
+
+    def explode():
+        raise RuntimeError("injected setup failure")
+
+    engine.nodes[0].setup = explode
+    with pytest.raises(RuntimeError, match="injected setup failure"):
+        with engine:
+            pytest.fail("the with-body must not run after a failed setup")
+    # actors were stopped by __enter__'s cleanup; shutdown stays a no-op
+    engine.shutdown()
+    assert all(not actor._alive for actor in engine.actors)
+
+
+def test_comm_shutdown_failure_does_not_block_fleet(fresh_port):
+    engine = tiny_engine(fresh_port)
+    engine.setup()
+
+    class BrokenComm:
+        def shutdown(self):
+            raise OSError("socket already gone")
+
+    engine.nodes[0].comms["broken"] = BrokenComm()
+    engine.shutdown()  # swallowed with a warning; the rest tore down
+    assert all(not actor._alive for actor in engine.actors)

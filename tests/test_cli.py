@@ -43,3 +43,56 @@ def test_end_to_end_tiny_run(capsys, fresh_port):
 def test_bad_override_fails_loudly():
     with pytest.raises(Exception):
         main(["--dry-run", "no_such_key=1"])
+
+
+TINY = [
+    "model=mlp",
+    "datamodule=blobs",
+    "datamodule.train_size=96",
+    "datamodule.test_size=32",
+    "topology.num_clients=2",
+    "global_rounds=1",
+    "algorithm.lr=0.05",
+]
+
+
+def test_print_config_dumps_resolved_spec(capsys):
+    assert main(["--print-config", *TINY]) == 0
+    out = capsys.readouterr().out
+    from repro.experiment import ExperimentSpec
+
+    spec = ExperimentSpec.from_yaml(out)
+    assert spec.train.global_rounds == 1
+    assert spec.data.dataset["_target_"] == "repro.data.registry.blobs"
+    assert spec.mode == "auto"
+
+
+def test_run_spec_file_end_to_end(capsys, tmp_path, fresh_port):
+    assert main(["--print-config", *TINY,
+                 f"topology.inner_comm.master_port={fresh_port}"]) == 0
+    spec_path = tmp_path / "spec.yaml"
+    spec_path.write_text(capsys.readouterr().out)
+    save_dir = tmp_path / "run"
+    rc = main(["run", str(spec_path), "--save", str(save_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "summary:" in out and "comm[inner]" in out
+    from repro.experiment import ExperimentSpec, RunResult
+
+    loaded = RunResult.load(str(save_dir))
+    assert loaded.spec == ExperimentSpec.load(str(spec_path))
+    assert len(loaded.history) == 1
+
+
+def test_run_mode_needs_exactly_one_file():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_async_cli_prints_scheduler_summary(capsys, fresh_port):
+    rc = main([*TINY, f"topology.inner_comm.master_port={fresh_port}",
+               "scheduler=fedasync"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scheduler: fedasync" in out
+    assert "updates applied" in out
