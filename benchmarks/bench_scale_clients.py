@@ -1,0 +1,133 @@
+"""Cohort-scale benchmark: pooled vs. dedicated execution.
+
+For cohort sizes up to 1000 logical clients, run the same FedAvg federation
+(same seed, same update budget) in both execution modes and record
+wall-time and peak traced memory.  The headline shape: dedicated mode's
+memory and thread count grow linearly with the cohort, pooled mode's stay
+bounded by the pool — while producing bit-identical results.
+
+Emits ``BENCH_scale.json`` at the repo root (the perf trajectory's seed
+point for cross-device scale).
+
+Run:    PYTHONPATH=src python -m pytest benchmarks/bench_scale_clients.py -q
+Smoke:  BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_scale_clients.py -q
+"""
+
+import gc
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from repro.experiment import Experiment, ExperimentSpec
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+
+POOL_SIZE = 4 if SMOKE else 16
+COHORTS = [8, 32] if SMOKE else [32, 128, 512, 1000]
+TOTAL_UPDATES = 8 if SMOKE else 64
+#: dedicated mode materializes one node+thread per client; cap it where a
+#: laptop/CI worker still survives and record the cap in the output
+DEDICATED_CAP = 32 if SMOKE else 1000
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+_RESULTS = {"config": {
+    "pool_size": POOL_SIZE,
+    "total_updates": TOTAL_UPDATES,
+    "smoke": SMOKE,
+    "algorithm": "fedavg",
+    "scheduler": "fedasync",
+}, "runs": []}
+
+
+def make_spec(num_clients: int, pool_size) -> ExperimentSpec:
+    return ExperimentSpec(
+        topology="centralized",
+        num_clients=num_clients,
+        pool_size=pool_size,
+        data={
+            "dataset": "blobs",
+            # the cohort shares one dataset; every client sees a lazy view
+            "kwargs": {"train_size": max(1024, num_clients), "test_size": 128},
+            "partition": "iid",
+            "batch_size": 32,
+        },
+        train={
+            "algorithm": "fedavg",
+            "algorithm_kwargs": {"lr": 0.05, "local_epochs": 1},
+            "model": "mlp",
+            "global_rounds": 1,
+            "eval_every": 0,
+        },
+        scheduler={"name": "fedasync", "heterogeneity": {"latency": "lognormal", "mean": 1.0, "sigma": 0.5}},
+        total_updates=TOTAL_UPDATES,
+        mode="async",
+        seed=0,
+    )
+
+
+def run_measured(num_clients: int, pool_size) -> dict:
+    """One federation run under tracemalloc; returns wall/peak-memory stats."""
+    gc.collect()  # prior runs' garbage must not count against this one
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    experiment = Experiment(make_spec(num_clients, pool_size))
+    result = experiment.run()
+    wall = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    pool = experiment.engine.pool
+    row = {
+        "clients": num_clients,
+        "mode": "pooled" if pool is not None else "dedicated",
+        "pool_size": pool.pool_size if pool is not None else num_clients,
+        "wall_seconds": round(wall, 4),
+        "peak_traced_mb": round(peak / 2**20, 3),
+        "applied_updates": result.metrics.total_applied(),
+        "train_loss": [round(r.train_loss, 6) for r in result.history],
+        "store_bytes": pool.store.nbytes() if pool is not None else 0,
+    }
+    _RESULTS["runs"].append(row)
+    return row
+
+
+def _flush():
+    OUT_PATH.write_text(json.dumps(_RESULTS, indent=2) + "\n", encoding="utf8")
+
+
+@pytest.mark.parametrize("num_clients", COHORTS)
+def test_scale_pooled_vs_dedicated(num_clients):
+    pooled = run_measured(num_clients, POOL_SIZE)
+    assert pooled["applied_updates"] == TOTAL_UPDATES
+    if num_clients <= DEDICATED_CAP:
+        dedicated = run_measured(num_clients, None)
+        assert dedicated["applied_updates"] == TOTAL_UPDATES
+        # identical federation outcome, execution mode notwithstanding
+        assert pooled["train_loss"] == dedicated["train_loss"]
+    _flush()
+
+
+def test_pooled_memory_bounded_by_pool_not_cohort():
+    """The acceptance check: the largest pooled cohort's peak memory stays
+    within ~2x of a run whose *entire cohort* is pool-sized — i.e. memory
+    follows the pool, not the number of simulated clients."""
+    largest = max(COHORTS)
+    baseline = run_measured(POOL_SIZE, None)  # pool_size dedicated nodes
+    pooled = run_measured(largest, POOL_SIZE)
+    _RESULTS["acceptance"] = {
+        "baseline_clients": POOL_SIZE,
+        "baseline_peak_mb": baseline["peak_traced_mb"],
+        "pooled_clients": largest,
+        "pooled_peak_mb": pooled["peak_traced_mb"],
+        "ratio": round(pooled["peak_traced_mb"] / max(baseline["peak_traced_mb"], 1e-9), 3),
+    }
+    _flush()
+    assert pooled["peak_traced_mb"] <= 2.0 * baseline["peak_traced_mb"] + 8.0, (
+        f"pooled {largest}-client peak {pooled['peak_traced_mb']}MB vs "
+        f"{POOL_SIZE}-node baseline {baseline['peak_traced_mb']}MB"
+    )

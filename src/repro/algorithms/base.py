@@ -46,6 +46,13 @@ class Algorithm:
     #: whereas deltas are small and sparse-friendly.  Algorithms that already
     #: upload deltas/control variates set this False.
     uploads_full_state = True
+    #: names of instance attributes holding *persistent per-client* algorithm
+    #: state (control variates, personal models, momentum) — exactly what the
+    #: client-pool runtime must swap between turns.  Attributes set fresh at
+    #: every ``on_round_start`` (round anchors, payload caches) are transient
+    #: and do not belong here.  Contract: listed attributes are *replaced*,
+    #: never mutated in place, so snapshots can hold references.
+    client_state_attrs: Sequence[str] = ()
 
     def __init__(
         self,
@@ -154,6 +161,30 @@ class Algorithm:
 
     def on_round_end(self, node: "Node", round_idx: int) -> None:
         """Post-aggregation client hook."""
+
+    # ------------------------------------------------------------------
+    # client-pool state swap (pooled execution)
+    # ------------------------------------------------------------------
+    def export_client_state(self) -> Dict[str, Any]:
+        """Snapshot the persistent per-client algorithm state (see
+        :attr:`client_state_attrs`); the pool stores it between turns."""
+        return {k: getattr(self, k) for k in self.client_state_attrs}
+
+    def import_client_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a client's snapshot before its pool turn."""
+        for k in self.client_state_attrs:
+            setattr(self, k, state[k])
+
+    def persistent_model_keys(self, model: Module) -> Optional[List[str]]:
+        """Model entries that persist on the *client* across rounds.
+
+        The default FedAvg family is fully re-materialized from the server
+        payload at every ``on_round_start``, so nothing persists (``[]``) —
+        unless the algorithm evaluates personal client models, in which case
+        the whole model is the client's (``None`` = all keys).  Methods with
+        a partial split (FedPer heads, FedBN statistics) override this.
+        """
+        return None if self.personalized_eval else []
 
     # ------------------------------------------------------------------
     # server-side lifecycle

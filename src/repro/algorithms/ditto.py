@@ -33,6 +33,7 @@ __all__ = ["Ditto"]
 @ALGORITHMS.register("ditto")
 class Ditto(Algorithm):
     name = "ditto"
+    client_state_attrs = ("_personal_state",)  # the private model v_i
 
     def __init__(
         self,

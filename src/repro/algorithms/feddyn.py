@@ -29,6 +29,7 @@ __all__ = ["FedDyn"]
 @ALGORITHMS.register("feddyn")
 class FedDyn(Algorithm):
     name = "feddyn"
+    client_state_attrs = ("_h_local",)  # per-client dual variable
 
     def __init__(self, alpha: float = 0.1, **kw) -> None:
         super().__init__(**kw)
@@ -61,8 +62,12 @@ class FedDyn(Algorithm):
     def compute_update(self, node, round_idx: int):
         assert self._h_local is not None
         local = node.model.state_dict()
-        for k in self._h_local:
-            self._h_local[k] = self._h_local[k] - self.alpha * (local[k] - self._anchor[k])
+        # replace (never mutate) the dual: client_state_attrs snapshots hold
+        # references to the old dict
+        self._h_local = OrderedDict(
+            (k, h - self.alpha * (local[k] - self._anchor[k]))
+            for k, h in self._h_local.items()
+        )
         return local, {"num_samples": int(node.num_samples)}
 
     # -- server -------------------------------------------------------------

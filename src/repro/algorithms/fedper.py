@@ -33,6 +33,11 @@ class FedPer(Algorithm):
     def setup_server(self, node) -> None:
         self._head_keys = set(node.model.head_parameter_names())
 
+    def persistent_model_keys(self, model):
+        # the personalization layers never leave the client; everything else
+        # is re-materialized from the server payload each round
+        return [k for k in model.state_dict() if k in self._head_keys]
+
     def on_round_start(self, node, global_state, round_idx: int) -> None:
         shared = OrderedDict(
             (k, v)

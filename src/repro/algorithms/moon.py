@@ -36,6 +36,12 @@ class Moon(Algorithm):
         self._global_snapshot: Optional[Dict[str, np.ndarray]] = None
         self._prev_snapshot: Optional[Dict[str, np.ndarray]] = None
 
+    def persistent_model_keys(self, model):
+        # the contrastive anchor is the model this client ended last round
+        # with, read off node.model at round start — so in pooled execution
+        # the whole local model must follow the client between turns
+        return None
+
     def on_round_start(self, node, global_state, round_idx: int) -> None:
         # previous local model = the state we ended last round with
         self._prev_snapshot = node.model.state_dict()

@@ -32,6 +32,7 @@ _CHANNEL = "scaffold_c"
 class Scaffold(Algorithm):
     name = "scaffold"
     uploads_full_state = False  # uploads (Δy, Δc) deltas
+    client_state_attrs = ("_c_local",)  # the control variate is the client
 
     def __init__(self, **kw) -> None:
         super().__init__(**kw)

@@ -63,6 +63,18 @@ class Compressor:
     def reset(self) -> None:
         pass
 
+    # ------------------------------------------------------------------
+    # client-pool state swap: stateful compressors carry *per-client* state
+    # (error-feedback residuals, warm-start factors, stochastic streams)
+    # that must follow the logical client between pool turns
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot per-client compressor state (stateless default: empty)."""
+        return {}
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a client's snapshot (stateless default: no-op)."""
+
     @staticmethod
     def _flat32(vector: np.ndarray) -> np.ndarray:
         arr = np.asarray(vector, dtype=np.float32).ravel()

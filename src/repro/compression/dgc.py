@@ -31,6 +31,14 @@ class DGC(Compressor):
         self.sample_fraction = float(sample_fraction)
         self._rng = np.random.default_rng(seed)
 
+    def export_state(self):
+        # the sampling stream is per-client: a pool worker must not burn one
+        # client's draws on another client's turns
+        return {"rng": self._rng.bit_generator.state}
+
+    def import_state(self, state) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
     def compress(self, vector: np.ndarray) -> CompressedPayload:
         flat = self._flat32(vector)
         n = flat.size

@@ -46,3 +46,12 @@ class ErrorFeedback(Compressor):
     def reset(self) -> None:
         self._residual = None
         self.inner.reset()
+
+    # residuals are per-client: swap them (and whatever the wrapped
+    # compressor keeps) when a pool worker changes clients
+    def export_state(self):
+        return {"residual": self._residual, "inner": self.inner.export_state()}
+
+    def import_state(self, state) -> None:
+        self._residual = state["residual"]
+        self.inner.import_state(state["inner"])

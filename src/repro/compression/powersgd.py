@@ -77,3 +77,10 @@ class PowerSGD(Compressor):
 
     def reset(self) -> None:
         self._q_cache.clear()
+
+    # warm-start factors approximate *that client's* update subspace
+    def export_state(self):
+        return {"q_cache": dict(self._q_cache)}
+
+    def import_state(self, state) -> None:
+        self._q_cache = dict(state["q_cache"])

@@ -28,6 +28,13 @@ class QSGD(Compressor):
         self.levels = (1 << bits) - 1
         self._rng = np.random.default_rng(seed)
 
+    def export_state(self):
+        # stochastic-rounding draws are a per-client stream
+        return {"rng": self._rng.bit_generator.state}
+
+    def import_state(self, state) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
     def compress(self, vector: np.ndarray) -> CompressedPayload:
         flat = self._flat32(vector)
         norm = float(np.linalg.norm(flat))

@@ -66,3 +66,10 @@ class RandomK(Compressor):
 
     def reset(self) -> None:
         self._round = 0
+
+    # the round counter seeds the index draw: it is per-client identity
+    def export_state(self):
+        return {"round": self._round}
+
+    def import_state(self, state) -> None:
+        self._round = int(state["round"])

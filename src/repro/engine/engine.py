@@ -25,15 +25,17 @@ from repro.algorithms.base import Algorithm
 from repro.comm.factory import build_communicator
 from repro.compression.base import Compressor
 from repro.data.registry import DataModule
+from repro.data.views import ClientDataProvider
 from repro.engine.actor import ThreadActor, wait_all
 from repro.engine.metrics import MetricsCollector, RoundRecord, StopRun
+from repro.engine.pool import ClientPool, ClientRuntime, DedicatedRuntime
 from repro.models.base import FederatedModel
 from repro.nn.serialization import state_average
 from repro.node.node import Node
 from repro.privacy.dp import DifferentialPrivacy
 from repro.scheduler.base import Scheduler, build_scheduler
 from repro.scheduler.selection import build_selector
-from repro.topology.base import NodeRole, Topology
+from repro.topology.base import NodeRole, NodeSpec, Topology
 from repro.utils.logging import get_logger
 from repro.utils.timer import SimClock
 
@@ -165,30 +167,32 @@ class Engine:
 
         node_specs = topology.specs()
         n_trainers = topology.trainer_count()
-        shards = datamodule.partition(
-            n_trainers, spec.data.partition, alpha=spec.data.partition_alpha, seed=seed
+        self.data_provider = ClientDataProvider(
+            datamodule,
+            n_trainers,
+            spec.data.partition,
+            alpha=spec.data.partition_alpha,
+            seed=seed,
+            feature_noniid=float(spec.data.feature_noniid),
         )
-        feature_noniid = float(spec.data.feature_noniid)
 
-        self.nodes: List[Node] = []
-        self.actors: List[ThreadActor] = []
-        for nspec in node_specs:
-            model = model_fn()
-            algorithm = algorithm_fn()
-            train_ds = None
-            if nspec.shard is not None:
-                train_ds = shards[nspec.shard]
-                if feature_noniid > 0.0 and hasattr(train_ds.dataset, "spawn"):
-                    # regenerate this client's shard with a per-site feature
-                    # shift (non-IID features; FedBN's setting)
-                    shift = datamodule.feature_shift_for(nspec.shard, feature_noniid)
-                    train_ds = train_ds.dataset.spawn(
-                        len(train_ds), seed=seed + 1000 + nspec.shard, feature_shift=shift
-                    )
-            node = Node(
+        pool_size = getattr(spec, "pool_size", None)
+        if pool_size is not None and int(pool_size) < 1:
+            raise ValueError("pool_size must be >= 1 (or null for dedicated nodes)")
+        pooled = pool_size is not None and int(pool_size) < n_trainers
+        if pooled and topology.pattern != "server":
+            raise ValueError(
+                f"client-pool execution (pool_size={pool_size} < "
+                f"{n_trainers} clients) needs a server-pattern topology; "
+                f"{topology.pattern!r} topologies require dedicated nodes "
+                "(set pool_size >= the trainer count, or leave it null)"
+            )
+
+        def make_node(nspec: NodeSpec, train_ds) -> Node:
+            return Node(
                 spec=nspec,
-                model=model,
-                algorithm=algorithm,
+                model=model_fn(),
+                algorithm=algorithm_fn(),
                 train_dataset=train_ds,
                 test_dataset=datamodule.test,
                 batch_size=int(spec.data.batch_size),
@@ -200,12 +204,49 @@ class Engine:
                 straggler_prob=spec.faults.straggler_prob if nspec.role.trains() else 0.0,
                 straggler_delay=spec.faults.straggler_delay,
             )
-            for gname, gspec in nspec.groups.items():
-                node.comms[gname] = build_communicator(
-                    gspec.comm_config, gspec.rank, gspec.world_size, self.sim_clock
+
+        self.nodes: List[Node] = []
+        self.actors: List[ThreadActor] = []
+        self.pool: Optional[ClientPool] = None
+        if pooled:
+            # aggregators/relays materialize as real nodes; the cohort's
+            # trainers become logical clients served by pool workers (no
+            # communicator groups: pooled execution runs on the scheduler
+            # runtime, which moves updates through actor futures)
+            for nspec in node_specs:
+                if nspec.role.trains():
+                    continue
+                self.nodes.append(make_node(nspec, None))
+                self.actors.append(ThreadActor(self.nodes[-1], name=nspec.name))
+            base_index = 1 + max(s.index for s in node_specs)
+            worker_positions = []
+            for w in range(int(pool_size)):
+                wspec = NodeSpec(
+                    name=f"pool_worker_{w}",
+                    index=base_index + w,
+                    role=NodeRole.TRAINER,
                 )
-            self.nodes.append(node)
-            self.actors.append(ThreadActor(node, name=nspec.name))
+                worker_positions.append(len(self.nodes))
+                self.nodes.append(make_node(wspec, None))
+                self.actors.append(ThreadActor(self.nodes[-1], name=wspec.name))
+            self.pool = ClientPool(
+                self,
+                num_clients=n_trainers,
+                worker_positions=worker_positions,
+                data_provider=self.data_provider,
+            )
+        else:
+            for nspec in node_specs:
+                train_ds = (
+                    self.data_provider.view(nspec.shard) if nspec.shard is not None else None
+                )
+                node = make_node(nspec, train_ds)
+                for gname, gspec in nspec.groups.items():
+                    node.comms[gname] = build_communicator(
+                        gspec.comm_config, gspec.rank, gspec.world_size, self.sim_clock
+                    )
+                self.nodes.append(node)
+                self.actors.append(ThreadActor(node, name=nspec.name))
 
         self._setup_done = False
         self._shutdown_done = False
@@ -292,6 +333,28 @@ class Engine:
         raise TypeError(f"cannot build a scheduler from {type(spec).__name__}")
 
     # ------------------------------------------------------------------
+    # client runtimes: how logical client ids reach node actors
+    # ------------------------------------------------------------------
+    def client_runtime(self) -> ClientRuntime:
+        """The runtime for flat scheduler bindings: the client pool when one
+        is configured, otherwise one dedicated actor per logical client
+        (ids are data-shard indices, identical across both modes)."""
+        if self.pool is not None:
+            return self.pool
+        mapping = {}
+        for pos, node in enumerate(self.nodes):
+            if node.role.trains():
+                cid = node.spec.shard if node.spec.shard is not None else node.spec.index
+                mapping[cid] = pos
+        return DedicatedRuntime(self, mapping)
+
+    def node_runtime(self, node_indices: Iterable[int]) -> ClientRuntime:
+        """A dedicated runtime over explicit engine node indices (scoped
+        site-tier bindings address nodes directly)."""
+        pos_of = {n.spec.index: i for i, n in enumerate(self.nodes)}
+        return DedicatedRuntime(self, {int(c): pos_of[int(c)] for c in node_indices})
+
+    # ------------------------------------------------------------------
     def _fire_setup_callbacks(self) -> None:
         if self._callbacks_setup_fired:
             return
@@ -301,6 +364,11 @@ class Engine:
 
     def setup(self) -> None:
         if self._setup_done:
+            return
+        if self.pool is not None:
+            # pooled nodes have no communicator groups to rendezvous
+            self.setup_async()
+            self._setup_done = True
             return
         # the RPC server (rank 0) must bind before clients dial in, so set up
         # aggregators first, then everyone else in parallel
@@ -326,6 +394,8 @@ class Engine:
         """
         futures = [actor.submit("setup_local") for actor in self.actors]
         wait_all(futures, timeout=60)
+        if self.pool is not None:
+            self.pool.ensure_baseline()
         self._fire_setup_callbacks()
 
     # ------------------------------------------------------------------
@@ -336,6 +406,12 @@ class Engine:
         (defaults to the configured ``global_rounds``): the final round of
         the *actual* run always evaluates, regardless of cadence.
         """
+        if self.pool is not None:
+            raise RuntimeError(
+                "client-pool execution has no collective rounds: run under "
+                "the scheduler runtime (Engine.run_async, or an Experiment "
+                "with mode='async'/'auto')"
+            )
         self.setup()
         pattern = self.topology.pattern
         participants = self._select_participants(round_idx)
@@ -473,6 +549,9 @@ class Engine:
         personalized = any(
             n.algorithm.personalized_eval for n in self.nodes if n.role.trains()
         )
+        if personalized and self.pool is not None:
+            # each logical client's own model, swapped through the pool
+            return self.pool.evaluate_all(self.eval_max_batches)
         if personalized:
             futures = [
                 actor.submit("evaluate", None, self.eval_max_batches)
@@ -510,6 +589,8 @@ class Engine:
         if self._shutdown_done:
             return
         self._shutdown_done = True
+        if self.pool is not None:
+            self.pool.stop()
         futures = []
         for actor in self.actors:
             try:

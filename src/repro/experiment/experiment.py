@@ -58,6 +58,17 @@ class Experiment:
         mode = self.spec.run_mode()
         engine = Engine.from_spec(self.spec, callbacks=self.callbacks)
         self.engine = engine
+        if (
+            mode == "async"
+            and self.spec.mode == "auto"
+            and self.spec.scheduler is None
+            and engine.pool is None
+        ):
+            # pool_size >= the trainer count degenerates to dedicated nodes
+            # (the spec alone cannot know the trainer count): with no policy
+            # named, auto falls back to synchronous rounds exactly as it
+            # would without pool_size, instead of silently going async
+            mode = "rounds"
         start = time.perf_counter()
         try:
             if mode == "async":

@@ -258,11 +258,20 @@ class ExperimentSpec:
     scheduler: Any = None
     #: "rounds" forces the synchronous barrier loop, "async" the scheduler
     #: runtime; "auto" runs async exactly when a scheduler is configured
+    #: (or pooled execution, which always runs on the scheduler runtime)
     mode: str = "auto"
     seed: int = 0
     #: async run length in applied client updates (null: global_rounds x
     #: trainer count, the scheduler default)
     total_updates: Optional[int] = None
+    #: cohort size override injected into the topology (flat topologies'
+    #: ``num_clients``); null keeps the topology's own setting
+    num_clients: Optional[int] = None
+    #: simulate the cohort on this many reusable worker nodes instead of one
+    #: dedicated node per client (null: dedicated).  A pool >= the trainer
+    #: count degenerates to dedicated execution; a smaller pool bounds
+    #: memory/threads by the pool while staying bit-identical to dedicated
+    pool_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         _freeze(self, "topology_kwargs", _plain(self.topology_kwargs or {}))
@@ -280,12 +289,20 @@ class ExperimentSpec:
             raise SpecError(f"mode must be one of {_MODES}, got {self.mode!r}")
         if self.total_updates is not None and self.total_updates < 1:
             raise SpecError("total_updates must be >= 1 (or null)")
+        if self.num_clients is not None and self.num_clients < 1:
+            raise SpecError("num_clients must be >= 1 (or null)")
+        if self.pool_size is not None and self.pool_size < 1:
+            raise SpecError("pool_size must be >= 1 (or null)")
 
     # -- dispatch ----------------------------------------------------------
     def run_mode(self) -> str:
         """Resolve ``mode='auto'`` to the concrete execution mode."""
         if self.mode == "auto":
-            return "async" if self.scheduler is not None else "rounds"
+            # pooled cohorts have no collective rounds: the scheduler
+            # runtime (default policy if none is named) is the only path
+            if self.scheduler is not None or self.pool_size is not None:
+                return "async"
+            return "rounds"
         return self.mode
 
     # -- serialization -----------------------------------------------------
@@ -302,6 +319,8 @@ class ExperimentSpec:
             "mode": self.mode,
             "seed": self.seed,
             "total_updates": self.total_updates,
+            "num_clients": self.num_clients,
+            "pool_size": self.pool_size,
         }
         _check_serializable(out, "spec")
         return out
@@ -414,6 +433,12 @@ class ExperimentSpec:
             total_updates=(
                 int(cfg["total_updates"]) if cfg.get("total_updates") is not None else None
             ),
+            num_clients=(
+                int(cfg["num_clients"]) if cfg.get("num_clients") is not None else None
+            ),
+            pool_size=(
+                int(cfg["pool_size"]) if cfg.get("pool_size") is not None else None
+            ),
         )
 
 
@@ -454,6 +479,8 @@ def spec_from_parts(
     scheduler: Any = None,
     mode: str = "auto",
     total_updates: Optional[int] = None,
+    num_clients: Optional[int] = None,
+    pool_size: Optional[int] = None,
 ) -> ExperimentSpec:
     """Assemble an :class:`ExperimentSpec` from flat engine-style kwargs."""
     return ExperimentSpec(
@@ -495,6 +522,8 @@ def spec_from_parts(
         mode=mode,
         seed=seed,
         total_updates=total_updates,
+        num_clients=num_clients,
+        pool_size=pool_size,
     )
 
 
@@ -553,10 +582,18 @@ def resolve_topology(spec: ExperimentSpec) -> Any:
     from repro.topology.base import build_topology
 
     ref = spec.topology
+    kw = dict(spec.topology_kwargs)
+    if spec.num_clients is not None:
+        if not isinstance(ref, (str, Mapping)):
+            raise SpecError(
+                "num_clients cannot override an opaque topology object; "
+                "set the cohort size on the object itself"
+            )
+        kw["num_clients"] = int(spec.num_clients)
     if isinstance(ref, str):
-        return build_topology(ref, **dict(spec.topology_kwargs))
+        return build_topology(ref, **kw)
     if isinstance(ref, Mapping):
-        return instantiate(dict(ref), **dict(spec.topology_kwargs))
+        return instantiate(dict(ref), **kw)
     return ref
 
 

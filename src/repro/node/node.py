@@ -24,9 +24,11 @@ from repro.node.codec import decode_update, encode_update
 from repro.nn import functional as F
 from repro.nn.serialization import state_dict_to_vector, vector_to_state_dict
 from repro.nn.tensor import Tensor, no_grad
+from repro.engine.client_state import ClientSnapshot
 from repro.privacy.dp import DifferentialPrivacy
 from repro.topology.base import NodeRole, NodeSpec
 from repro.utils.logging import get_logger
+from repro.utils.seeding import DATA_STREAM, FAULT_STREAM, client_rng
 
 __all__ = ["Node"]
 
@@ -65,11 +67,23 @@ class Node:
         self.straggler_prob = float(straggler_prob)
         self.straggler_delay = float(straggler_delay)
         self.comms: Dict[str, Communicator] = {}
-        self._rng = np.random.default_rng((seed, spec.index, 0xA110))
-        self._loader_rng = np.random.default_rng((seed, spec.index, 0xDA7A))
+        self.seed = int(seed)
+        # random streams are keyed by the *logical client id* — the data
+        # shard this node trains — never by node index or worker slot, so
+        # draws are identical whether the client runs on a dedicated node
+        # or a shared pool worker (non-trainers get a collision-free
+        # negative id; their streams are never drawn from)
+        self.client_id = spec.shard if spec.shard is not None else -(spec.index + 1)
+        self._rng = client_rng(seed, self.client_id, FAULT_STREAM)
+        self._loader_rng = client_rng(seed, self.client_id, DATA_STREAM)
         self.global_state: Optional[Dict[str, np.ndarray]] = None
         self.last_train_stats: Dict[str, float] = {}
         self._local_setup_done = False
+        # pristine plugin state, captured before any use: what a first-turn
+        # pool client starts from (reset() is not equivalent — e.g. DGC's
+        # sampling stream survives reset, a fresh instance's does not)
+        self._comp_pristine = compressor.export_state() if compressor is not None else None
+        self._dp_pristine = dp.export_state() if dp is not None else None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -111,6 +125,95 @@ class Node:
         if self.role.trains():
             self.algorithm.setup_client(self)
         self._local_setup_done = True
+
+    # ------------------------------------------------------------------
+    # client-pool turns: adopt / hand back a logical client's identity
+    # ------------------------------------------------------------------
+    def pool_baseline(self) -> Dict[str, Any]:
+        """Pristine post-setup state a first-turn client starts from.
+
+        Captured once per pool (all workers are constructed identically from
+        the same seeded factories, so any worker's baseline serves them all).
+        """
+        assert self._local_setup_done, "capture the baseline after setup_local"
+        return {
+            "algo": self.algorithm.export_client_state(),
+            "model": self.model.state_dict(),
+        }
+
+    def begin_client_turn(
+        self,
+        client_id: int,
+        snapshot: Optional[ClientSnapshot],
+        train_dataset: Optional[Dataset],
+        baseline: Dict[str, Any],
+    ) -> None:
+        """Become logical client ``client_id`` for one turn.
+
+        Every piece of per-client state is overwritten — algorithm attrs,
+        persistent model entries, plugin state, random streams, the data
+        view — so worker reuse can never leak one client into another, even
+        after a failed turn.  ``snapshot=None`` is a client's first turn: it
+        starts from the pool ``baseline`` with streams derived fresh from
+        ``(run_seed, client_id)``.
+        """
+        import copy as _copy
+
+        self.client_id = int(client_id)
+        self.train_dataset = train_dataset
+        keys = self.algorithm.persistent_model_keys(self.model)
+        if snapshot is None:
+            self._rng = client_rng(self.seed, client_id, FAULT_STREAM)
+            self._loader_rng = client_rng(self.seed, client_id, DATA_STREAM)
+            self.algorithm.import_client_state(_copy.deepcopy(baseline["algo"]))
+            model_state = baseline["model"]
+            self.last_train_stats = {}
+            if self.compressor is not None:
+                self.compressor.reset()
+                self.compressor.import_state(_copy.deepcopy(self._comp_pristine))
+            if self.dp is not None:
+                self.dp.import_state(_copy.deepcopy(self._dp_pristine))
+        else:
+            self._rng = np.random.default_rng()
+            self._rng.bit_generator.state = snapshot.fault_rng
+            self._loader_rng = np.random.default_rng()
+            self._loader_rng.bit_generator.state = snapshot.loader_rng
+            self.algorithm.import_client_state(snapshot.algo)
+            model_state = snapshot.model
+            self.last_train_stats = dict(snapshot.stats)
+            if self.compressor is not None and snapshot.compressor is not None:
+                self.compressor.import_state(snapshot.compressor)
+            if self.dp is not None and snapshot.dp is not None:
+                self.dp.import_state(snapshot.dp)
+        if keys is None:
+            restore = model_state
+        else:
+            restore = {k: model_state[k] for k in keys if k in model_state}
+        if restore:
+            self.model.load_state_dict(restore, strict=False)
+
+    def end_client_turn(self, turns: int = 0) -> ClientSnapshot:
+        """Hand the current client's identity back as a snapshot."""
+        keys = self.algorithm.persistent_model_keys(self.model)
+        if keys is None:
+            model_state = self.model.state_dict()
+        elif keys:
+            full = self.model.state_dict()
+            model_state = OrderedDict((k, full[k]) for k in keys)
+        else:
+            model_state = OrderedDict()
+        snapshot = ClientSnapshot(
+            algo=self.algorithm.export_client_state(),
+            model=model_state,
+            fault_rng=self._rng.bit_generator.state,
+            loader_rng=self._loader_rng.bit_generator.state,
+            compressor=self.compressor.export_state() if self.compressor is not None else None,
+            dp=self.dp.export_state() if self.dp is not None else None,
+            stats=dict(self.last_train_stats),
+            turns=int(turns) + 1,
+        )
+        self.train_dataset = None  # release the data view with the turn
+        return snapshot
 
     def shutdown(self) -> None:
         for gname, comm in self.comms.items():

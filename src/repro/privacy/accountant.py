@@ -31,6 +31,13 @@ class PrivacyAccountant:
             raise ValueError("epsilon must be positive")
         self.releases.append((float(epsilon), float(delta)))
 
+    # per-client ledger swap for pooled execution
+    def export_state(self) -> dict:
+        return {"releases": list(self.releases)}
+
+    def import_state(self, state: dict) -> None:
+        self.releases = list(state["releases"])
+
     @property
     def steps(self) -> int:
         return len(self.releases)

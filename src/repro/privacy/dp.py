@@ -93,6 +93,19 @@ class DifferentialPrivacy:
         self.accountant.record_release(self.epsilon, self.delta)
         return out
 
+    # -- client-pool state swap ------------------------------------------------
+    # noise draws and the privacy ledger belong to the logical client, not
+    # to whichever pool worker happens to run its turn
+    def export_state(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "accountant": self.accountant.export_state(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.accountant.import_state(state["accountant"])
+
     def __repr__(self) -> str:
         return (
             f"DifferentialPrivacy(eps={self.epsilon}, delta={self.delta}, "

@@ -86,6 +86,7 @@ class Scheduler:
 
         # runtime state, populated by bind()/run()
         self.engine: Optional["Engine"] = None
+        self.runtime: Optional[Any] = None  # ClientRuntime: id -> actor/pool
         self.metrics: Optional["MetricsCollector"] = None
         self.tier = "global"  # "site" when bound as a nested per-site policy
         self.selector: Optional[SelectionStrategy] = None
@@ -183,9 +184,18 @@ class Scheduler:
         self.discount = build_staleness(self._staleness_spec, **self._staleness_kwargs)
         self.hetero = HeterogeneityModel.from_config(self._hetero_cfg, seed=seed)
         if clients is not None:
+            # scoped binding: the coordinator addresses engine nodes directly
             self.clients = [int(c) for c in clients]
+            self.runtime = engine.node_runtime(self.clients)
         else:
-            self.clients = [n.spec.index for n in engine.nodes if n.role.trains()]
+            # flat binding: logical client ids (data-shard indices), served
+            # by the engine's client runtime — a dedicated actor per client,
+            # or the shared worker pool in pooled execution.  Either way the
+            # ids (and so every selection/heterogeneity stream keyed on
+            # them) are identical, which is what makes pooled runs
+            # bit-reproduce dedicated ones.
+            self.runtime = engine.client_runtime()
+            self.clients = list(self.runtime.client_ids())
         if server_idx is not None:
             self._server_idx = int(server_idx)
             if not engine.nodes[self._server_idx].role.aggregates():
@@ -274,8 +284,9 @@ class Scheduler:
             future = None
         else:
             payload = self.server.algorithm.server_payload(self.global_state)
-            future = self.engine.actors[self._node_pos[client]].submit(
-                "local_update", payload, self.version, self.version
+            assert self.runtime is not None
+            future = self.runtime.submit(
+                client, "local_update", payload, self.version, self.version
             )
         event = PendingUpdate(
             arrival=self.now + latency,

@@ -170,7 +170,12 @@ class GossipScheduler(Scheduler):
                 "deltas/variates"
             )
         topo = engine.topology
-        self.peers = list(self.clients)
+        # peers are engine *node indices* (the graph/mixing-matrix id space),
+        # pinned explicitly so they stay correct regardless of the id space
+        # the flat binding hands out (decentralized runs are dedicated-node
+        # by construction: every peer owns a live model replica)
+        self.peers = [n.spec.index for n in engine.nodes if n.role.trains()]
+        self.clients = list(self.peers)
         neighbor_map = topo.neighbor_map()
         self._neighbors = {
             p: [j for j in neighbor_map.get(p, []) if j != p] for p in self.peers

@@ -1,0 +1,43 @@
+"""Per-client random stream derivation.
+
+Every logical client owns independent random streams derived by hashing
+``(run_seed, client_id, stream)`` through :class:`numpy.random.SeedSequence`.
+Keying on the *logical client id* (the data-shard index) — never on a node
+index or worker slot — is what makes results reproducible across execution
+modes: a cohort simulated on a bounded pool of reusable workers draws exactly
+the same randomness as one with a dedicated node per client, in any dispatch
+order.
+
+Stream constants separate the independent per-client streams (fault coins vs.
+loader shuffles) so draws from one can never alias draws from another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FAULT_STREAM",
+    "DATA_STREAM",
+    "client_seed_sequence",
+    "client_rng",
+]
+
+#: stream ids (arbitrary distinct constants, stable across releases —
+#: changing them changes every seeded run)
+FAULT_STREAM = 0xA110  # dropout / straggler coins
+DATA_STREAM = 0xDA7A  # dataloader shuffling
+
+#: offset making negative ids (internal: non-trainer nodes) hashable —
+#: SeedSequence entropy must be non-negative
+_ID_OFFSET = 0x8000_0000
+
+
+def client_seed_sequence(run_seed: int, client_id: int, stream: int) -> np.random.SeedSequence:
+    """Hash ``(run_seed, client_id)`` plus a stream id into a SeedSequence."""
+    return np.random.SeedSequence((int(run_seed), int(client_id) + _ID_OFFSET, int(stream)))
+
+
+def client_rng(run_seed: int, client_id: int, stream: int) -> np.random.Generator:
+    """A fresh generator for one of a logical client's random streams."""
+    return np.random.default_rng(client_seed_sequence(run_seed, client_id, stream))

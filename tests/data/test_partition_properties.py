@@ -1,0 +1,163 @@
+"""Property tests for the client partitioners (hypothesis).
+
+The invariants the pool's lazy data views (and everything above them) rely
+on: every partitioner returns exactly ``n_clients`` non-empty shards that
+are pairwise disjoint and cover the dataset exactly once, and the Dirichlet
+partitioner's label skew responds monotonically to ``alpha`` — small alpha
+concentrates classes on few clients, large alpha approaches the IID mix.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_skew_partition,
+    quantity_skew_partition,
+)
+from repro.data.views import ClientDataProvider
+from repro.data.registry import build_datamodule
+
+# partitions are one-shot combinatorial code: a generous deadline avoids
+# flaking on slow CI workers without weakening the properties
+_SETTINGS = dict(deadline=2000, max_examples=40)
+
+
+def assert_exact_cover(parts, n_samples, n_clients):
+    __tracebackhide__ = True
+    assert len(parts) == n_clients, "one shard per client"
+    allidx = np.concatenate(parts)
+    assert len(allidx) == n_samples, "every sample assigned exactly once"
+    assert len(np.unique(allidx)) == n_samples, "shards are pairwise disjoint"
+    assert all(len(p) > 0 for p in parts), "no client is empty"
+    assert allidx.min() >= 0 and allidx.max() < n_samples, "indices in range"
+
+
+@st.composite
+def labels_and_clients(draw):
+    n_classes = draw(st.integers(min_value=2, max_value=8))
+    n_clients = draw(st.integers(min_value=1, max_value=12))
+    # enough samples that every client can get at least one
+    n_samples = draw(st.integers(min_value=max(n_clients, n_classes), max_value=400))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    return labels, n_clients, rng
+
+
+@given(
+    n_samples=st.integers(min_value=1, max_value=500),
+    n_clients=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(**_SETTINGS)
+def test_iid_partition_properties(n_samples, n_clients, seed):
+    rng = np.random.default_rng(seed)
+    if n_samples < n_clients:
+        np.testing.assert_raises(ValueError, iid_partition, n_samples, n_clients, rng)
+        return
+    parts = iid_partition(n_samples, n_clients, rng)
+    assert_exact_cover(parts, n_samples, n_clients)
+    sizes = sorted(len(p) for p in parts)
+    assert sizes[-1] - sizes[0] <= 1, "iid splits are as even as possible"
+
+
+@given(data=labels_and_clients(), alpha=st.floats(min_value=0.05, max_value=50.0))
+@settings(**_SETTINGS)
+def test_dirichlet_partition_properties(data, alpha):
+    labels, n_clients, rng = data
+    parts = dirichlet_partition(labels, n_clients, alpha=alpha, rng=rng)
+    assert_exact_cover(parts, len(labels), n_clients)
+
+
+@given(data=labels_and_clients())
+@settings(**_SETTINGS)
+def test_quantity_skew_partition_properties(data):
+    labels, n_clients, rng = data
+    parts = quantity_skew_partition(len(labels), n_clients, alpha=0.5, rng=rng)
+    assert_exact_cover(parts, len(labels), n_clients)
+
+
+@given(
+    n_clients=st.integers(min_value=1, max_value=8),
+    classes_per_client=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(**_SETTINGS)
+def test_label_skew_partition_properties(n_clients, classes_per_client, seed):
+    rng = np.random.default_rng(seed)
+    n_samples = n_clients * classes_per_client * 5
+    labels = rng.integers(0, 4, size=n_samples)
+    parts = label_skew_partition(labels, n_clients, classes_per_client, rng)
+    assert_exact_cover(parts, n_samples, n_clients)
+
+
+# --------------------------------------------------------------------------
+# dirichlet skew responds monotonically to alpha
+# --------------------------------------------------------------------------
+def _label_skew(labels, parts) -> float:
+    """Mean total-variation distance between each client's label mix and
+    the global mix (0 = perfectly IID, -> 1 as clients specialize)."""
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    global_mix = np.array([(labels == c).mean() for c in classes])
+    distances = []
+    for p in parts:
+        mine = labels[p]
+        mix = np.array([(mine == c).mean() for c in classes])
+        distances.append(0.5 * np.abs(mix - global_mix).sum())
+    return float(np.mean(distances))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(deadline=5000, max_examples=15)
+def test_dirichlet_skew_monotone_in_alpha(seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 5, size=2000)
+    alphas = [0.05, 0.5, 5.0, 100.0]
+    # average over several partition draws: per-draw skew is noisy, the
+    # monotone trend in expectation is the contract
+    skews = []
+    for alpha in alphas:
+        draws = [
+            _label_skew(
+                labels,
+                dirichlet_partition(labels, 10, alpha, np.random.default_rng((seed, rep))),
+            )
+            for rep in range(5)
+        ]
+        skews.append(float(np.mean(draws)))
+    assert skews == sorted(skews, reverse=True), (
+        f"label skew must fall as alpha grows: {dict(zip(alphas, skews))}"
+    )
+    # and the extremes are genuinely far apart
+    assert skews[0] > skews[-1] + 0.1
+
+
+# --------------------------------------------------------------------------
+# lazy views deliver exactly the eager shards
+# --------------------------------------------------------------------------
+def test_client_data_provider_matches_eager_partition():
+    dm = build_datamodule("blobs", train_size=256, test_size=32)
+    provider = ClientDataProvider(dm, 8, "dirichlet", alpha=0.5, seed=3)
+    eager = dm.partition(8, "dirichlet", alpha=0.5, seed=3)
+    for client in range(8):
+        view = provider.view(client)
+        assert len(view) == len(eager[client])
+        np.testing.assert_array_equal(view.indices, eager[client].indices)
+
+
+def test_client_data_provider_feature_shift_matches_eager_spawn():
+    dm = build_datamodule("cifar10", train_size=128, test_size=32)
+    provider = ClientDataProvider(dm, 4, "iid", seed=5, feature_noniid=0.3)
+    eager = dm.partition(4, "iid", seed=5)
+    for client in range(4):
+        view = provider.view(client)
+        shift = dm.feature_shift_for(client, 0.3)
+        expected = eager[client].dataset.spawn(
+            len(eager[client]), seed=5 + 1000 + client, feature_shift=shift
+        )
+        np.testing.assert_array_equal(view[0][0], expected[0][0])
+        assert len(view) == len(expected)
