@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Live ops endpoint walkthrough: scrape a run while it trains.
+
+Attaches a :class:`repro.Telemetry` callback with ``serve=True`` to an
+asynchronous fedbuff run, scrapes ``/health``, ``/metrics`` and ``/runs``
+from inside the process mid-run the way an external Prometheus scraper
+would, then writes the dual-clock Chrome trace for Perfetto.
+
+Run:  python examples/ops_endpoint.py [--port 9100]
+
+Env:
+  OPS_HOLD=<seconds>  keep the endpoint (and process) alive after the run
+                      finishes — lets an external ``curl`` reach it (used
+                      by the CI ops-smoke job).
+  EXAMPLES_SMOKE=1    reduced settings.
+"""
+
+import argparse
+import json
+import os
+import time
+import urllib.request
+
+from repro import (
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    SchedulerSpec,
+    Telemetry,
+    TrainSpec,
+)
+from repro.engine.callbacks import Callback
+
+SMOKE = bool(int(os.environ.get("EXAMPLES_SMOKE", "0")))
+HOLD = float(os.environ.get("OPS_HOLD", "0"))
+TOTAL_UPDATES = 8 if SMOKE else 32
+TRACE_PATH = "/tmp/repro-ops-trace.json"
+
+
+def build_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": 8,
+            "inner_comm": {"backend": "torchdist", "master_port": 29620},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 256, "test_size": 64},
+                      batch_size=32),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [32]},
+                        global_rounds=4),
+        scheduler=SchedulerSpec(
+            name="fedbuff",
+            kwargs={"buffer_size": 4,
+                    "heterogeneity": {"latency": "lognormal", "mean": 0.5,
+                                      "sigma": 0.5}},
+        ),
+        total_updates=TOTAL_UPDATES,
+        seed=0,
+    )
+
+
+def fetch(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.read().decode("utf8")
+
+
+class MidRunScrape(Callback):
+    """Scrapes the endpoint once, partway through the run."""
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self.done = False
+
+    def on_update(self, record, metrics) -> None:
+        if self.done or len(metrics.history) < 2:
+            return
+        self.done = True
+        base = self.telemetry.server.url
+        health = json.loads(fetch(base + "/health"))
+        print(f"\n--- mid-run scrape of {base} ---")
+        print("health:", health)
+        exposition = fetch(base + "/metrics")
+        wanted = ("repro_updates_applied_total", "repro_event_queue_depth",
+                  "repro_sim_time_seconds", "repro_turns_dispatched")
+        for line in exposition.splitlines():
+            if line.startswith(wanted):
+                print("metrics:", line)
+        (run,) = json.loads(fetch(base + "/runs"))
+        print(f"runs: {run['run_id']} status={run['status']} "
+              f"rounds={run['rounds']} fingerprint={run['fingerprint']}\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=0,
+                        help="ops endpoint port (0 = ephemeral)")
+    args = parser.parse_args()
+
+    tel = Telemetry(trace_path=TRACE_PATH, serve=True, port=args.port)
+    spec = build_spec()
+    result = Experiment(spec, callbacks=[tel, MidRunScrape(tel)]).run()
+
+    print(result.table())
+    print("summary:", {k: result.summary()[k]
+                       for k in ("rounds", "applied_updates", "sim_makespan",
+                                 "stop_reason")})
+    print(f"trace: {TRACE_PATH} ({len(tel.tracer)} events) — open in "
+          "https://ui.perfetto.dev")
+
+    if HOLD > 0:
+        # re-serve the final registry so an external scraper can reach it
+        # (Telemetry stopped its server at shutdown)
+        from repro.telemetry import GLOBAL_RUNS, OpsServer
+
+        with OpsServer(registry=tel.registry, runs=GLOBAL_RUNS,
+                       port=args.port) as srv:
+            print(f"holding ops endpoint at {srv.url} for {HOLD:.0f}s")
+            time.sleep(HOLD)
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ from repro.experiment import (
     TrainSpec,
 )
 from repro.models import MODELS, build_model
+from repro.telemetry import MetricsRegistry, OpsServer, Telemetry, Tracer
 from repro.topology import TOPOLOGIES, build_topology
 
 __version__ = "0.2.0"
@@ -51,6 +52,10 @@ __all__ = [
     "EarlyStopping",
     "Checkpoint",
     "CSVLogger",
+    "Telemetry",
+    "Tracer",
+    "MetricsRegistry",
+    "OpsServer",
     "ALGORITHMS",
     "build_algorithm",
     "COMPRESSORS",

@@ -171,7 +171,14 @@ class Checkpoint(Callback):
 
 
 class CSVLogger(Callback):
-    """Append one CSV row per record (every tier) to ``path``."""
+    """Append one CSV row per record (every tier) to ``path``.
+
+    The logger survives reuse: after ``on_shutdown`` closes the file, a
+    later run with the same callback *appends* to it instead of truncating
+    the earlier rows (the header is written once).  ``append=True`` extends
+    that to the very first open, continuing a file left by a previous
+    process.
+    """
 
     FIELDS = [
         "round", "tier", "train_loss", "train_accuracy", "eval_loss",
@@ -179,18 +186,26 @@ class CSVLogger(Callback):
         "sim_comm_seconds", "bytes_sent", "wall_seconds",
     ]
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, append: bool = False) -> None:
         self.path = path
+        self.append = bool(append)
         self._fh: Optional[IO[str]] = None
         self._writer: Optional[Any] = None
+        self._opened_once = False
 
     def _ensure_open(self) -> Any:
         if self._writer is None:
             parent = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(parent, exist_ok=True)
-            self._fh = open(self.path, "w", newline="", encoding="utf8")
+            # truncate only on the first open of a non-append logger; any
+            # reopen (a continuation run after on_shutdown) must keep the
+            # rows the previous run wrote
+            mode = "a" if (self.append or self._opened_once) else "w"
+            self._fh = open(self.path, mode, newline="", encoding="utf8")
             self._writer = csv.DictWriter(self._fh, fieldnames=self.FIELDS)
-            self._writer.writeheader()
+            if self._fh.tell() == 0:
+                self._writer.writeheader()
+            self._opened_once = True
         return self._writer
 
     def on_update(self, record: RoundRecord, metrics: MetricsCollector) -> None:

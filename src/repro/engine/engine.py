@@ -35,6 +35,7 @@ from repro.node.node import Node
 from repro.privacy.dp import DifferentialPrivacy
 from repro.scheduler.base import Scheduler, build_scheduler
 from repro.scheduler.selection import build_selector
+from repro.telemetry.tracer import NOOP_TRACER
 from repro.topology.base import NodeRole, NodeSpec, Topology
 from repro.utils.logging import get_logger
 from repro.utils.timer import SimClock
@@ -157,6 +158,10 @@ class Engine:
         self.seed = seed
         self.metrics = MetricsCollector()
         self.sim_clock = SimClock()
+        # the Telemetry callback swaps in a recording tracer at setup; every
+        # hook site reads this attribute per call, so the default costs one
+        # no-op dispatch and nothing else
+        self.tracer = NOOP_TRACER
         self.selector = build_selector(
             spec.faults.selection, seed=seed, **dict(spec.faults.selection_kwargs)
         )
@@ -360,7 +365,12 @@ class Engine:
             return
         self._callbacks_setup_fired = True
         for cb in self.metrics.callbacks:
-            cb.on_setup(self)
+            # lifecycle hooks are isolated like the record hooks in
+            # MetricsCollector.add: one broken observer must not kill the run
+            try:
+                cb.on_setup(self)
+            except Exception:  # noqa: BLE001 - observer errors never abort
+                _LOG.exception("callback %s failed in on_setup", type(cb).__name__)
 
     def setup(self) -> None:
         if self._setup_done:
@@ -416,11 +426,12 @@ class Engine:
         pattern = self.topology.pattern
         participants = self._select_participants(round_idx)
         start = time.perf_counter()
-        futures = [
-            actor.submit("run_round", round_idx, pattern, node.spec.index in participants)
-            for node, actor in zip(self.nodes, self.actors)
-        ]
-        results = wait_all(futures, timeout=600)
+        with self.tracer.span("engine.round", cat="engine", round=round_idx):
+            futures = [
+                actor.submit("run_round", round_idx, pattern, node.spec.index in participants)
+                for node, actor in zip(self.nodes, self.actors)
+            ]
+            results = wait_all(futures, timeout=600)
         wall = time.perf_counter() - start
 
         record = RoundRecord(round_idx=round_idx, wall_seconds=wall)
@@ -546,30 +557,31 @@ class Engine:
 
     def evaluate(self) -> tuple:
         """(loss, accuracy) under the algorithm's evaluation convention."""
-        personalized = any(
-            n.algorithm.personalized_eval for n in self.nodes if n.role.trains()
-        )
-        if personalized and self.pool is not None:
-            # each logical client's own model, swapped through the pool
-            return self.pool.evaluate_all(self.eval_max_batches)
-        if personalized:
-            futures = [
-                actor.submit("evaluate", None, self.eval_max_batches)
-                for node, actor in zip(self.nodes, self.actors)
-                if node.role.trains()
-            ]
-            results = wait_all(futures, timeout=300)
-            losses = [r[0] for r in results]
-            accs = [r[1] for r in results]
-            return float(np.mean(losses)), float(np.mean(accs))
-        state = self.global_state()
-        evaluator = next(
-            (i for i, n in enumerate(self.nodes) if n.role is NodeRole.AGGREGATOR),
-            0,
-        )
-        return self.actors[evaluator].call(
-            "evaluate", state, self.eval_max_batches, timeout=300
-        )
+        with self.tracer.span("engine.evaluate", cat="engine"):
+            personalized = any(
+                n.algorithm.personalized_eval for n in self.nodes if n.role.trains()
+            )
+            if personalized and self.pool is not None:
+                # each logical client's own model, swapped through the pool
+                return self.pool.evaluate_all(self.eval_max_batches)
+            if personalized:
+                futures = [
+                    actor.submit("evaluate", None, self.eval_max_batches)
+                    for node, actor in zip(self.nodes, self.actors)
+                    if node.role.trains()
+                ]
+                results = wait_all(futures, timeout=300)
+                losses = [r[0] for r in results]
+                accs = [r[1] for r in results]
+                return float(np.mean(losses)), float(np.mean(accs))
+            state = self.global_state()
+            evaluator = next(
+                (i for i, n in enumerate(self.nodes) if n.role is NodeRole.AGGREGATOR),
+                0,
+            )
+            return self.actors[evaluator].call(
+                "evaluate", state, self.eval_max_batches, timeout=300
+            )
 
     # ------------------------------------------------------------------
     def comm_summary(self) -> Dict[str, Dict[str, float]]:
@@ -605,7 +617,10 @@ class Engine:
             for actor in self.actors:
                 actor.stop()
         for cb in self.metrics.callbacks:
-            cb.on_shutdown(self)
+            try:
+                cb.on_shutdown(self)
+            except Exception:  # noqa: BLE001 - observer errors never abort
+                _LOG.exception("callback %s failed in on_shutdown", type(cb).__name__)
 
     def __enter__(self) -> "Engine":
         try:

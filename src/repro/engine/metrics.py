@@ -15,12 +15,16 @@ from __future__ import annotations
 import numbers
 import statistics
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.callbacks import Callback
 
 __all__ = ["RoundRecord", "MetricsCollector", "StopRun"]
+
+_LOG = get_logger("metrics")
 
 
 class StopRun(Exception):
@@ -145,14 +149,36 @@ class MetricsCollector:
         """
         self.stop_requested = False
 
+    def _fire(self, hook: Callable[[RoundRecord, "MetricsCollector"], None],
+              record: RoundRecord) -> None:
+        """Run one callback hook, isolated.
+
+        A raising observer must not abort the run mid-aggregation: the
+        exception is logged and the record stream continues.  The sanctioned
+        way for a callback to end the run is :meth:`request_stop`, which the
+        tail of :meth:`add` turns into :class:`StopRun` — so a ``StopRun``
+        raised *directly* from a hook is honored as that same request rather
+        than swallowed.
+        """
+        try:
+            hook(record, self)
+        except StopRun as stop:
+            self.request_stop(stop.reason)
+        except Exception:  # noqa: BLE001 - observer errors never abort
+            owner = getattr(hook, "__self__", hook)
+            _LOG.exception(
+                "callback %s failed in %s; continuing the run",
+                type(owner).__name__, getattr(hook, "__name__", hook),
+            )
+
     def add(self, record: RoundRecord) -> None:
         self.history.append(record)
         for cb in self.callbacks:
-            cb.on_update(record, self)
+            self._fire(cb.on_update, record)
             if record.eval_accuracy is not None or record.eval_loss is not None:
-                cb.on_evaluate(record, self)
+                self._fire(cb.on_evaluate, record)
             if record.tier == "global":
-                cb.on_round_end(record, self)
+                self._fire(cb.on_round_end, record)
         if self.stop_requested:
             raise StopRun(self.stop_reason or "stop requested")
 
@@ -195,6 +221,9 @@ class MetricsCollector:
             "total_sim_comm_seconds": sum(r.sim_comm_seconds for r in self.history),
             "sim_makespan": self.sim_makespan(),
             "applied_updates": self.total_applied(),
+            # why the last run ended (None: ran to completion) — lets ops
+            # consumers tell an early stop from a finished run
+            "stop_reason": self.stop_reason,
         }
 
     def table(self) -> str:

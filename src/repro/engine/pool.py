@@ -264,19 +264,24 @@ class ClientPool(ClientRuntime):
 
     def _run_turn(self, node, ticket: PoolTicket) -> Any:
         """Inject state -> run -> extract state, on the worker's thread."""
+        tracer = self._engine.tracer
         snapshot = self.store.get(ticket.client)
         dataset = self._data.view(ticket.client) if ticket.needs_data else None
         assert self._baseline is not None
-        node.begin_client_turn(ticket.client, snapshot, dataset, self._baseline)
+        with tracer.span("pool.swap_in", cat="pool", client=ticket.client):
+            node.begin_client_turn(ticket.client, snapshot, dataset, self._baseline)
         try:
-            return getattr(node, ticket.method)(*ticket.args, **ticket.kwargs)
+            with tracer.span("pool.turn", cat="pool",
+                             client=ticket.client, method=ticket.method):
+                return getattr(node, ticket.method)(*ticket.args, **ticket.kwargs)
         finally:
             # extract even after a failed turn: the client keeps whatever
             # state the failure left (dedicated-node semantics), and the
             # next begin_client_turn fully re-initializes the worker either
             # way, so reuse cannot leak state across clients
             turns = snapshot.turns if snapshot is not None else 0
-            self.store.put(ticket.client, node.end_client_turn(turns))
+            with tracer.span("pool.swap_out", cat="pool", client=ticket.client):
+                self.store.put(ticket.client, node.end_client_turn(turns))
 
     def _on_turn_done(self, ticket: PoolTicket, worker: int, future) -> None:
         exc = future.exception()

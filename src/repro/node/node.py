@@ -26,6 +26,7 @@ from repro.nn.serialization import state_dict_to_vector, vector_to_state_dict
 from repro.nn.tensor import Tensor, no_grad
 from repro.engine.client_state import ClientSnapshot
 from repro.privacy.dp import DifferentialPrivacy
+from repro.telemetry.tracer import NOOP_TRACER
 from repro.topology.base import NodeRole, NodeSpec
 from repro.utils.logging import get_logger
 from repro.utils.seeding import DATA_STREAM, FAULT_STREAM, client_rng
@@ -78,6 +79,8 @@ class Node:
         self._loader_rng = client_rng(seed, self.client_id, DATA_STREAM)
         self.global_state: Optional[Dict[str, np.ndarray]] = None
         self.last_train_stats: Dict[str, float] = {}
+        # swapped for a recording tracer by the Telemetry callback at setup
+        self.tracer = NOOP_TRACER
         self._local_setup_done = False
         # pristine plugin state, captured before any use: what a first-turn
         # pool client starts from (reset() is not equivalent — e.g. DGC's
@@ -285,29 +288,36 @@ class Node:
         DP/compression encoding.  Returns (wire_state, meta, stats,
         reference); keeping sync and async on this single path is what makes
         their plugin semantics identical by construction."""
-        self.algorithm.on_round_start(self, payload, round_idx)
-        stats = self.algorithm.local_train(self, round_idx)
-        update, meta = self.algorithm.compute_update(self, round_idx)
+        tracer = self.tracer
+        with tracer.span("node.train", cat="node", client=self.client_id, round=round_idx):
+            self.algorithm.on_round_start(self, payload, round_idx)
+            stats = self.algorithm.local_train(self, round_idx)
+            update, meta = self.algorithm.compute_update(self, round_idx)
         reference = (
             self.algorithm._strip_payload(payload)
             if self.algorithm.uploads_full_state
             else None
         )
-        wire, extra = encode_update(update, compressor, self.dp, reference)
+        with tracer.span("codec.encode", cat="codec", client=self.client_id) as span:
+            wire, extra = encode_update(update, compressor, self.dp, reference)
+            if tracer.enabled:
+                span.set(bytes=int(sum(np.asarray(v).nbytes for v in wire.values())))
         meta = dict(meta)
         meta.update(extra)
         return wire, meta, stats, reference
 
-    @staticmethod
     def _decode_entries(
+        self,
         entries: List[Dict[str, Any]],
         compressor: Optional[Compressor],
         reference: Optional[Dict[str, np.ndarray]] = None,
     ) -> List[Dict[str, Any]]:
         out = []
-        for e in entries:
-            state = decode_update(e["state"], e.get("meta", {}), compressor, reference)
-            out.append({"rank": e["rank"], "state": state, "meta": e.get("meta", {})})
+        with self.tracer.span("codec.decode", cat="codec", node=self.name,
+                              entries=len(entries)):
+            for e in entries:
+                state = decode_update(e["state"], e.get("meta", {}), compressor, reference)
+                out.append({"rank": e["rank"], "state": state, "meta": e.get("meta", {})})
         return out
 
     # -- gossip: train -> exchange with neighbors -> mix --------------------
@@ -392,7 +402,8 @@ class Node:
         no wire), so plugin semantics are identical in both execution modes.
         """
         wire, meta, stats, reference = self._train_and_encode(payload, round_idx, self.compressor)
-        state = decode_update(wire, meta, self.compressor, reference)
+        with self.tracer.span("codec.decode", cat="codec", client=self.client_id):
+            state = decode_update(wire, meta, self.compressor, reference)
         for key in ("compressed", "comp_meta", "original_bytes", "spec", "delta_coded"):
             meta.pop(key, None)  # wire-format details; the state is decoded
         self.algorithm.on_round_end(self, round_idx)
@@ -411,9 +422,10 @@ class Node:
         *neighbor exchange* (:meth:`gossip_publish`), not to training — a
         peer's own state never crosses a link on this path.
         """
-        self.algorithm.on_round_start(self, dict(payload), step)
-        stats = self.algorithm.local_train(self, step)
-        self.algorithm.on_round_end(self, step)
+        with self.tracer.span("node.train", cat="node", client=self.client_id, round=step):
+            self.algorithm.on_round_start(self, dict(payload), step)
+            stats = self.algorithm.local_train(self, step)
+            self.algorithm.on_round_end(self, step)
         self.last_train_stats = stats
         return {
             "state": self.model.state_dict(),
@@ -432,9 +444,12 @@ class Node:
         wire form would have cost.
         """
         state = self.model.state_dict()
-        wire, meta = encode_update(state, self.compressor, self.dp, reference)
-        nbytes = int(sum(np.asarray(v).nbytes for v in wire.values()))
-        decoded = decode_update(wire, meta, self.compressor, reference)
+        with self.tracer.span("codec.encode", cat="codec", client=self.client_id) as span:
+            wire, meta = encode_update(state, self.compressor, self.dp, reference)
+            nbytes = int(sum(np.asarray(v).nbytes for v in wire.values()))
+            span.set(bytes=nbytes)
+        with self.tracer.span("codec.decode", cat="codec", client=self.client_id):
+            decoded = decode_update(wire, meta, self.compressor, reference)
         return {"state": decoded, "bytes": nbytes, "num_samples": int(self.num_samples)}
 
     def gossip_adopt(self, state: Mapping[str, np.ndarray]) -> None:
@@ -460,7 +475,11 @@ class Node:
         if one is configured on the head — its DP plugin, exactly like the
         synchronous hierarchical round (paper §3.4.5)."""
         assert self.role.aggregates() and self.global_state is not None
-        wire, extra = encode_update(self.global_state, self.outer_compressor, self.dp, reference)
+        tracer = self.tracer
+        with tracer.span("codec.encode", cat="codec", site_head=self.name) as span:
+            wire, extra = encode_update(self.global_state, self.outer_compressor, self.dp, reference)
+            if tracer.enabled:
+                span.set(bytes=int(sum(np.asarray(v).nbytes for v in wire.values())))
         meta = {"num_samples": int(num_samples), **extra}
         return wire, meta
 
@@ -471,7 +490,8 @@ class Node:
         reference: Optional[Dict[str, np.ndarray]],
     ) -> Dict[str, np.ndarray]:
         """Root-side inverse of :meth:`site_upload` (same outer compressor)."""
-        return decode_update(wire_state, meta, self.outer_compressor, reference)
+        with self.tracer.span("codec.decode", cat="codec", node=self.name):
+            return decode_update(wire_state, meta, self.outer_compressor, reference)
 
     # ------------------------------------------------------------------
     # evaluation

@@ -30,6 +30,7 @@ from repro.scheduler.events import EventQueue, PendingUpdate
 from repro.scheduler.heterogeneity import HeterogeneityModel
 from repro.scheduler.selection import SelectionStrategy, build_selector
 from repro.scheduler.staleness import StalenessFn, build_staleness
+from repro.telemetry.tracer import NOOP_TRACER
 from repro.topology.base import NodeRole
 from repro.utils.logging import get_logger
 from repro.utils.registry import Registry
@@ -242,6 +243,14 @@ class Scheduler:
     # shared runtime machinery
     # ------------------------------------------------------------------
     @property
+    def tracer(self):
+        """The engine's tracer, read per call: ``bind`` happens before the
+        setup callbacks fire, so a tracer captured at bind time would still
+        be the no-op default even when Telemetry later installs a real one."""
+        engine = self.engine
+        return engine.tracer if engine is not None else NOOP_TRACER
+
+    @property
     def server(self) -> "Node":
         assert self.engine is not None and self._server_idx is not None
         return self.engine.nodes[self._server_idx]
@@ -308,6 +317,11 @@ class Scheduler:
         """Block on an event's future, advance virtual time, free the client."""
         self.now = max(self.now, event.arrival)
         self._in_flight.pop(event.client, None)
+        self.tracer.sim_span(
+            "client.turn", event.dispatched_at, event.arrival, cat="sched",
+            track=f"client {event.client}", client=event.client,
+            version=event.version, dropped=event.dropped,
+        )
         if event.dropped:
             # nothing ever arrived: no stats, no loss signal for selection
             self.dropped += 1

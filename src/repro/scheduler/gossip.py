@@ -311,10 +311,13 @@ class GossipScheduler(Scheduler):
         if not targets:
             return
         assert self.engine is not None and self.edge_hetero is not None
-        pub = self.engine.actors[self._node_pos[peer]].call(
-            "gossip_publish", self.published[peer], timeout=_TRAIN_TIMEOUT
-        )
-        state, nbytes = pub["state"], int(pub["bytes"])
+        with self.tracer.span("gossip.publish", cat="gossip", sim_time=at,
+                              peer=peer, targets=len(targets)) as span:
+            pub = self.engine.actors[self._node_pos[peer]].call(
+                "gossip_publish", self.published[peer], timeout=_TRAIN_TIMEOUT
+            )
+            state, nbytes = pub["state"], int(pub["bytes"])
+            span.set(bytes=nbytes)
         self.published[peer] = state
         sent_steps = self.steps[peer]
         for target in targets:
@@ -355,39 +358,42 @@ class GossipScheduler(Scheduler):
         convex.  Integer buffers (e.g. BatchNorm counters) stay local,
         matching the synchronous gossip round.
         """
-        msgs, self.inbox[peer] = self.inbox[peer], []
-        latest: Dict[int, Dict[str, Any]] = {}
-        for m in msgs:
-            latest[int(m["sender"])] = m  # arrival order: newest wins
-        assert self.discount is not None
-        entries: List[Tuple[Dict[str, np.ndarray], float]] = []
-        taus: List[int] = []
-        total = 0.0
-        for sender in sorted(latest):
-            m = latest[sender]
-            tau = max(0, self.steps[sender] - int(m["sent_steps"]))
-            weight = float(m["weight"]) * self.discount(tau)
-            if weight <= 0.0:
-                continue
-            entries.append((m["state"], weight))
-            taus.append(tau)
-            total += weight
-        if total > 1.0:  # can't happen with latest-per-sender + stochastic rows
-            entries = [(s, w / total) for s, w in entries]
-            total = 1.0
-        self_weight = 1.0 - total
-        mixed: Dict[str, np.ndarray] = {}
-        for key, v in state.items():
-            arr = np.asarray(v)
-            if _is_float(arr):
-                acc = self_weight * arr.astype(np.float64)
-                for neighbor_state, weight in entries:
-                    acc = acc + weight * np.asarray(neighbor_state[key], dtype=np.float64)
-                mixed[key] = acc.astype(arr.dtype)
-            else:
-                mixed[key] = np.copy(arr)
-        self.peer_states[peer] = mixed
-        self.mixed_in += len(entries)
+        with self.tracer.span("gossip.mix", cat="gossip", sim_time=self.now,
+                              peer=peer) as span:
+            msgs, self.inbox[peer] = self.inbox[peer], []
+            latest: Dict[int, Dict[str, Any]] = {}
+            for m in msgs:
+                latest[int(m["sender"])] = m  # arrival order: newest wins
+            assert self.discount is not None
+            entries: List[Tuple[Dict[str, np.ndarray], float]] = []
+            taus: List[int] = []
+            total = 0.0
+            for sender in sorted(latest):
+                m = latest[sender]
+                tau = max(0, self.steps[sender] - int(m["sent_steps"]))
+                weight = float(m["weight"]) * self.discount(tau)
+                if weight <= 0.0:
+                    continue
+                entries.append((m["state"], weight))
+                taus.append(tau)
+                total += weight
+            if total > 1.0:  # can't happen with latest-per-sender + stochastic rows
+                entries = [(s, w / total) for s, w in entries]
+                total = 1.0
+            self_weight = 1.0 - total
+            mixed: Dict[str, np.ndarray] = {}
+            for key, v in state.items():
+                arr = np.asarray(v)
+                if _is_float(arr):
+                    acc = self_weight * arr.astype(np.float64)
+                    for neighbor_state, weight in entries:
+                        acc = acc + weight * np.asarray(neighbor_state[key], dtype=np.float64)
+                    mixed[key] = acc.astype(arr.dtype)
+                else:
+                    mixed[key] = np.copy(arr)
+            self.peer_states[peer] = mixed
+            self.mixed_in += len(entries)
+            span.set(merged=len(entries))
         return taus
 
     def _annotate(self, record: "RoundRecord") -> None:  # noqa: F821
@@ -423,10 +429,19 @@ class GossipScheduler(Scheduler):
             event = self.queue.pop()
             self.now = max(self.now, event.arrival)
             if event.value is not None:  # a neighbor message lands
+                self.tracer.sim_span(
+                    "gossip.msg", event.dispatched_at, event.arrival, cat="gossip",
+                    track=f"edge {event.value['sender']}->{event.client}",
+                    sender=event.value["sender"], receiver=event.client,
+                )
                 self.inbox[event.client].append(event.value)
                 continue
             peer = event.client
             self._in_flight.pop(peer, None)
+            self.tracer.sim_span(
+                "peer.train", event.dispatched_at, event.arrival, cat="gossip",
+                track=f"peer {peer}", peer=peer, dropped=event.dropped,
+            )
             if event.dropped:
                 # the peer's compute failed this cycle: nothing to publish
                 # or mix; retry from its current state
@@ -461,10 +476,19 @@ class GossipScheduler(Scheduler):
             event = self.queue.pop()
             barrier_time = max(barrier_time, event.arrival)
             if event.value is not None:
+                self.tracer.sim_span(
+                    "gossip.msg", event.dispatched_at, event.arrival, cat="gossip",
+                    track=f"edge {event.value['sender']}->{event.client}",
+                    sender=event.value["sender"], receiver=event.client,
+                )
                 self.inbox[event.client].append(event.value)
                 continue
             peer = event.client
             self._in_flight.pop(peer, None)
+            self.tracer.sim_span(
+                "peer.train", event.dispatched_at, event.arrival, cat="gossip",
+                track=f"peer {peer}", peer=peer, dropped=event.dropped,
+            )
             if event.dropped:
                 self.dropped += 1
                 continue

@@ -227,7 +227,9 @@ class HierarchicalScheduler(Scheduler):
         assert self.engine is not None and self.outer_hetero is not None
         inner = site.inner
         before = inner.applied
-        inner.run(self.updates_per_site_round or len(site.trainers))
+        with self.tracer.span("site.round", cat="hier", site=site.site,
+                              sim_time=inner.now, policy=inner.name):
+            inner.run(self.updates_per_site_round or len(site.trainers))
         applied = inner.applied - before
         recs = site.collector.history[site.hist_mark:]
         site.hist_mark = len(site.collector.history)
@@ -270,6 +272,11 @@ class HierarchicalScheduler(Scheduler):
         self.now = max(self.now, event.arrival)
         site = self._site_by_head[event.client]
         site.state = _IDLE
+        self.tracer.sim_span(
+            "site.upload", event.dispatched_at, event.arrival, cat="hier",
+            track=f"site {event.value['site']}", site=event.value["site"],
+            dropped=event.dropped,
+        )
         if event.dropped:
             # the upload was lost on the slow link: the root notices at the
             # (virtual) timeout and redispatches; nothing merges
@@ -280,7 +287,9 @@ class HierarchicalScheduler(Scheduler):
             assert self.discount is not None
             if self.outer == "fedasync":
                 weight = self.outer_alpha * self.discount(tau)
-                self.global_state = _interpolate(self.global_state, self._decode(event), weight)
+                with self.tracer.span("outer.merge", cat="hier", sim_time=self.now,
+                                      policy=self.outer, site=upload["site"]):
+                    self.global_state = _interpolate(self.global_state, self._decode(event), weight)
                 self.version += 1
                 site.merged_rounds += 1
                 self._record_outer([upload], [tau])
@@ -323,7 +332,9 @@ class HierarchicalScheduler(Scheduler):
             staleness.append(self.staleness_of(event))
         if entries:
             algo = self.server.algorithm
-            self.global_state = algo.aggregate(entries, self.global_state, self.version)
+            with self.tracer.span("outer.merge", cat="hier", sim_time=self.now,
+                                  policy=self.outer, merged=len(entries)):
+                self.global_state = algo.aggregate(entries, self.global_state, self.version)
             self.version += 1
             self._record_outer(uploads, staleness)
         for site in self.sites:
@@ -336,9 +347,11 @@ class HierarchicalScheduler(Scheduler):
         # detach before applying: _record_outer may raise StopRun, and
         # applied site deltas must not survive to be re-applied next flush
         buffer, self._outer_buffer = self._outer_buffer, []
-        self.global_state = _apply_buffered_deltas(
-            self.global_state, buffer, self.outer_server_lr
-        )
+        with self.tracer.span("outer.merge", cat="hier", sim_time=self.now,
+                              policy=self.outer, merged=len(buffer)):
+            self.global_state = _apply_buffered_deltas(
+                self.global_state, buffer, self.outer_server_lr
+            )
         self.version += 1
         self.outer_flushes += 1
         self._record_outer(

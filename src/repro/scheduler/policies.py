@@ -192,7 +192,9 @@ class SemiSyncScheduler(Scheduler):
             staleness.append(tau)
         if entries:
             algo = self.server.algorithm
-            self.global_state = algo.aggregate(entries, self.global_state, self.version)
+            with self.tracer.span("sched.aggregate", cat="sched", sim_time=self.now,
+                                  policy=self.name, merged=len(entries)):
+                self.global_state = algo.aggregate(entries, self.global_state, self.version)
             self.version += 1
         return merged, staleness
 
@@ -264,7 +266,9 @@ class FedAsyncScheduler(_ContinuousScheduler):
         assert self.discount is not None
         tau = self.staleness_of(event)
         weight = self.alpha * self.discount(tau)
-        self.global_state = _interpolate(self.global_state, result["state"], weight)
+        with self.tracer.span("sched.aggregate", cat="sched", sim_time=self.now,
+                              policy=self.name, client=event.client, staleness=tau):
+            self.global_state = _interpolate(self.global_state, result["state"], weight)
         self.version += 1
         self.applied += 1
         self.record_aggregation([result], [tau])
@@ -311,7 +315,9 @@ class FedBuffScheduler(_ContinuousScheduler):
         # raise StopRun (callback-requested stop), and already-applied
         # deltas must never survive to be re-applied by the next flush
         buffer, self._buffer = self._buffer, []
-        self.global_state = _apply_buffered_deltas(self.global_state, buffer, self.server_lr)
+        with self.tracer.span("sched.aggregate", cat="sched", sim_time=self.now,
+                              policy=self.name, merged=len(buffer)):
+            self.global_state = _apply_buffered_deltas(self.global_state, buffer, self.server_lr)
         self.version += 1
         self.applied += len(buffer)
         self.flush_count += 1

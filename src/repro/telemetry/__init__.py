@@ -1,0 +1,44 @@
+"""Observability: dual-clock tracing, a metrics registry, and a live ops
+endpoint.
+
+* :class:`Tracer` / :data:`NOOP_TRACER` — dual-clock span recording with
+  Chrome trace-event export (:mod:`repro.telemetry.tracer`);
+* :class:`MetricsRegistry` — counters/gauges/histograms with Prometheus
+  text exposition (:mod:`repro.telemetry.registry`);
+* :class:`RunRegistry` / :class:`OpsServer` — the in-process run list and
+  the HTTP thread serving ``/metrics``, ``/health``, ``/runs``;
+* :class:`Telemetry` — the callback that wires all of it onto a run.
+
+``Telemetry`` is exported lazily (PEP 562): it imports the callback base
+from :mod:`repro.engine`, while :mod:`repro.engine.engine` imports the
+no-op tracer from here — eager re-export would close that cycle at import
+time.  Everything imported eagerly below is stdlib-only.
+"""
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .runs import RunInfo, RunRegistry
+from .server import OpsServer
+from .tracer import NOOP_TRACER, NoopTracer, Tracer
+
+__all__ = [
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RunInfo",
+    "RunRegistry",
+    "OpsServer",
+    "Telemetry",
+    "GLOBAL_RUNS",
+]
+
+
+def __getattr__(name: str):
+    if name in ("Telemetry", "GLOBAL_RUNS"):
+        from . import callback
+
+        return getattr(callback, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,276 @@
+"""Minimal Prometheus-style metrics registry (stdlib only).
+
+Three instrument kinds — :class:`Counter` (monotone), :class:`Gauge`
+(set/inc/dec), :class:`Histogram` (bucketed observations) — grouped into
+families by metric name, with label sets distinguishing children inside a
+family.  :meth:`MetricsRegistry.exposition` renders the whole registry in
+the Prometheus text format (version 0.0.4), which is what the ops
+endpoint's ``/metrics`` route serves and what ``promtool``/any scraper
+parses.
+
+No external client library: the simulator only needs enough surface to
+count turns, watch queue depths, and bucket staleness — and the container
+pins its dependency set, so we keep this in-tree.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default histogram buckets — wide enough for both sub-ms codec spans and
+#: multi-second virtual-latency staleness values.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing value; one child per label set."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for decrements")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self, name: str, key: _LabelKey) -> List[str]:
+        return [f"{name}{_render_labels(key)} {_fmt(self.value)}"]
+
+
+class Gauge:
+    """Point-in-time value that can move in either direction."""
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self, name: str, key: _LabelKey) -> List[str]:
+        return [f"{name}{_render_labels(key)} {_fmt(self.value)}"]
+
+
+class Histogram:
+    """Cumulative-bucket histogram matching Prometheus exposition shape."""
+
+    kind = "histogram"
+
+    def __init__(self, lock: threading.Lock, buckets: Sequence[float]) -> None:
+        self._lock = lock
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        self._counts = [0] * len(self.buckets)
+        self._inf = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        # counts are stored per-bucket (not cumulative) so an observation
+        # touches exactly one slot — found by bisection, not a scan; the
+        # exposition cumulates at render time where nobody is hot
+        value = float(value)
+        i = bisect_left(self.buckets, value)
+        with self._lock:
+            self._sum += value
+            self._inf += 1
+            if i < len(self._counts):
+                self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._inf
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _samples(self, name: str, key: _LabelKey) -> List[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total, s = self._inf, self._sum
+        lines = []
+        cumulative = 0
+        for bound, n in zip(self.buckets, counts):
+            cumulative += n
+            lines.append(
+                f"{name}_bucket{_render_labels(key, ('le', _fmt(bound)))} {cumulative}"
+            )
+        lines.append(f"{name}_bucket{_render_labels(key, ('le', '+Inf'))} {total}")
+        lines.append(f"{name}_sum{_render_labels(key)} {_fmt(s)}")
+        lines.append(f"{name}_count{_render_labels(key)} {total}")
+        return lines
+
+
+class _Family:
+    """All children of one metric name (same kind, same help text)."""
+
+    def __init__(self, name: str, help_text: str, kind: str) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.children: Dict[_LabelKey, Any] = {}
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters/gauges/histograms.
+
+    Instruments are created lazily on first access and cached by
+    ``(name, label set)``, so hot paths can call
+    ``registry.counter("repro_turns_total", policy="fedbuff").inc()``
+    without holding references around.  Re-registering a name with a
+    different kind raises — silently morphing a counter into a gauge is
+    the classic way dashboards rot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help_text: str = "", **labels: Any) -> Counter:
+        return self._child(name, help_text, "counter", labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: Any) -> Gauge:
+        return self._child(name, help_text, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._child(name, help_text, "histogram", labels, buckets=buckets)
+
+    def _child(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labels: Dict[str, Any],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Any:
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, help_text, kind)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, not {kind}"
+                )
+            if help_text and not family.help:
+                family.help = help_text
+            child = family.children.get(key)
+            if child is None:
+                lock = threading.Lock()
+                if kind == "counter":
+                    child = Counter(lock)
+                elif kind == "gauge":
+                    child = Gauge(lock)
+                else:
+                    child = Histogram(lock, buckets or DEFAULT_BUCKETS)
+                family.children[key] = child
+            return child
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        """Existing child or None — never creates (for tests/assertions)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family.children.get(_label_key(labels))
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+    def exposition(self) -> str:
+        """Prometheus text format 0.0.4 for every family in the registry."""
+        out: List[str] = []
+        with self._lock:
+            families = [
+                (f.name, f.help, f.kind, list(f.children.items()))
+                for f in self._families.values()
+            ]
+        for name, help_text, kind, children in sorted(families):
+            out.append(f"# HELP {name} {help_text or name}")
+            out.append(f"# TYPE {name} {kind}")
+            for key, child in sorted(children):
+                out.extend(child._samples(name, key))
+        return "\n".join(out) + "\n"

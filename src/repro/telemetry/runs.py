@@ -1,0 +1,99 @@
+"""In-process run registry backing the ops endpoint's ``/runs`` route.
+
+Each engine run registers itself keyed by the experiment spec's
+fingerprint (the same hash :class:`~repro.experiment.result.RunResult`
+carries), so an operator scraping the endpoint can correlate what is
+live in this process with results saved on disk.  Everything is plain
+data — the registry never holds an engine or model state alive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunInfo", "RunRegistry"]
+
+
+@dataclass
+class RunInfo:
+    """Snapshot of one run's externally visible state."""
+
+    run_id: str
+    fingerprint: Optional[str] = None
+    status: str = "running"          # running | finished | stopped | failed
+    started_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+    stop_reason: Optional[str] = None
+    rounds: int = 0
+    sim_time: float = 0.0
+    last_train_loss: Optional[float] = None
+    last_eval_accuracy: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "stop_reason": self.stop_reason,
+            "rounds": self.rounds,
+            "sim_time": self.sim_time,
+            "last_train_loss": self.last_train_loss,
+            "last_eval_accuracy": self.last_eval_accuracy,
+            "detail": dict(self.detail),
+        }
+
+
+class RunRegistry:
+    """Thread-safe registry of :class:`RunInfo` entries for this process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._runs: Dict[str, RunInfo] = {}
+        self._counter = 0
+
+    def register(self, fingerprint: Optional[str] = None, **detail: Any) -> RunInfo:
+        with self._lock:
+            self._counter += 1
+            run_id = f"run-{self._counter}"
+            info = RunInfo(run_id=run_id, fingerprint=fingerprint, detail=dict(detail))
+            self._runs[run_id] = info
+            return info
+
+    def update(self, run_id: str, **fields: Any) -> None:
+        with self._lock:
+            info = self._runs.get(run_id)
+            if info is None:
+                return
+            for key, value in fields.items():
+                if hasattr(info, key):
+                    setattr(info, key, value)
+                else:
+                    info.detail[key] = value
+
+    def finish(self, run_id: str, status: str = "finished",
+               stop_reason: Optional[str] = None) -> None:
+        with self._lock:
+            info = self._runs.get(run_id)
+            if info is None:
+                return
+            info.status = status
+            info.stop_reason = stop_reason
+            info.finished_at = time.time()
+
+    def get(self, run_id: str) -> Optional[RunInfo]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def list(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [info.as_dict() for info in self._runs.values()]
+
+    def active(self) -> int:
+        with self._lock:
+            return sum(1 for info in self._runs.values() if info.status == "running")

@@ -1,0 +1,137 @@
+"""Live ops endpoint: a stdlib HTTP server on a daemon thread.
+
+Routes:
+
+* ``GET /health``  — liveness JSON (status, uptime, active run count);
+* ``GET /metrics`` — Prometheus text exposition from the attached
+  :class:`~repro.telemetry.registry.MetricsRegistry`;
+* ``GET /runs``    — JSON list of this process's runs from the attached
+  :class:`~repro.telemetry.runs.RunRegistry`.
+
+``ThreadingHTTPServer`` keeps a slow scraper from wedging the endpoint,
+and the handler's logging is silenced so scrapes don't spam stderr during
+benchmarks.  Bind with ``port=0`` to take an ephemeral port (the bound
+port is available as :attr:`OpsServer.port`), which is what the tests do
+to stay parallel-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .registry import MetricsRegistry
+from .runs import RunRegistry
+
+__all__ = ["OpsServer"]
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-ops/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        ops: "OpsServer" = self.server.ops  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/", "/health"):
+            payload = {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - ops.started_at, 3),
+                "active_runs": ops.runs.active(),
+                "total_runs": len(ops.runs.list()),
+            }
+            self._reply(200, json.dumps(payload), "application/json")
+        elif path == "/metrics":
+            body = ops.registry.exposition()
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/runs":
+            self._reply(200, json.dumps(ops.runs.list()), "application/json")
+        else:
+            self._reply(404, json.dumps({"error": f"no route {path!r}"}),
+                        "application/json")
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        return  # scrapes are routine; keep stderr for the run itself
+
+
+class OpsServer:
+    """Owns the HTTP thread and the registries it serves."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        runs: Optional[RunRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.runs = runs if runs is not None else RunRegistry()
+        self.host = host
+        self._requested_port = port
+        self.started_at = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "OpsServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self._requested_port), _OpsHandler)
+        httpd.daemon_threads = True
+        httpd.ops = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.started_at = time.time()
+        self._thread = threading.Thread(
+            # tight poll so stop() does not block ~0.5s on the default
+            # serve_forever poll interval (telemetry teardown is on the
+            # benched path)
+            target=lambda: httpd.serve_forever(poll_interval=0.01),
+            name="repro-ops", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"OpsServer({self.url}, {state})"

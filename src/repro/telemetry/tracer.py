@@ -1,0 +1,277 @@
+"""Dual-clock span tracer with Chrome trace-event export.
+
+The framework runs on two clocks at once: **wall time** (what this machine
+actually spends) and **virtual time** (the scheduler's simulated ``sim_time``
+that straggler dynamics are reasoned in).  A :class:`Tracer` records spans on
+both:
+
+* *wall spans* — ``with tracer.span("pool.turn", client=7): ...`` measures
+  real elapsed time around a code region, on whatever thread it runs;
+* *sim spans* — ``tracer.sim_span("client.turn", t0, t1, track=7)`` records
+  an interval of the virtual clock (e.g. a client turn's dispatch→arrival
+  window), which has no meaningful wall extent because the runtime blocks
+  on futures out of order.
+
+:meth:`Tracer.to_chrome_trace` exports both as Chrome trace-event JSON
+(``chrome://tracing`` / `Perfetto <https://ui.perfetto.dev>`_): wall spans
+land in a "wall clock" process grouped by thread, sim spans in a "virtual
+clock" process grouped by ``track`` (typically the client/peer id), so the
+two timelines sit side by side in one view.
+
+Instrumentation must cost nothing when tracing is off, so the default
+tracer everywhere is the module's :data:`NOOP_TRACER`: its ``span`` returns
+a shared no-op context manager and every other method is a stub — hook
+sites pay one attribute lookup and one no-op call, nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Tracer", "NoopTracer", "NOOP_TRACER", "SpanObserver"]
+
+#: observer signature: (name, category, wall_seconds, sim_seconds, attrs).
+#: ``wall_seconds`` is None for pure sim spans and instants; ``sim_seconds``
+#: is None for spans that never saw the virtual clock.
+SpanObserver = Callable[[str, str, Optional[float], Optional[float], Dict[str, Any]], None]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager (the disabled-tracing fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Zero-cost stand-in installed wherever tracing is not enabled."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "", sim_time: Optional[float] = None, **attrs: Any):
+        return _NOOP_SPAN
+
+    def sim_span(
+        self, name: str, sim_start: float, sim_end: float, cat: str = "", **attrs: Any
+    ) -> None:
+        return None
+
+    def instant(self, name: str, cat: str = "", **attrs: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NoopTracer()"
+
+
+NOOP_TRACER = NoopTracer()
+
+
+class _Span:
+    """Live handle for one wall-clock span (returned by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "name", "cat", "sim_time", "attrs", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        sim_time: Optional[float],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.sim_time = sim_time
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        t1 = time.perf_counter()
+        self._tracer._record_wall(self, self._t0, t1)
+
+
+class Tracer:
+    """Recording tracer: thread-safe, bounded, exportable.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on buffered events; once reached, further events are
+        counted in :attr:`dropped` instead of stored (a telemetry buffer
+        must never become the memory hog it exists to find).
+    observer:
+        Optional :data:`SpanObserver` called for every finished span —
+        the bridge that feeds span durations and byte attributes into a
+        :class:`~repro.telemetry.registry.MetricsRegistry` without the
+        tracer depending on it.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000, observer: Optional[SpanObserver] = None) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._events: List[tuple] = []
+        self._threads: Dict[int, str] = {}
+        self.max_events = int(max_events)
+        self.dropped = 0
+        self.observer = observer
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "", sim_time: Optional[float] = None, **attrs: Any) -> _Span:
+        """Open a wall-clock span (use as a context manager).
+
+        ``sim_time`` stamps the virtual clock at entry so wall spans can be
+        cross-referenced against the sim timeline.
+        """
+        return _Span(self, name, cat, sim_time, attrs)
+
+    def sim_span(
+        self, name: str, sim_start: float, sim_end: float, cat: str = "", **attrs: Any
+    ) -> None:
+        """Record an interval of the *virtual* clock directly.
+
+        ``attrs['track']`` (default: the span name) picks the lane the span
+        renders in — client turns pass the client id so every client gets
+        its own row in the viewer.
+        """
+        track = attrs.pop("track", name)
+        dur = max(0.0, float(sim_end) - float(sim_start))
+        self._push(
+            ("X", name, cat or "sim", 2, track, float(sim_start) * 1e6, dur * 1e6, attrs)
+        )
+        if self.observer is not None:
+            self.observer(name, cat, None, dur, attrs)
+
+    def instant(self, name: str, cat: str = "", **attrs: Any) -> None:
+        """Record a zero-duration marker at the current wall time."""
+        ident = threading.get_ident()
+        self._note_thread(ident)
+        self._push(
+            ("i", name, cat or "app", 1, ident,
+             (time.perf_counter() - self._epoch) * 1e6, 0.0, attrs)
+        )
+
+    def _record_wall(self, span: _Span, t0: float, t1: float) -> None:
+        ident = threading.get_ident()
+        args = span.attrs
+        if span.sim_time is not None:
+            args = dict(args)
+            args["sim_time"] = span.sim_time
+        self._note_thread(ident)
+        self._push(
+            ("X", span.name, span.cat or "app", 1, ident,
+             (t0 - self._epoch) * 1e6, (t1 - t0) * 1e6, args)
+        )
+        if self.observer is not None:
+            self.observer(span.name, span.cat, t1 - t0, None, args)
+
+    def _note_thread(self, ident: int) -> None:
+        if ident not in self._threads:
+            with self._lock:
+                self._threads.setdefault(ident, threading.current_thread().name)
+
+    def _push(self, event: tuple) -> None:
+        # events are compact (ph, name, cat, pid, tid, ts, dur, args) tuples
+        # on the hot path; :meth:`_as_dicts` materializes trace-event dicts
+        # only at inspection/export time.  No lock: list.append is atomic
+        # under the GIL, and with all pool workers tracing through this one
+        # buffer a mutex here is pure contention.  The cap check is racy by
+        # at most one event per concurrent thread, which a bounded
+        # diagnostics buffer can tolerate.
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    @staticmethod
+    def _as_dicts(events: List[tuple]) -> List[Dict[str, Any]]:
+        out = []
+        for ph, name, cat, pid, tid, ts, dur, args in events:
+            ev = {"name": name, "cat": cat, "ph": ph, "pid": pid, "tid": tid,
+                  "ts": ts, "args": args}
+            if ph == "X":
+                ev["dur"] = dur
+            else:
+                ev["s"] = "t"
+            out.append(ev)
+        return out
+
+    # ------------------------------------------------------------------
+    # inspection / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """Snapshot of the recorded events as trace-event dicts."""
+        with self._lock:
+            raw = list(self._events)
+        return self._as_dicts(raw)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object (load in Perfetto as-is)."""
+        meta: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "wall clock"}},
+            {"name": "process_name", "ph": "M", "pid": 2,
+             "args": {"name": "virtual clock (sim_time)"}},
+        ]
+        with self._lock:
+            for ident, tname in self._threads.items():
+                meta.append(
+                    {"name": "thread_name", "ph": "M", "pid": 1, "tid": ident,
+                     "args": {"name": tname}}
+                )
+            raw = list(self._events)
+        return {"traceEvents": meta + self._as_dicts(raw), "displayTimeUnit": "ms"}
+
+    def save(self, path: str) -> str:
+        """Write the Chrome trace-event JSON to ``path``; returns the path."""
+        # dumps-then-write: json.dump's chunked streaming through a text
+        # wrapper is ~4x slower on big traces, and save() runs at shutdown
+        # inside the traced run's wall clock
+        body = json.dumps(self.to_chrome_trace(), separators=(",", ":"))
+        with open(path, "w", encoding="utf8") as fh:
+            fh.write(body)
+        return path
+
+    def __repr__(self) -> str:
+        return f"Tracer(events={len(self)}, dropped={self.dropped})"

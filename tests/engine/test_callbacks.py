@@ -1,6 +1,7 @@
 """Callback subsystem: uniform hook firing at MetricsCollector.add."""
 
 import csv
+import logging
 
 import pytest
 
@@ -299,3 +300,157 @@ def test_direct_engine_run_honors_callbacks(fresh_port):
     engine.shutdown()
     assert recorder.count("update") == 2
     assert recorder.count("shutdown") == 1
+
+
+# ----------------------------------------------- CSVLogger reuse / append
+def test_csv_logger_reuse_across_runs_keeps_rows(tmp_path, fresh_port):
+    """Regression: reusing one CSVLogger for a second run used to reopen the
+    file in mode "w" and wipe the first run's rows."""
+    path = str(tmp_path / "log.csv")
+    logger = CSVLogger(path)
+    engine = Engine.from_spec(tiny_spec(fresh_port, rounds=2), callbacks=[logger])
+    engine.run()
+    second = engine.run(rounds=3)  # continuation reopens the file
+    engine.shutdown()
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(second.history) == 5
+    with open(path) as fh:
+        content = fh.read()
+    assert content.count("round,tier") == 1  # header written exactly once
+
+
+def test_csv_logger_append_continues_existing_file(tmp_path):
+    """append=True picks up a file left by a previous process."""
+    path = str(tmp_path / "log.csv")
+    first = CSVLogger(path)
+    collector = MetricsCollector()
+    collector.callbacks.append(first)
+    collector.add(RoundRecord(round_idx=0))
+    first.on_shutdown(None)
+
+    cont = CSVLogger(path, append=True)
+    collector2 = MetricsCollector()
+    collector2.callbacks.append(cont)
+    collector2.add(RoundRecord(round_idx=1))
+    collector2.add(RoundRecord(round_idx=2))
+    cont.on_shutdown(None)
+
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert [r["round"] for r in rows] == ["0", "1", "2"]
+    with open(path) as fh:
+        assert fh.read().count("round,tier") == 1
+
+
+def test_csv_logger_default_truncates_stale_file(tmp_path):
+    """Without append=True a fresh logger starts a fresh file (old default)."""
+    path = str(tmp_path / "log.csv")
+    with open(path, "w") as fh:
+        fh.write("stale junk\n")
+    logger = CSVLogger(path)
+    collector = MetricsCollector()
+    collector.callbacks.append(logger)
+    collector.add(RoundRecord(round_idx=7))
+    logger.on_shutdown(None)
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert [r["round"] for r in rows] == ["7"]
+
+
+# ------------------------------------------- callback exception isolation
+@pytest.fixture()
+def repro_log(caplog):
+    """caplog wired into the non-propagating 'repro' logger tree."""
+    logger = logging.getLogger("repro")
+    logger.addHandler(caplog.handler)
+    yield caplog
+    logger.removeHandler(caplog.handler)
+
+
+class Boomer(Callback):
+    """Raises from the chosen hooks; counts every invocation."""
+
+    def __init__(self, *hooks):
+        self.hooks = set(hooks)
+        self.calls = []
+
+    def _maybe_boom(self, name):
+        self.calls.append(name)
+        if name in self.hooks:
+            raise RuntimeError(f"boom in {name}")
+
+    def on_setup(self, engine):
+        self._maybe_boom("on_setup")
+
+    def on_update(self, record, metrics):
+        self._maybe_boom("on_update")
+
+    def on_evaluate(self, record, metrics):
+        self._maybe_boom("on_evaluate")
+
+    def on_round_end(self, record, metrics):
+        self._maybe_boom("on_round_end")
+
+    def on_shutdown(self, engine):
+        self._maybe_boom("on_shutdown")
+
+
+def test_raising_record_hooks_are_isolated(repro_log):
+    """A raising observer is logged and skipped; later callbacks still fire
+    and the record stream continues."""
+    collector = MetricsCollector()
+    boomer = Boomer("on_update", "on_evaluate", "on_round_end")
+    recorder = Recorder()
+    collector.callbacks.extend([boomer, recorder])
+    rec = RoundRecord(round_idx=0)
+    rec.eval_accuracy = 0.5
+    collector.add(rec)
+    collector.add(RoundRecord(round_idx=1))
+    assert len(collector.history) == 2
+    assert recorder.count("update") == 2      # downstream callback unharmed
+    assert recorder.count("evaluate") == 1
+    assert recorder.count("round_end") == 2
+    assert "failed in on_update" in repro_log.text
+
+
+def test_stop_run_raised_directly_from_hook_is_honored():
+    """StopRun from a hook is the sanctioned stop signal, not an error."""
+    collector = MetricsCollector()
+
+    class HardStopper(Callback):
+        def on_update(self, record, metrics):
+            raise StopRun("direct")
+
+    collector.callbacks.append(HardStopper())
+    with pytest.raises(StopRun, match="direct"):
+        collector.add(RoundRecord(round_idx=0))
+    assert collector.stop_reason == "direct"
+
+
+def test_raising_lifecycle_hooks_do_not_abort_run(fresh_port, repro_log):
+    """on_setup / on_shutdown failures are logged; the run and the other
+    callbacks proceed."""
+    boomer = Boomer("on_setup", "on_shutdown")
+    recorder = Recorder()
+    result = Experiment(tiny_spec(fresh_port),
+                        callbacks=[boomer, recorder]).run()
+    assert len(result.history) == 2
+    assert recorder.count("setup") == 1
+    assert recorder.count("shutdown") == 1
+    assert boomer.calls.count("on_shutdown") == 1
+    assert "failed in on_setup" in repro_log.text
+
+
+# --------------------------------------------------- stop_reason surfacing
+def test_stop_reason_in_summary_and_run_result(fresh_port):
+    collector = MetricsCollector()
+    assert collector.summary()["stop_reason"] is None
+    collector.request_stop("why not")
+    assert collector.summary()["stop_reason"] == "why not"
+
+    result = Experiment(tiny_spec(fresh_port),
+                        callbacks=[OneShotStop(after=1)]).run()
+    assert result.stop_reason == "one-shot"
+    assert result.summary()["stop_reason"] == "one-shot"
+    assert result.metrics.summary()["stop_reason"] == "one-shot"

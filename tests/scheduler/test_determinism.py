@@ -162,3 +162,66 @@ def test_different_seeds_actually_diverge(fresh_port):
         for k in state_a
         if np.issubdtype(state_a[k].dtype, np.floating)
     )
+
+
+# ----------------------------------------------------------------------------
+# telemetry must observe without perturbing: a traced run is bit-identical
+# to an untraced one under every policy (the no-op tracer default and the
+# recording tracer share every code path that touches RNG or event order).
+# ----------------------------------------------------------------------------
+_TOPO_FOR = {
+    "sync": "centralized",
+    "semi_sync": "centralized",
+    "fedasync": "centralized",
+    "fedbuff": "centralized",
+    "hier_async": "hierarchical",
+    "gossip_async": "ring",
+}
+
+_SCHED_FOR = {**FLAT_POLICIES, "hier_async": HIER_SPEC, "gossip_async": GOSSIP_SPEC}
+
+
+def _topology_kwargs(policy, port):
+    if policy == "hier_async":
+        return {
+            "num_sites": 2,
+            "clients_per_site": 2,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+            "outer_comm": {"backend": "grpc", "master_port": port + 1000,
+                           "transport": "inproc"},
+        }
+    return {"num_clients": 4,
+            "inner_comm": {"backend": "torchdist", "master_port": port}}
+
+
+def _run_policy(policy, port, telemetry=None):
+    eng = Engine.from_names(
+        topology=_TOPO_FOR[policy],
+        algorithm="fedavg",
+        model="mlp",
+        datamodule="blobs",
+        topology_kwargs=_topology_kwargs(policy, port),
+        datamodule_kwargs={"train_size": 256, "test_size": 64},
+        algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+        global_rounds=3,
+        batch_size=32,
+        seed=0,
+        scheduler=dict(_SCHED_FOR[policy]),
+    )
+    if telemetry is not None:
+        eng.metrics.callbacks.append(telemetry)
+    metrics = eng.run_async(total_updates=8 if policy == "hier_async" else 12)
+    state = {k: np.copy(v) for k, v in eng.global_state().items()}
+    eng.shutdown()
+    return _records(metrics), state
+
+
+@pytest.mark.parametrize("policy", sorted(_SCHED_FOR))
+def test_traced_run_is_bit_identical_to_untraced(fresh_port, policy):
+    from repro.telemetry import RunRegistry, Telemetry
+
+    untraced = _run_policy(policy, fresh_port)
+    tel = Telemetry(runs=RunRegistry())
+    traced = _run_policy(policy, fresh_port + 11, telemetry=tel)
+    assert len(tel.tracer) > 0  # the traced arm really recorded spans
+    _assert_identical(untraced, traced)

@@ -1,0 +1,121 @@
+"""Metrics registry: instrument semantics and Prometheus text exposition."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+def test_counter_accumulates_and_is_cached():
+    reg = MetricsRegistry()
+    reg.counter("hits_total").inc()
+    reg.counter("hits_total").inc(2.0)
+    assert reg.counter("hits_total").value == 3.0
+
+
+def test_counter_rejects_decrements():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="counters only go up"):
+        reg.counter("c").inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(5)
+    g.inc()
+    g.dec(3)
+    assert g.value == 3.0
+
+
+def test_labels_distinguish_children():
+    reg = MetricsRegistry()
+    reg.counter("records_total", tier="global").inc()
+    reg.counter("records_total", tier="site").inc(4)
+    assert reg.counter("records_total", tier="global").value == 1
+    assert reg.counter("records_total", tier="site").value == 4
+    # label order does not matter
+    reg.counter("multi", a="1", b="2").inc()
+    assert reg.counter("multi", b="2", a="1").value == 1
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(ValueError, match="already registered as counter"):
+        reg.gauge("thing")
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(1.0, 5.0, 10.0))
+    for v in (0.5, 0.7, 3.0, 20.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(24.2)
+    text = reg.exposition()
+    assert 'lat_bucket{le="1"} 2' in text
+    assert 'lat_bucket{le="5"} 3' in text
+    assert 'lat_bucket{le="10"} 3' in text
+    assert 'lat_bucket{le="+Inf"} 4' in text
+    assert "lat_count 4" in text
+
+
+def test_exposition_format_well_formed():
+    reg = MetricsRegistry()
+    reg.counter("repro_turns_total", "Turns dispatched", policy="fedbuff").inc(7)
+    reg.gauge("repro_queue_depth", "Event queue depth").set(3)
+    text = reg.exposition()
+    lines = text.splitlines()
+    assert "# HELP repro_turns_total Turns dispatched" in lines
+    assert "# TYPE repro_turns_total counter" in lines
+    assert 'repro_turns_total{policy="fedbuff"} 7' in lines
+    assert "# TYPE repro_queue_depth gauge" in lines
+    assert "repro_queue_depth 3" in lines
+    assert text.endswith("\n")
+    # every sample line parses as <name>{labels} <value>
+    for line in lines:
+        if line.startswith("#") or not line:
+            continue
+        name_part, value = line.rsplit(" ", 1)
+        assert name_part
+        float(value.replace("+Inf", "inf"))
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("odd", msg='say "hi"\nplease').inc()
+    text = reg.exposition()
+    assert 'msg="say \\"hi\\"\\nplease"' in text
+
+
+def test_get_never_creates():
+    reg = MetricsRegistry()
+    assert reg.get("missing") is None
+    reg.counter("present", tier="a")
+    assert reg.get("present", tier="a") is not None
+    assert reg.get("present", tier="b") is None
+    assert reg.names() == ["present"]
+
+
+def test_clear_empties_registry():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.clear()
+    assert reg.names() == []
+
+
+def test_concurrent_increments_are_lossless():
+    reg = MetricsRegistry()
+
+    def work():
+        for _ in range(1000):
+            reg.counter("hot_total").inc()
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter("hot_total").value == 4000

@@ -1,0 +1,100 @@
+"""Ops endpoint: routes, content types, lifecycle, ephemeral binding."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, OpsServer, RunRegistry
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode("utf8")
+
+
+@pytest.fixture()
+def server():
+    registry = MetricsRegistry()
+    registry.counter("repro_turns_total", "Turns dispatched").inc(3)
+    registry.histogram("repro_staleness", buckets=(1.0, 4.0)).observe(2.0)
+    runs = RunRegistry()
+    info = runs.register(fingerprint="abc123", scheduler="fedbuff")
+    srv = OpsServer(registry=registry, runs=runs, port=0).start()
+    yield srv, runs, info
+    srv.stop()
+
+
+def test_ephemeral_port_resolves(server):
+    srv, _, _ = server
+    assert srv.running
+    assert srv.port > 0
+    assert srv.url == f"http://127.0.0.1:{srv.port}"
+
+
+def test_health_route(server):
+    srv, _, _ = server
+    for path in ("/health", "/"):
+        status, ctype, body = _get(srv.url + path)
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["active_runs"] == 1
+        assert payload["total_runs"] == 1
+        assert payload["uptime_seconds"] >= 0
+
+
+def test_metrics_route_serves_exposition(server):
+    srv, _, _ = server
+    status, ctype, body = _get(srv.url + "/metrics")
+    assert status == 200
+    assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+    assert "# TYPE repro_turns_total counter" in body
+    assert "repro_turns_total 3" in body
+    assert 'repro_staleness_bucket{le="+Inf"} 1' in body
+
+
+def test_runs_route(server):
+    srv, runs, info = server
+    runs.finish(info.run_id, status="stopped", stop_reason="early_stopping")
+    status, ctype, body = _get(srv.url + "/runs")
+    assert status == 200
+    (entry,) = json.loads(body)
+    assert entry["run_id"] == info.run_id
+    assert entry["fingerprint"] == "abc123"
+    assert entry["status"] == "stopped"
+    assert entry["stop_reason"] == "early_stopping"
+    assert entry["detail"]["scheduler"] == "fedbuff"
+
+
+def test_unknown_route_404(server):
+    srv, _, _ = server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(srv.url + "/nope")
+    assert excinfo.value.code == 404
+    assert "no route" in excinfo.value.read().decode("utf8")
+
+
+def test_stop_is_idempotent_and_start_after_stop():
+    srv = OpsServer(port=0)
+    assert not srv.running
+    srv.start()
+    port1 = srv.port
+    assert port1 > 0
+    srv.start()  # no-op while running
+    assert srv.port == port1
+    srv.stop()
+    srv.stop()  # idempotent
+    assert not srv.running
+    srv.start()
+    assert srv.running
+    srv.stop()
+
+
+def test_context_manager():
+    with OpsServer(port=0) as srv:
+        status, _, _ = _get(srv.url + "/health")
+        assert status == 200
+    assert not srv.running

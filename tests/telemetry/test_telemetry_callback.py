@@ -1,0 +1,177 @@
+"""Telemetry callback integration: tracer install, registry, runs, endpoint."""
+
+import json
+import urllib.request
+
+from repro.engine import Engine
+from repro.engine.callbacks import Callback
+from repro.experiment import (
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    SchedulerSpec,
+    TrainSpec,
+)
+from repro.telemetry import MetricsRegistry, RunRegistry, Telemetry
+from repro.telemetry.tracer import NOOP_TRACER
+
+HETERO = {"latency": "lognormal", "mean": 0.3, "sigma": 0.5}
+
+
+def tiny_spec(port, *, rounds=2, scheduler=None, total_updates=None):
+    return ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": 2,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(dataset="blobs", kwargs={"train_size": 96, "test_size": 32},
+                      batch_size=16),
+        train=TrainSpec(algorithm="fedavg", algorithm_kwargs={"lr": 0.05},
+                        model="mlp", model_kwargs={"hidden": [16]},
+                        global_rounds=rounds),
+        scheduler=scheduler,
+        total_updates=total_updates,
+        seed=3,
+    )
+
+
+def async_spec(port, total_updates=6):
+    return tiny_spec(
+        port,
+        scheduler=SchedulerSpec(name="fedasync", kwargs={"heterogeneity": HETERO}),
+        total_updates=total_updates,
+    )
+
+
+def test_tracer_installed_on_engine_and_nodes(fresh_port):
+    tel = Telemetry(runs=RunRegistry())
+    engine = Engine.from_spec(tiny_spec(fresh_port), callbacks=[tel])
+    assert engine.tracer is NOOP_TRACER  # zero-cost default before setup
+    engine.run()
+    engine.shutdown()
+    assert engine.tracer is tel.tracer
+    assert all(node.tracer is tel.tracer for node in engine.nodes)
+    names = {e["name"] for e in tel.tracer.events}
+    assert {"engine.round", "engine.evaluate", "node.train",
+            "codec.encode", "codec.decode"} <= names
+
+
+def test_trace_false_keeps_noop_tracer(fresh_port):
+    tel = Telemetry(trace=False, runs=RunRegistry())
+    engine = Engine.from_spec(tiny_spec(fresh_port), callbacks=[tel])
+    engine.run()
+    engine.shutdown()
+    assert engine.tracer is NOOP_TRACER
+    assert len(tel.tracer) == 0
+    # registry and run registry still work without tracing
+    assert tel.registry.get("repro_records_total", tier="global") is not None
+    assert tel.run_info.status == "finished"
+
+
+def test_async_run_records_sched_spans_and_metrics(fresh_port):
+    tel = Telemetry(runs=RunRegistry())
+    result = Experiment(async_spec(fresh_port), callbacks=[tel]).run()
+    names = {e["name"] for e in tel.tracer.events}
+    assert "client.turn" in names  # dual-clock sim spans from retire()
+    assert "sched.aggregate" in names
+    sim_events = [e for e in tel.tracer.events if e["pid"] == 2]
+    assert sim_events and all(e["dur"] >= 0 for e in sim_events)
+    reg = tel.registry
+    assert reg.get("repro_records_total", tier="global").value == len(result.history)
+    assert reg.get("repro_updates_applied_total").value == result.total_applied()
+    assert reg.get("repro_sim_time_seconds").value > 0
+    assert reg.get("repro_staleness").count == len(result.history)
+    assert reg.get("repro_codec_bytes_total", stage="codec.encode").value > 0
+    assert reg.get("repro_span_seconds", span="node.train").count > 0
+    assert reg.get("repro_turns_dispatched").value > 0
+
+
+def test_run_registry_lifecycle(fresh_port):
+    runs = RunRegistry()
+    seen_mid_run = {}
+
+    class Probe(Callback):
+        def on_update(self, record, metrics):
+            if not seen_mid_run:
+                seen_mid_run.update(runs.list()[0])
+
+    tel = Telemetry(runs=runs)
+    spec = async_spec(fresh_port)
+    Experiment(spec, callbacks=[tel, Probe()]).run()
+    assert seen_mid_run["status"] == "running"
+    (info,) = runs.list()
+    assert info["status"] == "finished"
+    assert info["stop_reason"] is None
+    assert info["fingerprint"] == spec.fingerprint()
+    assert info["rounds"] > 0
+    assert info["sim_time"] > 0
+    assert info["detail"]["scheduler"] == "fedasync"
+    assert info["finished_at"] is not None
+
+
+def test_stopped_run_is_marked_stopped(fresh_port):
+    runs = RunRegistry()
+
+    class StopAfterOne(Callback):
+        def on_update(self, record, metrics):
+            metrics.request_stop("probe-stop")
+
+    tel = Telemetry(runs=runs)
+    Experiment(async_spec(fresh_port), callbacks=[tel, StopAfterOne()]).run()
+    (info,) = runs.list()
+    assert info["status"] == "stopped"
+    assert info["stop_reason"] == "probe-stop"
+
+
+def test_trace_file_written_at_shutdown(tmp_path, fresh_port):
+    path = str(tmp_path / "trace.json")
+    tel = Telemetry(trace_path=path, runs=RunRegistry())
+    Experiment(tiny_spec(fresh_port), callbacks=[tel]).run()
+    with open(path) as fh:
+        doc = json.load(fh)
+    pids = {e.get("pid") for e in doc["traceEvents"]}
+    assert {1, 2} <= pids or 1 in pids  # wall clock always present
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_metrics_served_mid_run(fresh_port):
+    """The ops endpoint answers while the experiment is still in flight."""
+    tel = Telemetry(serve=True, port=0, runs=RunRegistry())
+    scraped = {}
+
+    class Scraper(Callback):
+        def on_update(self, record, metrics):
+            if scraped:
+                return
+            base = tel.server.url
+            with urllib.request.urlopen(base + "/metrics", timeout=5.0) as resp:
+                scraped["metrics"] = resp.read().decode("utf8")
+            with urllib.request.urlopen(base + "/health", timeout=5.0) as resp:
+                scraped["health"] = json.loads(resp.read().decode("utf8"))
+
+    Experiment(async_spec(fresh_port), callbacks=[tel, Scraper()]).run()
+    assert "# TYPE repro_records_total counter" in scraped["metrics"]
+    assert 'repro_records_total{tier="global"}' in scraped["metrics"]
+    assert scraped["health"]["status"] == "ok"
+    assert scraped["health"]["active_runs"] == 1
+    assert tel.server is None  # stopped at shutdown
+
+
+def test_shared_registry_across_runs(fresh_port):
+    """Two runs can feed one registry (counters accumulate) and one run list."""
+    registry = MetricsRegistry()
+    runs = RunRegistry()
+    r1 = Experiment(
+        tiny_spec(fresh_port),
+        callbacks=[Telemetry(trace=False, registry=registry, runs=runs)],
+    ).run()
+    r2 = Experiment(
+        tiny_spec(fresh_port + 1),
+        callbacks=[Telemetry(trace=False, registry=registry, runs=runs)],
+    ).run()
+    total = registry.get("repro_records_total", tier="global").value
+    assert total == len(r1.history) + len(r2.history)
+    assert [info["run_id"] for info in runs.list()] == ["run-1", "run-2"]
+    assert all(info["status"] == "finished" for info in runs.list())

@@ -1,0 +1,153 @@
+"""Dual-clock tracer: recording, thread safety, caps, Chrome export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import NOOP_TRACER, NoopTracer, Tracer
+
+
+def test_wall_span_records_duration_and_args():
+    tracer = Tracer()
+    with tracer.span("work", cat="test", client=3):
+        pass
+    events = tracer.events
+    assert len(events) == 1
+    (ev,) = events
+    assert ev["name"] == "work"
+    assert ev["cat"] == "test"
+    assert ev["ph"] == "X"
+    assert ev["pid"] == 1  # wall-clock process
+    assert ev["dur"] >= 0.0
+    assert ev["args"]["client"] == 3
+
+
+def test_span_set_attaches_attrs_mid_span():
+    tracer = Tracer()
+    with tracer.span("encode") as span:
+        span.set(bytes=1234)
+    assert tracer.events[0]["args"]["bytes"] == 1234
+
+
+def test_sim_time_stamp_rides_in_args():
+    tracer = Tracer()
+    with tracer.span("agg", sim_time=42.5):
+        pass
+    assert tracer.events[0]["args"]["sim_time"] == 42.5
+
+
+def test_sim_span_uses_virtual_clock_process():
+    tracer = Tracer()
+    tracer.sim_span("client.turn", 1.0, 3.5, track="client 7", client=7)
+    (ev,) = tracer.events
+    assert ev["pid"] == 2  # virtual-clock process
+    assert ev["tid"] == "client 7"
+    assert ev["ts"] == pytest.approx(1.0e6)
+    assert ev["dur"] == pytest.approx(2.5e6)
+    assert ev["args"]["client"] == 7
+
+
+def test_sim_span_clamps_negative_duration():
+    tracer = Tracer()
+    tracer.sim_span("weird", 5.0, 4.0)
+    assert tracer.events[0]["dur"] == 0.0
+
+
+def test_instant_marker():
+    tracer = Tracer()
+    tracer.instant("mark", detail="x")
+    (ev,) = tracer.events
+    assert ev["ph"] == "i"
+    assert ev["args"]["detail"] == "x"
+
+
+def test_max_events_cap_counts_drops():
+    tracer = Tracer(max_events=2)
+    for _ in range(5):
+        with tracer.span("s"):
+            pass
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_chrome_trace_structure(tmp_path):
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    tracer.sim_span("b", 0.0, 1.0)
+    doc = tracer.to_chrome_trace()
+    assert "traceEvents" in doc
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert "M" in phases and "X" in phases  # metadata + complete events
+    proc_names = {
+        e["args"]["name"] for e in doc["traceEvents"] if e["name"] == "process_name"
+    }
+    assert proc_names == {"wall clock", "virtual clock (sim_time)"}
+    # the file round-trips as JSON (what Perfetto loads)
+    path = str(tmp_path / "trace.json")
+    tracer.save(path)
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["traceEvents"]
+
+
+def test_thread_names_in_metadata():
+    tracer = Tracer()
+
+    def work():
+        with tracer.span("threaded"):
+            pass
+
+    t = threading.Thread(target=work, name="worker-thread")
+    t.start()
+    t.join()
+    meta = [e for e in tracer.to_chrome_trace()["traceEvents"] if e["name"] == "thread_name"]
+    assert any(e["args"]["name"] == "worker-thread" for e in meta)
+
+
+def test_concurrent_spans_are_all_recorded():
+    tracer = Tracer()
+
+    def work():
+        for _ in range(50):
+            with tracer.span("hot"):
+                pass
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tracer) == 200
+
+
+def test_observer_sees_wall_and_sim_spans():
+    seen = []
+    tracer = Tracer(observer=lambda *a: seen.append(a))
+    with tracer.span("w", cat="c", bytes=10):
+        pass
+    tracer.sim_span("v", 0.0, 2.0)
+    assert len(seen) == 2
+    name, cat, wall, sim, attrs = seen[0]
+    assert name == "w" and wall is not None and sim is None and attrs["bytes"] == 10
+    name, cat, wall, sim, attrs = seen[1]
+    assert name == "v" and wall is None and sim == pytest.approx(2.0)
+
+
+def test_noop_tracer_is_inert():
+    assert isinstance(NOOP_TRACER, NoopTracer)
+    assert not NOOP_TRACER.enabled
+    with NOOP_TRACER.span("anything", client=1) as span:
+        span.set(bytes=5)
+    NOOP_TRACER.sim_span("x", 0.0, 1.0)
+    NOOP_TRACER.instant("y")
+    assert len(NOOP_TRACER) == 0
+
+
+def test_noop_span_is_shared_singleton():
+    a = NOOP_TRACER.span("a")
+    b = NOOP_TRACER.span("b", anything=1)
+    assert a is b  # the zero-allocation fast path
