@@ -48,11 +48,13 @@ _RESULTS = {"config": {
 }, "runs": []}
 
 
-def make_spec(num_clients: int, pool_size, total_updates: int = None) -> ExperimentSpec:
+def make_spec(num_clients: int, pool_size, total_updates: int = None,
+              broker: str = "memory://") -> ExperimentSpec:
     return ExperimentSpec(
         topology="centralized",
         num_clients=num_clients,
         pool_size=pool_size,
+        broker=broker,
         data={
             "dataset": "blobs",
             # the cohort shares one dataset; every client sees a lazy view
@@ -74,21 +76,25 @@ def make_spec(num_clients: int, pool_size, total_updates: int = None) -> Experim
     )
 
 
-def run_measured(num_clients: int, pool_size) -> dict:
+def run_measured(num_clients: int, pool_size, broker: str = "memory://") -> dict:
     """One federation run under tracemalloc; returns wall/peak-memory stats."""
     gc.collect()  # prior runs' garbage must not count against this one
     if not tracemalloc.is_tracing():
         tracemalloc.start()
     tracemalloc.reset_peak()
     start = time.perf_counter()
-    experiment = Experiment(make_spec(num_clients, pool_size))
+    experiment = Experiment(make_spec(num_clients, pool_size, broker=broker))
     result = experiment.run()
     wall = time.perf_counter() - start
     _, peak = tracemalloc.get_traced_memory()
     pool = experiment.engine.pool
+    if pool is None:
+        mode = "dedicated"
+    else:
+        mode = "pooled" if pool.broker.scheme == "memory" else f"pooled-{pool.broker.scheme}"
     row = {
         "clients": num_clients,
-        "mode": "pooled" if pool is not None else "dedicated",
+        "mode": mode,
         "pool_size": pool.pool_size if pool is not None else num_clients,
         "wall_seconds": round(wall, 4),
         "peak_traced_mb": round(peak / 2**20, 3),
@@ -113,6 +119,59 @@ def test_scale_pooled_vs_dedicated(num_clients):
         assert dedicated["applied_updates"] == TOTAL_UPDATES
         # identical federation outcome, execution mode notwithstanding
         assert pooled["train_loss"] == dedicated["train_loss"]
+    _flush()
+
+
+# ---------------------------------------------------------------------------
+# broker arms: the pool behind a turn broker, in-process and multi-process
+# ---------------------------------------------------------------------------
+#: 100k logical clients on a pool_size worker pool: the pending-turn queue,
+#: ticket bookkeeping, and snapshot store must all stay bounded by the pool
+#: and the update budget, never the cohort
+HUGE_COHORT = 1_000 if SMOKE else 100_000
+#: redis-arm cohort: worker subprocesses are heavyweight, so this arm pins
+#: bit-identity on a moderate federation rather than racing the huge one
+REDIS_COHORT = 8 if SMOKE else 64
+
+
+def test_scale_100k_clients_memory_broker():
+    row = run_measured(HUGE_COHORT, POOL_SIZE, broker="memory://")
+    assert row["applied_updates"] == TOTAL_UPDATES
+    assert row["mode"] == "pooled"
+    _RESULTS["memory_broker_100k"] = row
+    _flush()
+
+
+def test_scale_redis_broker_bit_identical_to_memory():
+    """A redis federation on >=2 worker *processes* (over the in-repo RESP
+    server; point REDIS_URL at a real redis to use that instead) reproduces
+    the memory broker's loss trajectory bit for bit at equal seeds."""
+    from repro.runtime.miniredis import MiniRedis
+
+    memory = run_measured(REDIS_COHORT, POOL_SIZE, broker="memory://")
+    external = os.environ.get("REDIS_URL")
+    if external:
+        redis_row = run_measured(
+            REDIS_COHORT, POOL_SIZE, broker=f"{external.rstrip('/')}?workers=2"
+        )
+    else:
+        with MiniRedis() as server:
+            redis_row = run_measured(
+                REDIS_COHORT, POOL_SIZE, broker=f"{server.url}?workers=2"
+            )
+    assert redis_row["mode"] == "pooled-redis"
+    assert redis_row["applied_updates"] == TOTAL_UPDATES
+    assert redis_row["train_loss"] == memory["train_loss"], (
+        "redis workers diverged from the in-process pool"
+    )
+    _RESULTS["redis_broker"] = {
+        "clients": REDIS_COHORT,
+        "workers": 2,
+        "backend": "external" if external else "miniredis",
+        "memory_wall_seconds": memory["wall_seconds"],
+        "redis_wall_seconds": redis_row["wall_seconds"],
+        "bit_identical": True,
+    }
     _flush()
 
 

@@ -13,6 +13,8 @@ Usage::
         scheduler.neighbor_selection=pairwise              # decentralized gossip
     python -m repro --print-config algorithm=moon      # dump the resolved spec
     python -m repro run my_spec.yaml                   # run a saved spec file
+    python -m repro broker=redis://localhost:6379/0    # broker-backed pool
+    python -m repro worker 'redis://host:6379/0?run=<ns>'  # turn-pulling worker
     python -m repro run my_spec.yaml --save runs/exp1  # archive the RunResult
     python -m repro --config-dir my_confs --config-name exp  algorithm=moon
     python -m repro --list                             # show config groups
@@ -96,6 +98,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             if options:
                 print(f"{group:12s} {', '.join(options)}")
         return 0
+
+    if args.overrides and args.overrides[0] == "worker":
+        # worker mode: `python -m repro worker <broker-url>` — pull client
+        # turns from a running broker until it says stop
+        if len(args.overrides) != 2:
+            parser.error("usage: python -m repro worker <broker-url>")
+        from repro.runtime.worker import run_worker
+
+        return run_worker(args.overrides[1])
 
     if args.overrides and args.overrides[0] == "run":
         # spec-file mode: `python -m repro run <spec.yaml>`

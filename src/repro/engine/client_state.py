@@ -80,6 +80,8 @@ class ClientStateStore:
 
     def __init__(self) -> None:
         self._snapshots: Dict[int, ClientSnapshot] = {}
+        self._sizes: Dict[int, int] = {}
+        self._total_bytes = 0
         self._lock = threading.Lock()
 
     def get(self, client: int) -> Optional[ClientSnapshot]:
@@ -87,12 +89,21 @@ class ClientStateStore:
             return self._snapshots.get(int(client))
 
     def put(self, client: int, snapshot: ClientSnapshot) -> None:
+        # size once per put (snapshot contents are replace-not-mutate, see
+        # ClientSnapshot contract) so nbytes() stays O(1) — telemetry reads
+        # it on every aggregation record
+        size = snapshot.nbytes()
         with self._lock:
-            self._snapshots[int(client)] = snapshot
+            key = int(client)
+            self._total_bytes += size - self._sizes.get(key, 0)
+            self._sizes[key] = size
+            self._snapshots[key] = snapshot
 
     def pop(self, client: int) -> Optional[ClientSnapshot]:
         with self._lock:
-            return self._snapshots.pop(int(client), None)
+            key = int(client)
+            self._total_bytes -= self._sizes.pop(key, 0)
+            return self._snapshots.pop(key, None)
 
     def clients(self) -> List[int]:
         with self._lock:
@@ -107,6 +118,10 @@ class ClientStateStore:
             return client in self._snapshots
 
     def nbytes(self) -> int:
-        """Total numpy memory pinned by stored snapshots (diagnostics)."""
+        """Total numpy memory pinned by stored snapshots (diagnostics).
+
+        Maintained incrementally on ``put``/``pop`` — constant-time, safe
+        to poll from telemetry's record path.
+        """
         with self._lock:
-            return sum(s.nbytes() for s in self._snapshots.values())
+            return self._total_bytes

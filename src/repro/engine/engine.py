@@ -28,7 +28,7 @@ from repro.data.registry import DataModule
 from repro.data.views import ClientDataProvider
 from repro.engine.actor import ThreadActor, wait_all
 from repro.engine.metrics import MetricsCollector, RoundRecord, StopRun
-from repro.engine.pool import ClientPool, ClientRuntime, DedicatedRuntime
+from repro.runtime import Broker, ClientPool, ClientRuntime, DedicatedRuntime, broker_class
 from repro.models.base import FederatedModel
 from repro.nn.serialization import state_average
 from repro.node.node import Node
@@ -184,13 +184,18 @@ class Engine:
         pool_size = getattr(spec, "pool_size", None)
         if pool_size is not None and int(pool_size) < 1:
             raise ValueError("pool_size must be >= 1 (or null for dedicated nodes)")
-        pooled = pool_size is not None and int(pool_size) < n_trainers
+        broker_url = getattr(spec, "broker", None) or "memory://"
+        distributed = broker_class(broker_url).distributed
+        # a distributed broker always pools (its workers live out-of-process);
+        # the memory broker pools only when the cohort exceeds the pool
+        pooled = distributed or (pool_size is not None and int(pool_size) < n_trainers)
         if pooled and topology.pattern != "server":
             raise ValueError(
-                f"client-pool execution (pool_size={pool_size} < "
-                f"{n_trainers} clients) needs a server-pattern topology; "
-                f"{topology.pattern!r} topologies require dedicated nodes "
-                "(set pool_size >= the trainer count, or leave it null)"
+                f"client-pool execution (broker={broker_url!r}, "
+                f"pool_size={pool_size}, {n_trainers} clients) needs a "
+                f"server-pattern topology; {topology.pattern!r} topologies "
+                "require dedicated nodes (use the memory broker with "
+                "pool_size >= the trainer count, or leave pool_size null)"
             )
 
         def make_node(nspec: NodeSpec, train_ds) -> Node:
@@ -215,29 +220,44 @@ class Engine:
         self.pool: Optional[ClientPool] = None
         if pooled:
             # aggregators/relays materialize as real nodes; the cohort's
-            # trainers become logical clients served by pool workers (no
+            # trainers become logical clients served by broker workers (no
             # communicator groups: pooled execution runs on the scheduler
-            # runtime, which moves updates through actor futures)
+            # runtime, which moves updates through turn tickets)
             for nspec in node_specs:
                 if nspec.role.trains():
                     continue
                 self.nodes.append(make_node(nspec, None))
                 self.actors.append(ThreadActor(self.nodes[-1], name=nspec.name))
-            base_index = 1 + max(s.index for s in node_specs)
-            worker_positions = []
-            for w in range(int(pool_size)):
-                wspec = NodeSpec(
-                    name=f"pool_worker_{w}",
-                    index=base_index + w,
-                    role=NodeRole.TRAINER,
+            if distributed:
+                # worker processes rebuild their own trainer nodes from the
+                # spec the broker publishes; this process holds none, so
+                # probe the algorithm's evaluation convention directly
+                self._personalized_eval = bool(algorithm_fn().personalized_eval)
+                broker = Broker(
+                    broker_url,
+                    spec=spec,
+                    num_clients=n_trainers,
+                    default_workers=int(pool_size) if pool_size is not None else None,
                 )
-                worker_positions.append(len(self.nodes))
-                self.nodes.append(make_node(wspec, None))
-                self.actors.append(ThreadActor(self.nodes[-1], name=wspec.name))
+            else:
+                base_index = 1 + max(s.index for s in node_specs)
+                worker_positions = []
+                for w in range(int(pool_size)):
+                    wspec = NodeSpec(
+                        name=f"pool_worker_{w}",
+                        index=base_index + w,
+                        role=NodeRole.TRAINER,
+                    )
+                    worker_positions.append(len(self.nodes))
+                    self.nodes.append(make_node(wspec, None))
+                    self.actors.append(ThreadActor(self.nodes[-1], name=wspec.name))
+                broker = Broker(
+                    broker_url, engine=self, worker_positions=worker_positions
+                )
             self.pool = ClientPool(
                 self,
                 num_clients=n_trainers,
-                worker_positions=worker_positions,
+                broker=broker,
                 data_provider=self.data_provider,
             )
         else:
@@ -405,7 +425,7 @@ class Engine:
         futures = [actor.submit("setup_local") for actor in self.actors]
         wait_all(futures, timeout=60)
         if self.pool is not None:
-            self.pool.ensure_baseline()
+            self.pool.start()
         self._fire_setup_callbacks()
 
     # ------------------------------------------------------------------
@@ -558,22 +578,17 @@ class Engine:
     def evaluate(self) -> tuple:
         """(loss, accuracy) under the algorithm's evaluation convention."""
         with self.tracer.span("engine.evaluate", cat="engine"):
-            personalized = any(
-                n.algorithm.personalized_eval for n in self.nodes if n.role.trains()
-            )
-            if personalized and self.pool is not None:
-                # each logical client's own model, swapped through the pool
-                return self.pool.evaluate_all(self.eval_max_batches)
+            trainers = [n for n in self.nodes if n.role.trains()]
+            if trainers:
+                personalized = any(n.algorithm.personalized_eval for n in trainers)
+            else:
+                # distributed broker: trainer nodes live in worker processes
+                personalized = getattr(self, "_personalized_eval", False)
             if personalized:
-                futures = [
-                    actor.submit("evaluate", None, self.eval_max_batches)
-                    for node, actor in zip(self.nodes, self.actors)
-                    if node.role.trains()
-                ]
-                results = wait_all(futures, timeout=300)
-                losses = [r[0] for r in results]
-                accs = [r[1] for r in results]
-                return float(np.mean(losses)), float(np.mean(accs))
+                # each logical client's own model, through whichever runtime
+                # serves it (pool-swapped or dedicated actors — the
+                # ClientRuntime contract makes the fan-out uniform)
+                return self.client_runtime().evaluate_all(self.eval_max_batches)
             state = self.global_state()
             evaluator = next(
                 (i for i, n in enumerate(self.nodes) if n.role is NodeRole.AGGREGATOR),
@@ -602,7 +617,7 @@ class Engine:
             return
         self._shutdown_done = True
         if self.pool is not None:
-            self.pool.stop()
+            self.pool.shutdown()
         futures = []
         for actor in self.actors:
             try:

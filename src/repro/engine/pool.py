@@ -1,303 +1,25 @@
-"""Client runtimes: how logical clients map onto physical node actors.
+"""Deprecated location: the client runtimes moved to :mod:`repro.runtime`.
 
-The scheduler subsystem dispatches work to *logical client ids* through a
-:class:`ClientRuntime`; how those ids reach hardware is this module's
-concern:
-
-* :class:`DedicatedRuntime` — the classic mode: one node actor per client,
-  ``submit`` goes straight to the client's own actor.
-* :class:`ClientPool` — massive-scale simulation: ``num_clients`` logical
-  clients share ``pool_size`` reusable worker nodes.  Each turn swaps the
-  client's persistent state (see :mod:`repro.engine.client_state`) into a
-  free worker, runs the call on the worker's actor thread, and extracts the
-  state back.  Memory is bounded by the pool, not the cohort.
-
-The pool preserves two properties the execution policies rely on:
-
-1. **per-client FIFO** — all submissions for one client run in submission
-   order (exactly what a dedicated actor's mailbox guarantees), so pooled
-   and dedicated runs are bit-identical;
-2. **bounded results** — at most ``window`` turns are started-but-unconsumed
-   at a time, so completed model states never pile up cohort-deep while the
-   virtual-time queue waits on a late arrival.  A consumer blocking on a
-   specific ticket *demands* it past the window (and past FIFO order for
-   other clients), which makes the bound deadlock-free.
+``ClientRuntime``/``DedicatedRuntime`` live in ``repro.runtime.base`` and
+``ClientPool``/``PoolTicket`` in ``repro.runtime.pool`` (pooled execution
+now dispatches through a pluggable turn broker — see
+``repro.runtime.broker``).  This module re-exports those names unchanged
+so existing imports keep working, at the price of one
+:class:`DeprecationWarning` when it is first imported.
 """
 
 from __future__ import annotations
 
-import itertools
-import threading
-from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Set, TYPE_CHECKING
+import warnings
 
-import numpy as np
-
-from repro.engine.client_state import ClientStateStore
-from repro.utils.logging import get_logger
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.engine.engine import Engine
+from repro.runtime.base import ClientRuntime, DedicatedRuntime
+from repro.runtime.pool import ClientPool, PoolTicket
 
 __all__ = ["ClientRuntime", "DedicatedRuntime", "ClientPool", "PoolTicket"]
 
-_LOG = get_logger("pool")
-
-
-class ClientRuntime:
-    """Where ``scheduler.dispatch`` sends a logical client's work."""
-
-    #: True when logical clients outnumber physical nodes
-    pooled = False
-
-    def client_ids(self) -> List[int]:
-        raise NotImplementedError
-
-    def submit(self, client: int, method: str, *args: Any, **kwargs: Any) -> Any:
-        """Run ``method`` for ``client``; returns a future-like object."""
-        raise NotImplementedError
-
-
-class DedicatedRuntime(ClientRuntime):
-    """One node actor per client id (the classic execution mode)."""
-
-    def __init__(self, engine: "Engine", id_to_pos: Dict[int, int]) -> None:
-        self._engine = engine
-        self._id_to_pos = {int(c): int(p) for c, p in id_to_pos.items()}
-
-    def client_ids(self) -> List[int]:
-        return sorted(self._id_to_pos)
-
-    def submit(self, client: int, method: str, *args: Any, **kwargs: Any) -> Any:
-        return self._engine.actors[self._id_to_pos[int(client)]].submit(method, *args, **kwargs)
-
-
-# ----------------------------------------------------------------------
-# pooled execution
-# ----------------------------------------------------------------------
-class PoolTicket:
-    """Future-like handle for one pooled client turn.
-
-    Satisfies the surface the event queue uses (``result``/``exception``/
-    ``done``); ``result`` additionally *demands* the ticket, telling the pool
-    a consumer is blocked on it so it may jump the admission window.
-    """
-
-    def __init__(self, pool: "ClientPool", seq: int, client: int, method: str,
-                 args: tuple, kwargs: dict, needs_data: bool) -> None:
-        self._pool = pool
-        self.seq = seq
-        self.client = int(client)
-        self.method = method
-        self.args = args
-        self.kwargs = kwargs
-        self.needs_data = needs_data
-        self.demanded = False
-        self.started = False
-        self._event = threading.Event()
-        self._result: Any = None
-        self._exc: Optional[BaseException] = None
-        self._consumed = False
-
-    def done(self) -> bool:
-        return self._event.is_set()
-
-    def cancel(self) -> bool:  # Future-API compat; pooled turns always run
-        return False
-
-    def _wait(self, timeout: Optional[float]) -> None:
-        self._pool._demand(self)
-        if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"pooled turn ({self.method} for client {self.client}) "
-                f"still pending after {timeout}s"
-            )
-        self._pool._consume(self)
-
-    def result(self, timeout: Optional[float] = None) -> Any:
-        self._wait(timeout)
-        if self._exc is not None:
-            raise self._exc
-        return self._result
-
-    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
-        self._wait(timeout)
-        return self._exc
-
-    def __repr__(self) -> str:
-        state = "done" if self.done() else ("running" if self.started else "queued")
-        return f"PoolTicket(client={self.client}, method={self.method!r}, {state})"
-
-
-class ClientPool(ClientRuntime):
-    """``num_clients`` logical clients simulated on a bounded worker pool."""
-
-    pooled = True
-
-    #: methods whose turn needs the client's training data view mounted
-    _DATA_METHODS = ("local_update", "run_round")
-
-    def __init__(
-        self,
-        engine: "Engine",
-        num_clients: int,
-        worker_positions: List[int],
-        data_provider,
-        window: Optional[int] = None,
-    ) -> None:
-        if not worker_positions:
-            raise ValueError("client pool needs at least one worker node")
-        self._engine = engine
-        self.num_clients = int(num_clients)
-        self._worker_pos = [int(w) for w in worker_positions]
-        self._data = data_provider
-        self.store = ClientStateStore()
-        self._lock = threading.Lock()
-        self._free: List[int] = list(self._worker_pos)
-        self._pending: Deque[PoolTicket] = deque()
-        self._busy_clients: Set[int] = set()
-        self._seq = itertools.count()
-        # started-but-unconsumed turns admitted without demand: bounds how
-        # many decoded results can pile up while the event queue waits
-        self._window = int(window) if window is not None else max(2 * len(worker_positions), 4)
-        self._unconsumed = 0
-        self._baseline: Optional[Dict[str, Any]] = None
-        self._stopped = False
-        self.turns_run = 0
-
-    # ------------------------------------------------------------------
-    @property
-    def pool_size(self) -> int:
-        return len(self._worker_pos)
-
-    def client_ids(self) -> List[int]:
-        return list(range(self.num_clients))
-
-    def ensure_baseline(self) -> None:
-        """Capture the pristine first-turn state (once, from any worker —
-        all workers are built identically from the same seeded factories)."""
-        if self._baseline is None:
-            self._baseline = self._engine.actors[self._worker_pos[0]].call(
-                "pool_baseline", timeout=60
-            )
-
-    # ------------------------------------------------------------------
-    def submit(self, client: int, method: str, *args: Any, **kwargs: Any) -> PoolTicket:
-        if self._baseline is None:
-            self.ensure_baseline()
-        with self._lock:
-            if self._stopped:
-                raise RuntimeError("client pool has been stopped")
-            ticket = PoolTicket(
-                self, next(self._seq), client, method, args, kwargs,
-                needs_data=method in self._DATA_METHODS,
-            )
-            self._pending.append(ticket)
-            self._pump_locked()
-        return ticket
-
-    def evaluate_all(self, max_batches: Optional[int] = None) -> tuple:
-        """Personalized evaluation over every logical client: mean (loss,
-        accuracy) of each client's own model on the shared test set."""
-        tickets = [self.submit(c, "evaluate", None, max_batches) for c in self.client_ids()]
-        results = [t.result(300) for t in tickets]
-        losses = [r[0] for r in results]
-        accs = [r[1] for r in results]
-        return float(np.mean(losses)), float(np.mean(accs))
-
-    def stop(self) -> None:
-        """Fail everything still queued; started turns finish on their own."""
-        with self._lock:
-            self._stopped = True
-            pending, self._pending = list(self._pending), deque()
-        for ticket in pending:
-            ticket._exc = RuntimeError("client pool stopped with turns still queued")
-            ticket._event.set()
-
-    # ------------------------------------------------------------------
-    # internals (all under self._lock unless noted)
-    # ------------------------------------------------------------------
-    def _demand(self, ticket: PoolTicket) -> None:
-        """A consumer is blocked on ``ticket``: let it (and the same
-        client's earlier turns, which per-client FIFO runs first) jump the
-        admission window."""
-        with self._lock:
-            if ticket.done() or ticket.demanded:
-                return
-            for t in self._pending:
-                if t.client == ticket.client and t.seq <= ticket.seq:
-                    t.demanded = True
-            ticket.demanded = True
-            self._pump_locked()
-
-    def _consume(self, ticket: PoolTicket) -> None:
-        with self._lock:
-            if not ticket._consumed:
-                ticket._consumed = True
-                self._unconsumed -= 1
-                self._pump_locked()
-
-    def _pump_locked(self) -> None:
-        """Assign startable tickets to free workers (FIFO, demand first)."""
-        while self._free:
-            ticket = self._next_startable()
-            if ticket is None:
-                return
-            self._pending.remove(ticket)
-            worker = self._free.pop()
-            ticket.started = True
-            self._busy_clients.add(ticket.client)
-            self._unconsumed += 1
-            future = self._engine.actors[worker].submit_call(self._run_turn, ticket)
-            future.add_done_callback(
-                lambda f, t=ticket, w=worker: self._on_turn_done(t, w, f)
-            )
-
-    def _next_startable(self) -> Optional[PoolTicket]:
-        admit_more = self._unconsumed < self._window
-        for ticket in self._pending:
-            if ticket.client in self._busy_clients:
-                continue  # per-client FIFO: an earlier turn is running
-            if ticket.demanded or admit_more:
-                return ticket
-        return None
-
-    def _run_turn(self, node, ticket: PoolTicket) -> Any:
-        """Inject state -> run -> extract state, on the worker's thread."""
-        tracer = self._engine.tracer
-        snapshot = self.store.get(ticket.client)
-        dataset = self._data.view(ticket.client) if ticket.needs_data else None
-        assert self._baseline is not None
-        with tracer.span("pool.swap_in", cat="pool", client=ticket.client):
-            node.begin_client_turn(ticket.client, snapshot, dataset, self._baseline)
-        try:
-            with tracer.span("pool.turn", cat="pool",
-                             client=ticket.client, method=ticket.method):
-                return getattr(node, ticket.method)(*ticket.args, **ticket.kwargs)
-        finally:
-            # extract even after a failed turn: the client keeps whatever
-            # state the failure left (dedicated-node semantics), and the
-            # next begin_client_turn fully re-initializes the worker either
-            # way, so reuse cannot leak state across clients
-            turns = snapshot.turns if snapshot is not None else 0
-            with tracer.span("pool.swap_out", cat="pool", client=ticket.client):
-                self.store.put(ticket.client, node.end_client_turn(turns))
-
-    def _on_turn_done(self, ticket: PoolTicket, worker: int, future) -> None:
-        exc = future.exception()
-        if exc is not None:
-            ticket._exc = exc
-        else:
-            ticket._result = future.result()
-        with self._lock:
-            self.turns_run += 1
-            self._busy_clients.discard(ticket.client)
-            self._free.append(worker)
-            self._pump_locked()
-        ticket._event.set()
-
-    def __repr__(self) -> str:
-        return (
-            f"ClientPool(clients={self.num_clients}, workers={self.pool_size}, "
-            f"turns={self.turns_run}, stored={len(self.store)})"
-        )
+warnings.warn(
+    "repro.engine.pool is deprecated; import ClientRuntime, DedicatedRuntime, "
+    "ClientPool and PoolTicket from repro.runtime instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

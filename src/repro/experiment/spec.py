@@ -272,6 +272,11 @@ class ExperimentSpec:
     #: count degenerates to dedicated execution; a smaller pool bounds
     #: memory/threads by the pool while staying bit-identical to dedicated
     pool_size: Optional[int] = None
+    #: turn-queue broker URL for pooled execution: ``memory://`` (default)
+    #: runs turns on in-process worker actors, ``redis://host:port/db``
+    #: dispatches them to worker processes (``repro worker <url>``); see
+    #: :mod:`repro.runtime.broker` for the scheme registry
+    broker: str = "memory://"
 
     def __post_init__(self) -> None:
         _freeze(self, "topology_kwargs", _plain(self.topology_kwargs or {}))
@@ -293,6 +298,13 @@ class ExperimentSpec:
             raise SpecError("num_clients must be >= 1 (or null)")
         if self.pool_size is not None and self.pool_size < 1:
             raise SpecError("pool_size must be >= 1 (or null)")
+        if self.broker is None:
+            _freeze(self, "broker", "memory://")
+        # scheme registry owns URL validation (ValueError names the
+        # registered schemes); imported lazily to keep spec import-light
+        from repro.runtime.broker import broker_scheme
+
+        broker_scheme(self.broker)
 
     # -- dispatch ----------------------------------------------------------
     def run_mode(self) -> str:
@@ -300,7 +312,11 @@ class ExperimentSpec:
         if self.mode == "auto":
             # pooled cohorts have no collective rounds: the scheduler
             # runtime (default policy if none is named) is the only path
-            if self.scheduler is not None or self.pool_size is not None:
+            if (
+                self.scheduler is not None
+                or self.pool_size is not None
+                or not self.broker.startswith("memory:")
+            ):
                 return "async"
             return "rounds"
         return self.mode
@@ -321,6 +337,7 @@ class ExperimentSpec:
             "total_updates": self.total_updates,
             "num_clients": self.num_clients,
             "pool_size": self.pool_size,
+            "broker": self.broker,
         }
         _check_serializable(out, "spec")
         return out
@@ -439,6 +456,7 @@ class ExperimentSpec:
             pool_size=(
                 int(cfg["pool_size"]) if cfg.get("pool_size") is not None else None
             ),
+            broker=str(cfg.get("broker") or "memory://"),
         )
 
 
@@ -481,6 +499,7 @@ def spec_from_parts(
     total_updates: Optional[int] = None,
     num_clients: Optional[int] = None,
     pool_size: Optional[int] = None,
+    broker: str = "memory://",
 ) -> ExperimentSpec:
     """Assemble an :class:`ExperimentSpec` from flat engine-style kwargs."""
     return ExperimentSpec(
@@ -524,6 +543,7 @@ def spec_from_parts(
         total_updates=total_updates,
         num_clients=num_clients,
         pool_size=pool_size,
+        broker=broker,
     )
 
 

@@ -1,0 +1,52 @@
+"""repro.runtime — the public client-runtime and broker API.
+
+How logical clients reach execution substrates:
+
+* :class:`ClientRuntime` / :class:`DedicatedRuntime` — the runtime
+  contract (``submit`` / ``evaluate_all`` / ``shutdown`` / ``pooled``) and
+  its one-node-per-client implementation (:mod:`repro.runtime.base`);
+* :class:`ClientPool` — pooled execution: ``num_clients`` logical clients
+  scheduled (per-client FIFO, bounded admission window) onto a turn broker
+  (:mod:`repro.runtime.pool`);
+* :func:`Broker` — scheme-registry factory over broker URLs:
+  ``memory://`` runs turns on in-process worker actors, ``redis://`` on
+  worker processes pulling from a redis queue
+  (:mod:`repro.runtime.broker`, :mod:`repro.runtime.redis`).
+
+``repro.engine.pool`` re-exports the pre-0.7 names with a
+``DeprecationWarning``; new code imports from here.
+"""
+
+from repro.runtime.base import ClientRuntime, DedicatedRuntime
+from repro.runtime.broker import (
+    BROKER_SCHEMES,
+    Broker,
+    BrokerError,
+    BrokerTurnLost,
+    BrokerUnavailable,
+    MemoryBroker,
+    TurnBroker,
+    broker_class,
+    broker_scheme,
+    register_broker,
+)
+from repro.runtime.pool import ClientPool, PoolTicket
+from repro.runtime.redis import RedisBroker  # registers the redis:// scheme
+
+__all__ = [
+    "ClientRuntime",
+    "DedicatedRuntime",
+    "ClientPool",
+    "PoolTicket",
+    "Broker",
+    "TurnBroker",
+    "MemoryBroker",
+    "RedisBroker",
+    "BROKER_SCHEMES",
+    "register_broker",
+    "broker_class",
+    "broker_scheme",
+    "BrokerError",
+    "BrokerTurnLost",
+    "BrokerUnavailable",
+]

@@ -1,0 +1,103 @@
+"""The public client-runtime contract.
+
+A :class:`ClientRuntime` is the seam between scheduling policy and client
+execution: schedulers (and ``Engine.evaluate``) submit *turns* — one method
+call on one logical client — and consume the returned tickets, without
+knowing whether the client lives on a dedicated in-process node, a pooled
+worker thread, or a worker process on another machine behind a broker.
+
+The contract, which every implementation must honor:
+
+``pooled``
+    ``True`` when logical clients outnumber execution slots and per-client
+    state is swapped in and out around each turn.  Schedulers use this only
+    for capacity bookkeeping, never for correctness.
+``client_ids()``
+    The logical client ids this runtime can execute, sorted.
+``submit(client, method, *args, **kwargs)``
+    Enqueue one turn and return a future-like ticket with ``result(timeout)``
+    and ``exception(timeout)``.  Turns for the *same* client execute in
+    submission order (per-client FIFO) — this is what makes pooled and
+    dedicated execution bit-identical.  Turns for different clients may run
+    in any order or in parallel.
+``evaluate_all(max_batches=None)``
+    Run ``evaluate`` on every client against its own state and return the
+    ``(mean_loss, mean_accuracy)`` over clients in sorted-id order.
+``shutdown()``
+    Release execution resources.  Pending (unstarted) turns fail with
+    ``RuntimeError``; already-running turns complete.  Idempotent.
+
+``repro.engine.pool`` re-exports these names for backward compatibility but
+emits a :class:`DeprecationWarning`; import from :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import Engine
+
+__all__ = ["ClientRuntime", "DedicatedRuntime"]
+
+
+class ClientRuntime:
+    """Uniform interface for running logical-client turns (see module doc)."""
+
+    #: True when clients share execution slots and state is swapped per turn
+    pooled: bool = False
+
+    def client_ids(self) -> List[int]:
+        """Sorted logical client ids this runtime executes."""
+        raise NotImplementedError
+
+    def submit(self, client: int, method: str, *args, **kwargs):
+        """Enqueue one turn; returns a ticket with ``result``/``exception``."""
+        raise NotImplementedError
+
+    def evaluate_all(self, max_batches: Optional[int] = None) -> Tuple[float, float]:
+        """Per-client ``evaluate`` fan-out -> (mean_loss, mean_accuracy)."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release resources; pending turns fail, running turns finish."""
+        raise NotImplementedError
+
+
+class DedicatedRuntime(ClientRuntime):
+    """One node (and actor thread) per logical client — no state swapping.
+
+    The degenerate runtime used when the cohort is small enough to
+    materialize fully; turns go straight to each client's own actor, so
+    per-client FIFO falls out of the actor's mailbox order.
+    """
+
+    pooled = False
+
+    def __init__(self, engine: "Engine", id_to_pos) -> None:
+        self._engine = engine
+        self._id_to_pos = {int(c): int(p) for c, p in dict(id_to_pos).items()}
+
+    def client_ids(self) -> List[int]:
+        return sorted(self._id_to_pos)
+
+    def submit(self, client: int, method: str, *args, **kwargs):
+        return self._engine.actors[self._id_to_pos[int(client)]].submit(
+            method, *args, **kwargs
+        )
+
+    def evaluate_all(self, max_batches: Optional[int] = None) -> Tuple[float, float]:
+        futures = [
+            self.submit(client, "evaluate", None, max_batches)
+            for client in self.client_ids()
+        ]
+        pairs = [f.result() for f in futures]
+        losses = [p[0] for p in pairs]
+        accs = [p[1] for p in pairs]
+        return float(np.mean(losses)), float(np.mean(accs))
+
+    def shutdown(self) -> None:
+        # actors belong to the engine (it tears them down in Engine.shutdown)
+        pass

@@ -1,0 +1,272 @@
+"""Turn-queue brokers: pluggable transport behind the client pool.
+
+The :class:`~repro.runtime.pool.ClientPool` owns *policy* — per-client
+FIFO, the admission window, demand semantics — and delegates *transport*
+(where a started turn actually executes) to a :class:`TurnBroker`.  Brokers
+are chosen by URL scheme through a registry, mirroring the WorQ/pymq
+``Broker('memory://')`` pattern:
+
+===========  ===============================================================
+scheme       execution substrate
+===========  ===============================================================
+memory       in-process worker-node actor threads (the classic pool; default)
+redis        worker *processes* pulling turns from a redis list, with the
+             ``ClientStateStore`` sharded into a redis hash (see
+             :mod:`repro.runtime.redis`)
+===========  ===============================================================
+
+``Broker(url)`` builds the right broker, raising :class:`ValueError` for
+unknown schemes with the registered schemes named.  Third parties register
+their own via :func:`register_broker`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Type
+from urllib.parse import urlparse
+
+from repro.engine.client_state import ClientStateStore
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import Engine
+    from repro.runtime.pool import ClientPool, PoolTicket
+
+__all__ = [
+    "BROKER_SCHEMES",
+    "register_broker",
+    "broker_scheme",
+    "broker_class",
+    "Broker",
+    "TurnBroker",
+    "MemoryBroker",
+    "BrokerError",
+    "BrokerTurnLost",
+    "BrokerUnavailable",
+]
+
+_LOG = get_logger("broker")
+
+#: scheme -> broker class; extend with :func:`register_broker`
+BROKER_SCHEMES: Dict[str, Type["TurnBroker"]] = {}
+
+
+class BrokerError(RuntimeError):
+    """A broker-layer failure (transport, lease, worker loss)."""
+
+
+class BrokerTurnLost(BrokerError):
+    """A dispatched turn can no longer complete: the worker holding its
+    lease died (or never claimed it) and the retry budget is exhausted.
+    Delivered through the ticket, so a scheduler blocked on ``result()``
+    fails fast instead of stalling the run."""
+
+
+class BrokerUnavailable(BrokerError, ConnectionError):
+    """The broker backend cannot be reached."""
+
+
+def register_broker(scheme: str) -> Callable[[Type["TurnBroker"]], Type["TurnBroker"]]:
+    """Class decorator: make ``scheme://...`` URLs build the class."""
+
+    def deco(cls: Type["TurnBroker"]) -> Type["TurnBroker"]:
+        cls.scheme = scheme
+        BROKER_SCHEMES[scheme] = cls
+        return cls
+
+    return deco
+
+
+def broker_scheme(url: str) -> str:
+    """Validate ``url`` and return its (registered) scheme."""
+    if not isinstance(url, str) or not url:
+        raise ValueError(f"invalid broker URL: {url!r} (expected a scheme:// string)")
+    scheme = urlparse(url).scheme
+    if scheme not in BROKER_SCHEMES:
+        known = ", ".join(sorted(BROKER_SCHEMES))
+        raise ValueError(
+            f"invalid broker URL {url!r}: unknown scheme {scheme!r} "
+            f"(registered schemes: {known})"
+        )
+    return scheme
+
+
+def broker_class(url: str) -> Type["TurnBroker"]:
+    return BROKER_SCHEMES[broker_scheme(url)]
+
+
+def Broker(url: str, **kwargs: Any) -> "TurnBroker":  # noqa: N802 - factory styled as a type
+    """Build the broker for ``url`` (``ValueError`` on unknown schemes)."""
+    return broker_class(url)(url, **kwargs)
+
+
+# ----------------------------------------------------------------------
+class TurnBroker:
+    """Transport contract between the pool and an execution substrate.
+
+    Lifecycle: construct -> ``attach(pool)`` -> ``start()`` -> many
+    ``execute(ticket)`` -> ``shutdown()``.  ``capacity_free`` and
+    ``execute`` are always called under the pool's lock (so they must not
+    block on turn completion); a broker reports each finished turn back via
+    ``pool.turn_done(ticket, result, exc, release=...)``, which re-pumps the
+    queue.
+    """
+
+    #: registry key, set by :func:`register_broker`
+    scheme: str = "?"
+    #: True when turns execute outside this process (workers are remote)
+    distributed: bool = False
+
+    #: where client snapshots live between turns (brokers may shard this
+    #: behind the transport; the attribute always answers locally)
+    store: ClientStateStore
+
+    def __init__(self, url: str, **kwargs: Any) -> None:
+        self.url = url
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, pool: "ClientPool") -> None:
+        """Called once by the pool that owns this broker."""
+        self.pool = pool
+
+    def start(self) -> None:
+        """Bring up the substrate (capture baselines, connect, spawn)."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Tear down transport and workers; idempotent."""
+        raise NotImplementedError
+
+    # -- dispatch (called under the pool lock) -------------------------
+    def capacity_free(self) -> bool:
+        """True when another turn can be dispatched right now."""
+        raise NotImplementedError
+
+    def execute(self, ticket: "PoolTicket") -> None:
+        """Dispatch one started ticket; must return without waiting."""
+        raise NotImplementedError
+
+    # -- introspection (telemetry reads these on the record path) ------
+    @property
+    def pool_size(self) -> int:
+        """Execution slots (workers) this broker dispatches onto."""
+        raise NotImplementedError
+
+    def default_window(self) -> int:
+        """Admission-window size when the spec does not pin one."""
+        return max(2 * max(self.pool_size, 1), 4)
+
+    def queue_depth(self) -> int:
+        """Turns dispatched to the substrate and not yet completed."""
+        raise NotImplementedError
+
+    def idle_workers(self) -> int:
+        """Workers currently free (best-effort for remote substrates)."""
+        raise NotImplementedError
+
+    def snapshot_bytes(self) -> int:
+        """Bytes of client state held behind this broker."""
+        return self.store.nbytes()
+
+    def describe(self) -> Dict[str, Any]:
+        return {"scheme": self.scheme, "url": self.url,
+                "distributed": self.distributed, "workers": self.pool_size}
+
+
+# ----------------------------------------------------------------------
+@register_broker("memory")
+class MemoryBroker(TurnBroker):
+    """The in-process substrate: turns run on worker-node actor threads.
+
+    Reproduces the pre-broker ``ClientPool`` dispatch bit-identically —
+    same swap-in/turn/swap-out spans on the same actor threads, same
+    free-worker LIFO — so ``memory://`` is a pure refactor of the classic
+    pool, not a behavioral fork.
+    """
+
+    distributed = False
+
+    def __init__(
+        self,
+        url: str = "memory://",
+        *,
+        engine: "Engine",
+        worker_positions,
+        **_: Any,
+    ) -> None:
+        super().__init__(url)
+        if not worker_positions:
+            raise ValueError("client pool needs at least one worker node")
+        self._engine = engine
+        self._worker_pos = [int(w) for w in worker_positions]
+        self._free = list(self._worker_pos)
+        self.store = ClientStateStore()
+        self._baseline: Optional[Dict[str, Any]] = None
+        self._inflight = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Capture the pristine first-turn state (once, from any worker —
+        all workers are built identically from the same seeded factories)."""
+        if self._baseline is None:
+            self._baseline = self._engine.actors[self._worker_pos[0]].call(
+                "pool_baseline", timeout=60
+            )
+
+    def shutdown(self) -> None:
+        # worker actors belong to the engine; nothing broker-owned to stop
+        pass
+
+    # -- dispatch ------------------------------------------------------
+    @property
+    def pool_size(self) -> int:
+        return len(self._worker_pos)
+
+    def capacity_free(self) -> bool:
+        return bool(self._free)
+
+    def execute(self, ticket: "PoolTicket") -> None:
+        if self._baseline is None:
+            self.start()
+        worker = self._free.pop()
+        self._inflight += 1
+        future = self._engine.actors[worker].submit_call(self._run_turn, ticket)
+        future.add_done_callback(
+            lambda f, t=ticket, w=worker: self._on_turn_done(t, w, f)
+        )
+
+    def _run_turn(self, node, ticket: "PoolTicket") -> Any:
+        """Inject state -> run -> extract state, on the worker's thread."""
+        tracer = self._engine.tracer
+        snapshot = self.store.get(ticket.client)
+        dataset = self.pool.data_view(ticket)
+        assert self._baseline is not None
+        with tracer.span("pool.swap_in", cat="pool", client=ticket.client):
+            node.begin_client_turn(ticket.client, snapshot, dataset, self._baseline)
+        try:
+            with tracer.span("pool.turn", cat="pool",
+                             client=ticket.client, method=ticket.method):
+                return getattr(node, ticket.method)(*ticket.args, **ticket.kwargs)
+        finally:
+            # extract even after a failed turn: the client keeps whatever
+            # state the failure left (dedicated-node semantics), and the
+            # next begin_client_turn fully re-initializes the worker either
+            # way, so reuse cannot leak state across clients
+            turns = snapshot.turns if snapshot is not None else 0
+            with tracer.span("pool.swap_out", cat="pool", client=ticket.client):
+                self.store.put(ticket.client, node.end_client_turn(turns))
+
+    def _on_turn_done(self, ticket: "PoolTicket", worker: int, future) -> None:
+        def release() -> None:  # runs under the pool lock, before the pump
+            self._free.append(worker)
+            self._inflight -= 1
+
+        self.pool.turn_done(ticket, future.result() if future.exception() is None
+                            else None, future.exception(), release=release)
+
+    # -- introspection -------------------------------------------------
+    def queue_depth(self) -> int:
+        return self._inflight
+
+    def idle_workers(self) -> int:
+        return len(self._free)

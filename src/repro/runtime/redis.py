@@ -1,0 +1,495 @@
+"""The ``redis://`` broker: client turns executed by worker processes.
+
+Topology: the engine process runs scheduling (virtual-time queue, admission
+window, per-client FIFO) and *submits* turns; worker processes — spawned
+via ``python -m repro worker <url>`` or auto-spawned with ``?workers=N`` —
+pull turns from a redis list and run them on locally-reconstructed nodes.
+The :class:`~repro.engine.client_state.ClientStateStore` shards into a
+redis hash: every turn swaps its client's snapshot in from the hash and
+back out, using the :mod:`repro.comm.wire` codec (via
+:mod:`repro.runtime.serde`) for transport, so a cohort's state lives
+behind the broker rather than in any single process.
+
+The turn loop and its failure protocol::
+
+    engine                          redis                    worker
+    ------                          -----                    ------
+    LPUSH turn ------------------>  turns
+                                    turns  --BRPOP---------> lease (HSET, TTL)
+                                    snap   --HGET----------> swap-in
+                                                             train
+                                    MULTI: snap<-HSET (swap-out)
+                                           done<-HSET (dedupe guard)
+                                           results<-LPUSH (ack)
+                                           leases<-HDEL
+    BRPOP results <---------------  results
+    resolve ticket
+
+Worker heartbeats renew active leases; the engine-side collector sweeps
+the lease table and **requeues** turns whose lease expired (dead worker
+mid-turn), up to ``max_requeues`` times.  A turn that stays unclaimed past
+``claim_timeout`` with no live heartbeat — or that exhausts its requeues —
+fails its ticket with :class:`~repro.runtime.broker.BrokerTurnLost`, so a
+scheduler blocked on the admission window gets a failed ticket instead of
+a stalled run.  Completed turns are recorded in the ``done`` hash; a
+requeued duplicate re-acks the recorded result instead of re-training, so
+retries cannot double-advance client state.
+
+URL parameters (``redis://host:port/db?workers=2&lease=30``):
+
+``workers``   worker processes to auto-spawn (default 0: external workers)
+``lease``     seconds a claimed turn may go unrenewed before requeue (30)
+``claim``     seconds an unclaimed turn may wait with no live workers (10)
+``hb``        worker heartbeat period in seconds (1.0)
+``requeues``  max requeues per turn before the ticket fails (2)
+``inflight``  max dispatched-but-unresolved turns (256)
+``run``       namespace id (default: derived from the spec + a nonce)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.runtime import serde
+from repro.runtime.broker import (
+    BrokerTurnLost,
+    BrokerUnavailable,
+    TurnBroker,
+    register_broker,
+)
+from repro.runtime.resp import RespClient, RespError
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("redis-broker")
+
+__all__ = ["RedisBroker", "RedisUrl", "parse_redis_url", "RedisSnapshotStore"]
+
+
+@dataclass
+class RedisUrl:
+    """Parsed broker URL: connection endpoint + protocol tuning."""
+
+    url: str
+    host: str = "127.0.0.1"
+    port: int = 6379
+    db: int = 0
+    password: Optional[str] = None
+    workers: int = 0
+    lease: float = 30.0
+    claim: float = 10.0
+    heartbeat: float = 1.0
+    max_requeues: int = 2
+    inflight: int = 256
+    run: str = ""
+
+    def namespace(self) -> str:
+        return f"repro:{self.run}" if self.run else "repro:run"
+
+    def key(self, name: str) -> str:
+        return f"{self.namespace()}:{name}"
+
+    def with_run(self, run: str) -> str:
+        """The URL string with the namespace pinned (handed to workers)."""
+        base, sep, query = self.url.partition("?")
+        params = [p for p in query.split("&") if p and not p.startswith("run=")]
+        params.append(f"run={run}")
+        return base + "?" + "&".join(params)
+
+
+def parse_redis_url(url: str) -> RedisUrl:
+    parsed = urlparse(url)
+    if parsed.scheme != "redis":
+        raise ValueError(f"not a redis URL: {url!r}")
+    params = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+    path = (parsed.path or "").strip("/")
+    out = RedisUrl(
+        url=url,
+        host=parsed.hostname or "127.0.0.1",
+        port=parsed.port or 6379,
+        db=int(path) if path else 0,
+        password=parsed.password,
+        workers=int(params.get("workers", 0)),
+        lease=float(params.get("lease", 30.0)),
+        claim=float(params.get("claim", 10.0)),
+        heartbeat=float(params.get("hb", 1.0)),
+        max_requeues=int(params.get("requeues", 2)),
+        inflight=int(params.get("inflight", 256)),
+        run=params.get("run", ""),
+    )
+    if out.lease <= 0 or out.claim <= 0 or out.heartbeat <= 0:
+        raise ValueError(f"lease/claim/hb must be positive in {url!r}")
+    return out
+
+
+@dataclass
+class _Entry:
+    """Engine-side record of one dispatched, unresolved turn."""
+
+    ticket: Any
+    frame: bytes
+    requeues: int = 0
+    submitted: float = field(default_factory=time.monotonic)
+    leased: bool = False
+
+
+class RedisSnapshotStore:
+    """The ``ClientStateStore`` surface over the broker's snapshot hash.
+
+    ``get``/``put``/``pop`` hit redis (each caller thread gets its own
+    connection); ``__len__``/``nbytes`` answer from the broker's local
+    tally — maintained from turn acks — so telemetry's record-path reads
+    and post-shutdown introspection never need a live connection.
+    """
+
+    def __init__(self, broker: "RedisBroker") -> None:
+        self._broker = broker
+        self._local = threading.local()
+
+    def _conn(self) -> RespClient:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._local.conn = self._broker._connect()
+        return conn
+
+    def get(self, client: int):
+        frame = self._conn().execute("HGET", self._broker.cfg.key("snap"), int(client))
+        return None if frame is None else serde.decode_snapshot(frame)
+
+    def put(self, client: int, snapshot) -> None:
+        frame = serde.encode_snapshot(snapshot)
+        self._conn().execute("HSET", self._broker.cfg.key("snap"), int(client), frame)
+        self._broker._note_snapshot(int(client), len(frame))
+
+    def pop(self, client: int):
+        snapshot = self.get(client)
+        self._conn().execute("HDEL", self._broker.cfg.key("snap"), int(client))
+        self._broker._note_snapshot(int(client), 0)
+        return snapshot
+
+    def clients(self) -> List[int]:
+        with self._broker._tally_lock:
+            return sorted(self._broker._snap_sizes)
+
+    def __contains__(self, client: int) -> bool:
+        with self._broker._tally_lock:
+            return int(client) in self._broker._snap_sizes
+
+    def __len__(self) -> int:
+        with self._broker._tally_lock:
+            return len(self._broker._snap_sizes)
+
+    def nbytes(self) -> int:
+        with self._broker._tally_lock:
+            return sum(self._broker._snap_sizes.values())
+
+
+@register_broker("redis")
+class RedisBroker(TurnBroker):
+    """Turns over a redis queue, executed by worker processes."""
+
+    distributed = True
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        spec: Any = None,
+        num_clients: Optional[int] = None,
+        default_workers: Optional[int] = None,
+        **_: Any,
+    ) -> None:
+        super().__init__(url)
+        self.cfg = parse_redis_url(url)
+        if self.cfg.workers == 0 and default_workers:
+            self.cfg.workers = int(default_workers)
+        self._spec = spec
+        self._num_clients = num_clients
+        self._entries: Dict[int, _Entry] = {}
+        self._entry_lock = threading.Lock()
+        self._tally_lock = threading.Lock()
+        self._snap_sizes: Dict[int, int] = {}
+        self._next_turn = 0
+        self._idle_workers = 0
+        self._procs: List[subprocess.Popen] = []
+        self._collector: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+        self._conn: Optional[RespClient] = None
+        self.store = RedisSnapshotStore(self)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> RespClient:
+        try:
+            return RespClient(self.cfg.host, self.cfg.port, db=self.cfg.db,
+                              password=self.cfg.password)
+        except RespError as exc:
+            raise BrokerUnavailable(
+                f"redis broker backend unreachable at "
+                f"{self.cfg.host}:{self.cfg.port}: {exc}"
+            ) from exc
+
+    def start(self) -> None:
+        if self._started:
+            return
+        if not self.cfg.run:
+            # namespace every run uniquely so two experiments (or a retry)
+            # sharing one redis cannot cross wires
+            self.cfg.run = os.urandom(6).hex()
+        self._conn = self._connect()
+        self._conn.ping()
+        meta = {"num_clients": self._num_clients, "created": time.time()}
+        if self._spec is not None:
+            try:
+                spec_yaml = self._spec.to_yaml()
+            except Exception as exc:
+                raise ValueError(
+                    "a redis:// broker ships the spec to worker processes, "
+                    f"so it must serialize to YAML: {exc}"
+                ) from exc
+            self._conn.execute("SET", self.cfg.key("spec"), spec_yaml)
+        self._conn.execute("SET", self.cfg.key("meta"), json.dumps(meta))
+        self._spawn_workers()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="redis-broker-collector", daemon=True
+        )
+        self._started = True
+        self._collector.start()
+        _LOG.info(
+            "redis broker up at %s:%d ns=%s workers=%d",
+            self.cfg.host, self.cfg.port, self.cfg.namespace(), self.cfg.workers,
+        )
+
+    def _spawn_workers(self) -> None:
+        if self.cfg.workers <= 0:
+            return
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        worker_url = self.cfg.with_run(self.cfg.run)
+        for i in range(self.cfg.workers):
+            self._procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker", worker_url],
+                env=env,
+            ))
+
+    # -- dispatch (under the pool lock) --------------------------------
+    @property
+    def pool_size(self) -> int:
+        return max(self.cfg.workers, 1)
+
+    def default_window(self) -> int:
+        return max(2 * self.pool_size, 8)
+
+    def capacity_free(self) -> bool:
+        with self._entry_lock:
+            return len(self._entries) < self.cfg.inflight
+
+    def execute(self, ticket) -> None:
+        turn_id = self._next_turn
+        self._next_turn += 1
+        frame = serde.encode_turn(
+            turn_id, ticket.client, ticket.method, ticket.args, ticket.kwargs
+        )
+        with self._entry_lock:
+            self._entries[turn_id] = _Entry(ticket=ticket, frame=frame)
+        assert self._conn is not None
+        self._conn.execute("LPUSH", self.cfg.key("turns"), frame)
+
+    # -- collector thread ----------------------------------------------
+    def _collect_loop(self) -> None:
+        conn = self._connect()
+        last_sweep = 0.0
+        try:
+            while not self._stop.is_set():
+                try:
+                    item = conn.brpop(self.cfg.key("results"), timeout=0.5)
+                except RespError as exc:
+                    if self._stop.is_set():
+                        return
+                    self._fail_all(BrokerUnavailable(f"redis connection lost: {exc}"))
+                    return
+                if item is not None:
+                    self._resolve(conn, item[1])
+                now = time.monotonic()
+                if now - last_sweep >= min(0.5, self.cfg.lease / 4):
+                    last_sweep = now
+                    try:
+                        self._sweep(conn)
+                    except RespError as exc:
+                        if self._stop.is_set():
+                            return
+                        self._fail_all(BrokerUnavailable(f"redis connection lost: {exc}"))
+                        return
+        finally:
+            conn.close()
+
+    def _resolve(self, conn: RespClient, frame: bytes) -> None:
+        try:
+            result = serde.decode_result(frame)
+        except Exception:
+            _LOG.exception("undecodable result frame (%d bytes) dropped", len(frame))
+            return
+        turn_id = result["turn"]
+        with self._entry_lock:
+            entry = self._entries.pop(turn_id, None)
+        conn.execute("HDEL", self.cfg.key("done"), turn_id)
+        if entry is None:
+            return  # duplicate ack from a requeued turn already resolved
+        if result["snap_bytes"]:
+            self._note_snapshot(result["client"], result["snap_bytes"])
+        if result["ok"]:
+            self.pool.turn_done(entry.ticket, result["value"], None)
+        else:
+            err = result["error"]
+            detail = f"{err['type']}: {err['message']}"
+            if err.get("traceback"):
+                detail += f"\n--- worker {result['worker']} traceback ---\n{err['traceback']}"
+            self.pool.turn_done(
+                entry.ticket, None,
+                RuntimeError(f"client {result['client']} turn failed on "
+                             f"worker {result['worker']}: {detail}"),
+            )
+
+    def _sweep(self, conn: RespClient) -> None:
+        """Requeue turns whose lease died; fail turns nobody can run."""
+        now = time.time()
+        leases: Dict[int, Dict[str, Any]] = {}
+        for tid_b, lease_b in conn.hgetall(self.cfg.key("leases")).items():
+            try:
+                leases[int(tid_b)] = json.loads(lease_b)
+            except (ValueError, TypeError):
+                continue
+        heartbeats = conn.hgetall(self.cfg.key("hb"))
+        live_after = max(3.0 * self.cfg.heartbeat, 1.0)
+        live = sum(1 for ts in heartbeats.values()
+                   if now - float(ts) < live_after)
+        with self._entry_lock:
+            self._idle_workers = max(0, live - len(leases))
+            entries = dict(self._entries)
+        for turn_id, entry in entries.items():
+            lease = leases.get(turn_id)
+            if lease is not None:
+                entry.leased = True
+                if float(lease.get("deadline", 0)) < now:
+                    conn.execute("HDEL", self.cfg.key("leases"), turn_id)
+                    self._requeue_or_fail(conn, turn_id, entry, (
+                        f"worker {lease.get('worker', '?')} lost its lease "
+                        f"mid-turn (no renewal for {self.cfg.lease:.1f}s)"
+                    ))
+            elif (not live
+                  and time.monotonic() - entry.submitted > self.cfg.claim):
+                self._fail_entry(turn_id, entry, (
+                    f"no live workers: turn unclaimed for more than "
+                    f"{self.cfg.claim:.1f}s and no worker heartbeat within "
+                    f"{live_after:.1f}s"
+                ))
+        # leases for turns we no longer track are stale leftovers
+        for turn_id in leases:
+            if turn_id not in entries:
+                conn.execute("HDEL", self.cfg.key("leases"), turn_id)
+
+    def _requeue_or_fail(self, conn: RespClient, turn_id: int,
+                         entry: _Entry, reason: str) -> None:
+        if entry.requeues < self.cfg.max_requeues:
+            entry.requeues += 1
+            entry.submitted = time.monotonic()
+            entry.leased = False
+            _LOG.warning("requeueing turn %d (attempt %d): %s",
+                         turn_id, entry.requeues + 1, reason)
+            # front of the queue: the turn already waited its fair share
+            conn.execute("RPUSH", self.cfg.key("turns"), entry.frame)
+        else:
+            self._fail_entry(turn_id, entry,
+                             f"{reason}; retry budget ({self.cfg.max_requeues}) exhausted")
+
+    def _fail_entry(self, turn_id: int, entry: _Entry, reason: str) -> None:
+        with self._entry_lock:
+            if self._entries.pop(turn_id, None) is None:
+                return  # resolved while we deliberated
+        ticket = entry.ticket
+        _LOG.error("turn %d (client %d, %s) lost: %s",
+                   turn_id, ticket.client, ticket.method, reason)
+        self.pool.turn_done(ticket, None, BrokerTurnLost(
+            f"client {ticket.client} turn ({ticket.method}) lost: {reason}"
+        ))
+
+    def _fail_all(self, exc: Exception) -> None:
+        with self._entry_lock:
+            entries, self._entries = self._entries, {}
+        for entry in entries.values():
+            self.pool.turn_done(entry.ticket, None, exc)
+
+    # -- bookkeeping ----------------------------------------------------
+    def _note_snapshot(self, client: int, nbytes: int) -> None:
+        with self._tally_lock:
+            if nbytes:
+                self._snap_sizes[client] = nbytes
+            else:
+                self._snap_sizes.pop(client, None)
+
+    def queue_depth(self) -> int:
+        with self._entry_lock:
+            return len(self._entries)
+
+    def idle_workers(self) -> int:
+        return self._idle_workers
+
+    def snapshot_bytes(self) -> int:
+        return self.store.nbytes()
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._stop.set()
+        try:
+            conn = self._connect()
+        except BrokerUnavailable:
+            conn = None
+        if conn is not None:
+            try:
+                conn.execute("SET", self.cfg.key("stop"), "1")
+                for _ in range(max(2 * self.cfg.workers, 4)):
+                    conn.execute("LPUSH", self.cfg.key("turns"), b"STOP")
+            except RespError:
+                pass
+        if self._collector is not None:
+            self._collector.join(timeout=10)
+            self._collector = None
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        self._procs = []
+        self._fail_all(RuntimeError("redis broker shut down with turns in flight"))
+        if conn is not None:
+            try:
+                for name in ("spec", "meta", "turns", "results", "snap",
+                             "done", "leases", "hb", "stop"):
+                    conn.execute("DEL", self.cfg.key(name))
+            except RespError:
+                pass
+            finally:
+                conn.close()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update(namespace=self.cfg.namespace(), lease=self.cfg.lease,
+                    inflight=self.cfg.inflight)
+        return info

@@ -1,0 +1,194 @@
+"""A minimal RESP (REdis Serialization Protocol) client on raw sockets.
+
+The redis broker needs exactly one queue primitive set — lists with
+blocking pops, hashes, strings, and MULTI/EXEC — and the container image
+deliberately ships no redis client library, so this module speaks RESP2
+directly over a TCP socket with the standard library only.  It works
+against a real redis server (the CI broker-smoke job's service container)
+and against the in-repo :mod:`repro.runtime.miniredis` test server, which
+implements the same command subset.
+
+Not a general client: no pooling, no pub/sub, no RESP3, no cluster.  One
+:class:`RespClient` is one socket and is **not** thread-safe — each thread
+owns its own connection (redis semantics make that the natural shape for
+blocking pops anyway).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, List, Optional, Tuple, Union
+from urllib.parse import urlparse
+
+__all__ = ["RespClient", "RespError", "connect_url"]
+
+Value = Union[bytes, str, int, float]
+
+
+class RespError(ConnectionError):
+    """Protocol-level failure or server-reported error (``-ERR ...``)."""
+
+
+def _as_bytes(value: Value) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf8")
+    if isinstance(value, (int, float)):
+        return repr(value).encode("ascii")
+    raise TypeError(f"cannot send {type(value).__name__} over RESP")
+
+
+class RespClient:
+    """One RESP connection (see module docstring for scope)."""
+
+    def __init__(self, host: str, port: int, db: int = 0,
+                 password: Optional[str] = None, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._buf = b""
+        try:
+            self._sock = socket.create_connection((host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise RespError(f"cannot connect to redis at {host}:{port}: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if password:
+            self.execute("AUTH", password)
+        if db:
+            self.execute("SELECT", db)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RespClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def execute(self, *args: Value, timeout: Optional[float] = None) -> Any:
+        """Send one command, return its decoded reply.
+
+        ``timeout`` overrides the socket timeout for this command — pass a
+        generous value for blocking pops (``BLPOP``/``BRPOP``).  Server
+        errors raise :class:`RespError`.
+        """
+        if not args:
+            raise ValueError("empty RESP command")
+        parts = [b"*%d\r\n" % len(args)]
+        for arg in args:
+            data = _as_bytes(arg)
+            parts.append(b"$%d\r\n%s\r\n" % (len(data), data))
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.sendall(b"".join(parts))
+            return self._read_reply()
+        except socket.timeout as exc:
+            raise RespError(
+                f"redis command {args[0]!r} timed out after "
+                f"{timeout if timeout is not None else self.timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise RespError(f"redis connection lost during {args[0]!r}: {exc}") from exc
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(self.timeout)
+
+    # convenience wrappers used by the broker/worker -------------------
+    def ping(self) -> bool:
+        return self.execute("PING") == b"PONG"
+
+    def blpop(self, key: Value, timeout: float) -> Optional[Tuple[bytes, bytes]]:
+        """Blocking left pop; None on timeout (redis returns nil)."""
+        reply = self.execute("BLPOP", key, timeout, timeout=timeout + 10.0)
+        return None if reply is None else (reply[0], reply[1])
+
+    def brpop(self, key: Value, timeout: float) -> Optional[Tuple[bytes, bytes]]:
+        reply = self.execute("BRPOP", key, timeout, timeout=timeout + 10.0)
+        return None if reply is None else (reply[0], reply[1])
+
+    def multi(self, commands: List[Tuple[Value, ...]]) -> List[Any]:
+        """Run ``commands`` atomically inside MULTI/EXEC."""
+        self.execute("MULTI")
+        for cmd in commands:
+            queued = self.execute(*cmd)
+            if queued not in (b"QUEUED", "QUEUED"):
+                raise RespError(f"command {cmd[0]!r} not queued in MULTI: {queued!r}")
+        replies = self.execute("EXEC")
+        if replies is None:
+            raise RespError("EXEC aborted")
+        return replies
+
+    def hgetall(self, key: Value) -> dict:
+        flat = self.execute("HGETALL", key) or []
+        return {flat[i]: flat[i + 1] for i in range(0, len(flat), 2)}
+
+    # ------------------------------------------------------------------
+    # reply parsing
+    # ------------------------------------------------------------------
+    def _read_line(self) -> bytes:
+        while True:
+            idx = self._buf.find(b"\r\n")
+            if idx >= 0:
+                line, self._buf = self._buf[:idx], self._buf[idx + 2:]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise RespError("redis connection closed mid-reply")
+            self._buf += chunk
+
+    def _read_exact(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise RespError("redis connection closed mid-reply")
+            self._buf += chunk
+        data, self._buf = self._buf[:n], self._buf[n:]
+        return data
+
+    def _read_reply(self) -> Any:
+        line = self._read_line()
+        if not line:
+            raise RespError("empty RESP reply line")
+        marker, body = line[:1], line[1:]
+        if marker == b"+":
+            return body
+        if marker == b"-":
+            raise RespError(body.decode("utf8", "replace"))
+        if marker == b":":
+            return int(body)
+        if marker == b"$":
+            length = int(body)
+            if length < 0:
+                return None
+            data = self._read_exact(length)
+            self._read_exact(2)  # trailing \r\n
+            return data
+        if marker == b"*":
+            count = int(body)
+            if count < 0:
+                return None
+            return [self._read_reply() for _ in range(count)]
+        raise RespError(f"unknown RESP reply marker {marker!r}")
+
+
+def connect_url(url: str, timeout: float = 10.0) -> RespClient:
+    """``redis://[:password@]host[:port][/db]`` -> connected client."""
+    parsed = urlparse(url)
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 6379
+    db = 0
+    path = (parsed.path or "").strip("/")
+    if path:
+        try:
+            db = int(path)
+        except ValueError:
+            raise ValueError(f"invalid redis db index {path!r} in {url!r}") from None
+    return RespClient(host, port, db=db, password=parsed.password, timeout=timeout)

@@ -1,0 +1,273 @@
+"""The ``repro worker`` process: pulls client turns from a redis broker.
+
+Started as ``python -m repro worker redis://host:port/0?run=<ns>`` (or
+auto-spawned by :class:`~repro.runtime.redis.RedisBroker` with
+``?workers=N``).  On startup the worker fetches the experiment spec the
+broker published, rebuilds an identical trainer node from the same seeded
+factories the engine uses — which is what makes its turns bit-identical to
+in-process execution — and loops::
+
+    BRPOP turn -> lease -> swap in snapshot -> run method -> swap out
+    -> MULTI{snapshot, done-record, result-ack, lease-release}EXEC
+
+A heartbeat thread renews the worker's liveness stamp and the active
+turn's lease; if the process dies mid-turn the lease expires and the
+engine-side collector requeues the turn.  Before running a turn the worker
+checks the ``done`` hash — a requeued duplicate of a *completed* turn
+re-acks the recorded result instead of re-training, so retries cannot
+double-advance client state.
+
+Environment knobs (used by the regression tests):
+
+``REPRO_WORKER_TURN_DELAY``
+    Seconds to sleep after claiming a turn and before training — widens
+    the kill window for dead-worker tests.
+``REPRO_WORKER_MAX_TURNS``
+    Exit after this many turns (crash-recovery tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Optional
+
+from repro.runtime import serde
+from repro.runtime.redis import RedisUrl, parse_redis_url
+from repro.runtime.resp import RespClient, RespError
+from repro.utils.logging import get_logger
+
+_LOG = get_logger("worker")
+
+__all__ = ["BrokerWorker", "run_worker"]
+
+
+class BrokerWorker:
+    """One turn-pulling worker bound to a broker namespace."""
+
+    def __init__(self, url: str, worker_id: Optional[str] = None) -> None:
+        self.cfg: RedisUrl = parse_redis_url(url)
+        if not self.cfg.run:
+            raise ValueError(
+                "worker URL needs the broker's run namespace "
+                "(redis://host:port/db?run=<id>); the engine logs it at start"
+            )
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self._conn: Optional[RespClient] = None
+        self._hb_conn: Optional[RespClient] = None
+        self._current_turn: Optional[int] = None
+        self._stopping = threading.Event()
+        self.node: Any = None
+        self.provider: Any = None
+        self.baseline: Any = None
+        self.turns_run = 0
+
+    # ------------------------------------------------------------------
+    # startup: reconstruct an engine-identical trainer node from the spec
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        self._conn = RespClient(self.cfg.host, self.cfg.port, db=self.cfg.db,
+                                password=self.cfg.password)
+        self._hb_conn = RespClient(self.cfg.host, self.cfg.port, db=self.cfg.db,
+                                   password=self.cfg.password)
+
+    def load(self) -> None:
+        """Fetch the published spec and build node + data provider."""
+        assert self._conn is not None
+        spec_yaml = self._conn.execute("GET", self.cfg.key("spec"))
+        meta_raw = self._conn.execute("GET", self.cfg.key("meta"))
+        if spec_yaml is None or meta_raw is None:
+            raise RespError(
+                f"no experiment published under namespace "
+                f"{self.cfg.namespace()!r} — is the engine running?"
+            )
+        meta = json.loads(meta_raw)
+
+        from repro.data.views import ClientDataProvider
+        from repro.experiment import spec as spec_mod
+        from repro.node.node import Node
+        from repro.topology.base import NodeRole, NodeSpec
+
+        spec = spec_mod.ExperimentSpec.from_yaml(
+            spec_yaml.decode("utf8") if isinstance(spec_yaml, bytes) else spec_yaml
+        )
+        datamodule = spec_mod.resolve_datamodule(spec)
+        model_fn = spec_mod.resolve_model_fn(spec, datamodule)
+        algorithm_fn = spec_mod.resolve_algorithm_fn(spec)
+        compressor_fn, outer_compressor_fn, dp_fn = spec_mod.resolve_plugin_fns(spec)
+        seed = int(spec.seed)
+
+        num_clients = meta.get("num_clients")
+        if num_clients is None:
+            num_clients = spec_mod.resolve_topology(spec).trainer_count()
+        self.provider = ClientDataProvider(
+            datamodule,
+            int(num_clients),
+            spec.data.partition,
+            alpha=spec.data.partition_alpha,
+            seed=seed,
+            feature_noniid=float(spec.data.feature_noniid),
+        )
+        # mirror the engine's make_node for a pool worker exactly: same
+        # seeded factories, trainer-role plugins, no mounted shard
+        nspec = NodeSpec(
+            name=f"broker_worker_{self.worker_id}",
+            index=1_000_000,
+            role=NodeRole.TRAINER,
+        )
+        self.node = Node(
+            spec=nspec,
+            model=model_fn(),
+            algorithm=algorithm_fn(),
+            train_dataset=None,
+            test_dataset=datamodule.test,
+            batch_size=int(spec.data.batch_size),
+            seed=seed,
+            dp=dp_fn() if dp_fn is not None else None,
+            compressor=compressor_fn() if compressor_fn is not None else None,
+            outer_compressor=outer_compressor_fn() if outer_compressor_fn is not None else None,
+            drop_prob=spec.faults.drop_prob,
+            straggler_prob=spec.faults.straggler_prob,
+            straggler_delay=spec.faults.straggler_delay,
+        )
+        self.node.setup_local()
+        self.baseline = self.node.pool_baseline()
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        assert self._hb_conn is not None
+        period = self.cfg.heartbeat
+        while not self._stopping.wait(period):
+            try:
+                self._hb_conn.execute(
+                    "HSET", self.cfg.key("hb"), self.worker_id, time.time()
+                )
+                turn = self._current_turn
+                if turn is not None:
+                    self._hb_conn.execute(
+                        "HSET", self.cfg.key("leases"), turn,
+                        json.dumps({"worker": self.worker_id,
+                                    "deadline": time.time() + self.cfg.lease}),
+                    )
+            except RespError:
+                return  # connection gone; main loop will notice and exit
+
+    # ------------------------------------------------------------------
+    # the turn loop
+    # ------------------------------------------------------------------
+    def run(self, max_turns: Optional[int] = None) -> int:
+        """Pull and execute turns until stopped; returns turns completed."""
+        if self._conn is None:
+            self.connect()
+        if self.node is None:
+            self.load()
+        assert self._conn is not None
+        self._conn.execute("HSET", self.cfg.key("hb"), self.worker_id, time.time())
+        hb = threading.Thread(target=self._heartbeat_loop,
+                              name="worker-heartbeat", daemon=True)
+        hb.start()
+        env_cap = os.environ.get("REPRO_WORKER_MAX_TURNS")
+        if max_turns is None and env_cap:
+            max_turns = int(env_cap)
+        _LOG.info("worker %s serving namespace %s", self.worker_id, self.cfg.namespace())
+        try:
+            while max_turns is None or self.turns_run < max_turns:
+                if self._conn.execute("GET", self.cfg.key("stop")) is not None:
+                    break
+                item = self._conn.brpop(self.cfg.key("turns"), timeout=1.0)
+                if item is None:
+                    continue
+                frame = item[1]
+                if frame == b"STOP":
+                    break
+                self._handle_turn(frame)
+        except RespError as exc:
+            _LOG.error("worker %s lost its broker connection: %s", self.worker_id, exc)
+            return self.turns_run
+        finally:
+            self._stopping.set()
+            try:
+                self._conn.execute("HDEL", self.cfg.key("hb"), self.worker_id)
+            except RespError:
+                pass
+        return self.turns_run
+
+    def stop(self) -> None:
+        self._stopping.set()
+
+    def _handle_turn(self, frame: bytes) -> None:
+        assert self._conn is not None
+        conn = self._conn
+        turn_id, client, method, args, kwargs = serde.decode_turn(frame)
+        # duplicate of a completed turn (requeued by a lease sweep that
+        # raced the ack): re-ack the recorded result, never re-train
+        done = conn.execute("HGET", self.cfg.key("done"), turn_id)
+        if done is not None:
+            conn.execute("LPUSH", self.cfg.key("results"), done)
+            return
+        conn.execute(
+            "HSET", self.cfg.key("leases"), turn_id,
+            json.dumps({"worker": self.worker_id,
+                        "deadline": time.time() + self.cfg.lease}),
+        )
+        self._current_turn = turn_id
+        delay = float(os.environ.get("REPRO_WORKER_TURN_DELAY", "0") or 0)
+        if delay:
+            time.sleep(delay)
+        snap_frame: Optional[bytes] = None
+        try:
+            raw = conn.execute("HGET", self.cfg.key("snap"), client)
+            snapshot = None if raw is None else serde.decode_snapshot(raw)
+            needs_data = method in ("local_update", "run_round")
+            dataset = self.provider.view(client) if needs_data else None
+            self.node.begin_client_turn(client, snapshot, dataset, self.baseline)
+            try:
+                value = getattr(self.node, method)(*args, **kwargs)
+            finally:
+                # swap out even after a failed turn (dedicated-node
+                # semantics: the client keeps whatever state the failure
+                # left), mirroring the memory broker's _run_turn
+                turns = snapshot.turns if snapshot is not None else 0
+                snap_frame = serde.encode_snapshot(self.node.end_client_turn(turns))
+            result_frame = serde.encode_result(
+                turn_id, client, value,
+                snap_bytes=len(snap_frame), worker=self.worker_id,
+            )
+        except Exception as exc:  # noqa: BLE001 - report, keep serving
+            result_frame = serde.encode_error(
+                turn_id, client, exc, traceback_text=traceback.format_exc(),
+                snap_bytes=len(snap_frame) if snap_frame else 0,
+                worker=self.worker_id,
+            )
+        # swap-out + done-record + ack + lease release, atomically: a lease
+        # sweep observes either "running" or "fully completed", never a
+        # half-acked turn it might requeue against a stale snapshot
+        commands = [("HSET", self.cfg.key("done"), turn_id, result_frame),
+                    ("LPUSH", self.cfg.key("results"), result_frame),
+                    ("HDEL", self.cfg.key("leases"), turn_id)]
+        if snap_frame is not None:
+            commands.insert(0, ("HSET", self.cfg.key("snap"), client, snap_frame))
+        conn.multi(commands)
+        self._current_turn = None
+        self.turns_run += 1
+
+
+def run_worker(url: str, worker_id: Optional[str] = None,
+               max_turns: Optional[int] = None) -> int:
+    """CLI entrypoint (``python -m repro worker <url>``); returns exit code."""
+    try:
+        worker = BrokerWorker(url, worker_id=worker_id)
+        worker.connect()
+        worker.load()
+    except (RespError, ValueError) as exc:
+        _LOG.error("worker startup failed: %s", exc)
+        return 2
+    worker.run(max_turns=max_turns)
+    _LOG.info("worker %s exiting after %d turns", worker.worker_id, worker.turns_run)
+    return 0

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
+from repro.runtime.broker import BrokerTurnLost
 from repro.scheduler.events import EventQueue, PendingUpdate
 from repro.scheduler.heterogeneity import HeterogeneityModel
 from repro.scheduler.selection import SelectionStrategy, build_selector
@@ -326,7 +327,16 @@ class Scheduler:
             # nothing ever arrived: no stats, no loss signal for selection
             self.dropped += 1
             return {}
-        result = event.result(_TRAIN_TIMEOUT)
+        try:
+            result = event.result(_TRAIN_TIMEOUT)
+        except BrokerTurnLost as exc:
+            # a broker-backed runtime lost the turn (dead worker, retries
+            # exhausted): fail the run with the dispatch pinned, instead of
+            # stalling until _TRAIN_TIMEOUT with the window full
+            raise BrokerTurnLost(
+                f"dispatch for client {event.client} (version "
+                f"{event.version}) failed at the broker: {exc}"
+            ) from exc
         stats = result.get("stats", {})
         if "loss" in stats:
             self.last_loss[event.client] = float(stats["loss"])

@@ -165,6 +165,7 @@ class Telemetry(Callback):
         if engine.pool is not None:
             detail["pool_size"] = engine.pool.pool_size
             detail["num_clients"] = engine.pool.num_clients
+            detail["broker"] = engine.pool.broker.scheme
         self.run_info = self.runs.register(fingerprint=fingerprint, **detail)
         self.registry.gauge(
             "repro_run_active", "1 while this run is between setup and shutdown"
@@ -231,9 +232,17 @@ class Telemetry(Callback):
                 ),
                 reg.gauge("repro_pool_window_limit", "Admission-window size"),
                 reg.gauge("repro_pool_turns_run", "Pool turns completed"),
+                reg.gauge(
+                    "repro_broker_queue_depth",
+                    "Turns dispatched to the broker and not yet completed",
+                ),
+                reg.gauge(
+                    "repro_broker_snapshot_bytes",
+                    "Bytes of client state held behind the broker",
+                ),
             )
         (queue_g, inflight_g, turns_g, pending_g, free_g, occ_g, window_g,
-         turns_run_g) = self._runtime_gauges
+         turns_run_g, broker_depth_g, broker_bytes_g) = self._runtime_gauges
         sched = engine.scheduler
         if sched is not None and getattr(sched, "engine", None) is engine:
             queue_g.set(len(getattr(sched, "queue", ())))
@@ -243,11 +252,13 @@ class Telemetry(Callback):
                 turns_g.set(sum(counts.values()))
         pool = engine.pool
         if pool is not None:
-            pending_g.set(len(pool._pending))
-            free_g.set(len(pool._free))
+            pending_g.set(pool.pending_turns())
+            free_g.set(pool.broker.idle_workers())
             occ_g.set(pool._unconsumed)
             window_g.set(pool._window)
             turns_run_g.set(pool.turns_run)
+            broker_depth_g.set(pool.broker.queue_depth())
+            broker_bytes_g.set(pool.broker.snapshot_bytes())
 
     def on_shutdown(self, engine: "Engine") -> None:
         self.registry.gauge(

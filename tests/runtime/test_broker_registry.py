@@ -1,0 +1,129 @@
+"""The broker scheme registry: URL -> TurnBroker class, mirroring WorQ/pymq.
+
+``Broker(url)`` dispatches on the URL scheme; unknown schemes must fail
+loudly *naming the registered schemes* so a typo'd config points at the
+fix, and ``ExperimentSpec`` validates its ``broker`` field through the
+same registry at construction time (fail at spec build, not mid-run).
+"""
+
+import pytest
+
+from repro.runtime import (
+    BROKER_SCHEMES,
+    Broker,
+    MemoryBroker,
+    RedisBroker,
+    TurnBroker,
+    broker_class,
+    broker_scheme,
+    register_broker,
+)
+from repro.runtime.redis import parse_redis_url
+
+
+def test_builtin_schemes_registered():
+    assert BROKER_SCHEMES["memory"] is MemoryBroker
+    assert BROKER_SCHEMES["redis"] is RedisBroker
+    assert MemoryBroker.scheme == "memory"
+    assert RedisBroker.scheme == "redis"
+    assert not MemoryBroker.distributed
+    assert RedisBroker.distributed
+
+
+@pytest.mark.parametrize("url", ["amqp://localhost", "sqs://queue", "nats://x:4222"])
+def test_unknown_scheme_raises_naming_registered(url):
+    with pytest.raises(ValueError) as err:
+        broker_scheme(url)
+    message = str(err.value)
+    assert url in message
+    # the error must name every registered scheme (the pymq registry idiom)
+    assert "registered schemes" in message
+    for known in BROKER_SCHEMES:
+        assert known in message
+
+
+@pytest.mark.parametrize("url", ["", None, 42, "not a url at all"])
+def test_malformed_url_raises(url):
+    with pytest.raises(ValueError):
+        broker_scheme(url)
+
+
+def test_broker_factory_builds_by_scheme():
+    assert broker_class("memory://") is MemoryBroker
+    assert broker_class("redis://localhost:6379/0") is RedisBroker
+    with pytest.raises(ValueError, match="unknown scheme"):
+        Broker("bogus://anywhere")
+
+
+def test_register_broker_extends_the_registry():
+    @register_broker("inproctest")
+    class _TestBroker(TurnBroker):
+        def __init__(self, url, **kwargs):
+            super().__init__(url)
+
+    try:
+        assert broker_scheme("inproctest://x") == "inproctest"
+        assert _TestBroker.scheme == "inproctest"
+        built = Broker("inproctest://x")
+        assert isinstance(built, _TestBroker)
+        assert built.url == "inproctest://x"
+    finally:
+        del BROKER_SCHEMES["inproctest"]
+    with pytest.raises(ValueError):
+        broker_scheme("inproctest://x")
+
+
+def test_default_window_scales_with_pool_size():
+    class _Sized(TurnBroker):
+        def __init__(self, n):
+            self._n = n
+
+        @property
+        def pool_size(self):
+            return self._n
+
+    assert _Sized(1).default_window() == 4
+    assert _Sized(4).default_window() == 8
+    assert _Sized(16).default_window() == 32
+
+
+# --------------------------------------------------------------------------
+# redis URL parsing: protocol tuning rides in the query string
+# --------------------------------------------------------------------------
+def test_parse_redis_url_defaults():
+    cfg = parse_redis_url("redis://localhost:6379/0")
+    assert (cfg.host, cfg.port, cfg.db) == ("localhost", 6379, 0)
+    assert cfg.workers == 0
+    assert cfg.lease == 30.0 and cfg.claim == 10.0 and cfg.heartbeat == 1.0
+    assert cfg.max_requeues == 2 and cfg.inflight == 256
+    assert cfg.run == ""
+    assert cfg.namespace() == "repro:run"
+
+
+def test_parse_redis_url_params():
+    cfg = parse_redis_url(
+        "redis://broker.example:7777/3"
+        "?workers=4&lease=5&claim=2&hb=0.25&requeues=1&inflight=64&run=abc123"
+    )
+    assert (cfg.host, cfg.port, cfg.db) == ("broker.example", 7777, 3)
+    assert cfg.workers == 4
+    assert cfg.lease == 5.0 and cfg.claim == 2.0 and cfg.heartbeat == 0.25
+    assert cfg.max_requeues == 1 and cfg.inflight == 64
+    assert cfg.namespace() == "repro:abc123"
+    assert cfg.key("turns") == "repro:abc123:turns"
+
+
+def test_parse_redis_url_rejects_nonpositive_timing():
+    for bad in ("lease=0", "claim=-1", "hb=0"):
+        with pytest.raises(ValueError, match="must be positive"):
+            parse_redis_url(f"redis://localhost:6379/0?{bad}")
+
+
+def test_with_run_pins_the_namespace():
+    cfg = parse_redis_url("redis://h:6379/0?workers=2&run=old")
+    url = cfg.with_run("fresh")
+    assert "run=fresh" in url and "run=old" not in url
+    assert "workers=2" in url
+    # the rewritten URL parses back to the same endpoint
+    again = parse_redis_url(url)
+    assert again.run == "fresh" and again.workers == 2

@@ -1,0 +1,136 @@
+"""The stdlib RESP test server + client pair behind the broker tests.
+
+MiniRedis implements exactly the command subset the broker and worker use;
+these tests pin that subset's redis semantics (binary-safe values, nil
+replies, blocking-pop wakeups, MULTI/EXEC atomicity, WRONGTYPE) so the
+pair stays a faithful stand-in for a real server.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.miniredis import MiniRedis
+from repro.runtime.resp import RespClient, RespError, connect_url
+
+
+@pytest.fixture()
+def server():
+    with MiniRedis() as srv:
+        yield srv
+
+
+@pytest.fixture()
+def conn(server):
+    with connect_url(server.url) as client:
+        yield client
+
+
+def test_url_and_ping(server, conn):
+    assert server.url.startswith("redis://127.0.0.1:")
+    assert conn.ping()
+    assert conn.execute("ECHO", b"\x00binary\xff") == b"\x00binary\xff"
+
+
+def test_strings(conn):
+    assert conn.execute("GET", "k") is None
+    assert conn.execute("SET", "k", b"\x01\x02\r\n\x03") == b"OK"
+    assert conn.execute("GET", "k") == b"\x01\x02\r\n\x03"
+    assert conn.execute("INCR", "n") == 1
+    assert conn.execute("INCR", "n") == 2
+    assert conn.execute("EXISTS", "k") == 1
+    assert conn.execute("DEL", "k", "n") == 2
+    assert conn.execute("EXISTS", "k") == 0
+
+
+def test_simple_string_values_stay_bulk(conn):
+    # a value beginning with "+" must come back as a bulk string, not be
+    # mistaken for a RESP simple-string reply
+    conn.execute("SET", "plus", "+OK")
+    assert conn.execute("GET", "plus") == b"+OK"
+
+
+def test_hashes(conn):
+    assert conn.execute("HSET", "h", "a", "1", "b", "2") == 2
+    assert conn.execute("HGET", "h", "a") == b"1"
+    assert conn.execute("HGET", "h", "zzz") is None
+    assert conn.execute("HLEN", "h") == 2
+    assert conn.hgetall("h") == {b"a": b"1", b"b": b"2"}
+    assert conn.execute("HDEL", "h", "a") == 1
+    assert conn.execute("HEXISTS", "h", "a") == 0
+
+
+def test_lists_fifo_order(conn):
+    conn.execute("LPUSH", "q", "1")
+    conn.execute("LPUSH", "q", "2")
+    conn.execute("RPUSH", "q", "0")
+    assert conn.execute("LLEN", "q") == 3
+    # LPUSH head-inserts, RPUSH tail-appends; BRPOP drains the tail
+    assert conn.brpop("q", 1.0) == (b"q", b"0")
+    assert conn.brpop("q", 1.0) == (b"q", b"1")
+    assert conn.execute("LPOP", "q") == b"2"
+
+
+def test_brpop_times_out_with_nil(conn):
+    start = time.monotonic()
+    assert conn.brpop("empty", 0.2) is None
+    assert time.monotonic() - start >= 0.15
+
+
+def test_brpop_wakes_on_push_from_another_connection(server, conn):
+    got = {}
+
+    def pusher():
+        time.sleep(0.1)
+        with connect_url(server.url) as other:
+            other.execute("LPUSH", "wake", "v")
+
+    thread = threading.Thread(target=pusher)
+    thread.start()
+    got["item"] = conn.brpop("wake", 5.0)
+    thread.join()
+    assert got["item"] == (b"wake", b"v")
+
+
+def test_multi_exec_is_atomic(server, conn):
+    replies = conn.multi([
+        ("HSET", "mh", "f", "v"),
+        ("LPUSH", "ml", "x"),
+        ("HDEL", "mh", "nope"),
+    ])
+    assert replies == [1, 1, 0]
+    assert conn.execute("HGET", "mh", "f") == b"v"
+    # DISCARD drops the queue
+    conn.execute("MULTI")
+    conn.execute("SET", "never", "1")
+    conn.execute("DISCARD")
+    assert conn.execute("GET", "never") is None
+
+
+def test_wrongtype_errors(conn):
+    conn.execute("SET", "s", "x")
+    with pytest.raises(RespError, match="WRONGTYPE"):
+        conn.execute("LPUSH", "s", "y")
+    with pytest.raises(RespError, match="WRONGTYPE"):
+        conn.execute("HGET", "s", "f")
+
+
+def test_flushdb_and_keys(conn):
+    conn.execute("SET", "a", "1")
+    conn.execute("LPUSH", "b", "2")
+    keys = sorted(conn.execute("KEYS", "*"))
+    assert keys == [b"a", b"b"]
+    conn.execute("FLUSHDB")
+    assert conn.execute("KEYS", "*") == []
+
+
+def test_select_and_auth_accepted(server):
+    # single-keyspace server: SELECT/AUTH accepted for client compatibility
+    with RespClient("127.0.0.1", server.port, db=3, password="pw") as client:
+        assert client.ping()
+
+
+def test_connect_refused_raises_resp_error():
+    with pytest.raises(RespError, match="cannot connect"):
+        RespClient("127.0.0.1", 1, timeout=0.5)
