@@ -13,6 +13,7 @@ Run:    PYTHONPATH=src python -m pytest benchmarks/bench_scale_clients.py -q
 Smoke:  BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_scale_clients.py -q
 """
 
+import dataclasses
 import gc
 import json
 import os
@@ -193,6 +194,87 @@ def test_pooled_memory_bounded_by_pool_not_cohort():
     assert pooled["peak_traced_mb"] <= 2.0 * baseline["peak_traced_mb"] + 8.0, (
         f"pooled {largest}-client peak {pooled['peak_traced_mb']}MB vs "
         f"{POOL_SIZE}-node baseline {baseline['peak_traced_mb']}MB"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the zero-copy hot path: state arena + fused batched turns (batch_turns)
+# against the per-turn copy baseline, same federation, bit for bit.
+# Wall-clock arms run untraced and interleaved (same hygiene as the
+# telemetry comparison below): tracemalloc multiplies allocation cost and
+# the fused arm's whole point is allocating less, so tracing would inflate
+# the ratio; interleaving makes machine-load drift hit both arms equally.
+# ---------------------------------------------------------------------------
+HOT_COHORT = 256 if SMOKE else 1000
+HOT_UPDATES = 32 if SMOKE else TOTAL_UPDATES
+HOT_BATCH = 64 if SMOKE else 256
+_HOT_REPS = 3
+#: the smoke threshold is deliberately modest — it gates CI regressions,
+#: not the headline figure, which only a quiet full run should record
+HOT_MIN_RATIO = 1.2 if SMOKE else 3.0
+
+
+def _hot_run(batch_turns) -> tuple:
+    """One untraced hot-path arm; returns (wall_seconds, result)."""
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+    gc.collect()
+    gc.disable()
+    old_switch = sys.getswitchinterval()
+    sys.setswitchinterval(0.02)
+    try:
+        spec = dataclasses.replace(
+            make_spec(HOT_COHORT, POOL_SIZE, total_updates=HOT_UPDATES),
+            batch_turns=batch_turns,
+        )
+        start = time.perf_counter()
+        result = Experiment(spec).run()
+        return time.perf_counter() - start, result
+    finally:
+        sys.setswitchinterval(old_switch)
+        gc.enable()
+
+
+def test_hot_path_throughput_vs_copy_baseline():
+    """Acceptance: the fused/arena hot path beats the per-turn copy
+    baseline on the same federation while staying bit-identical (records
+    and final state).  Best-of-N of interleaved arms, so one noisy
+    observation cannot sink (or flatter) either side."""
+    copy_walls, fused_walls = [], []
+    copy_result = fused_result = None
+    for _ in range(_HOT_REPS):
+        wall, copy_result = _hot_run(None)
+        copy_walls.append(wall)
+        wall, fused_result = _hot_run(HOT_BATCH)
+        fused_walls.append(wall)
+
+    assert [r.train_loss for r in fused_result.history] == \
+           [r.train_loss for r in copy_result.history]
+    import numpy as np
+    assert set(fused_result.final_state) == set(copy_result.final_state)
+    for key in fused_result.final_state:
+        np.testing.assert_array_equal(
+            fused_result.final_state[key], copy_result.final_state[key],
+            err_msg=key,
+        )
+
+    ratio = min(copy_walls) / max(min(fused_walls), 1e-9)
+    _RESULTS["hot_path"] = {
+        "clients": HOT_COHORT,
+        "total_updates": HOT_UPDATES,
+        "pool_size": POOL_SIZE,
+        "batch_turns": HOT_BATCH,
+        "copy_wall_seconds": round(min(copy_walls), 4),
+        "fused_wall_seconds": round(min(fused_walls), 4),
+        "copy_walls": [round(w, 4) for w in copy_walls],
+        "fused_walls": [round(w, 4) for w in fused_walls],
+        "throughput_ratio": round(ratio, 3),
+        "bit_identical": True,
+    }
+    _flush()
+    assert ratio >= HOT_MIN_RATIO, (
+        f"hot path ratio {ratio:.2f}x below the {HOT_MIN_RATIO}x floor "
+        f"(copy {min(copy_walls):.3f}s, fused {min(fused_walls):.3f}s)"
     )
 
 

@@ -187,6 +187,50 @@ class Algorithm:
         return None if self.personalized_eval else []
 
     # ------------------------------------------------------------------
+    # turn fusion (opt-in ``batch_turns`` hot path)
+    # ------------------------------------------------------------------
+    #: hooks the fused runner reimplements as batched tensor ops; an
+    #: algorithm that overrides ANY of them has custom per-turn math the
+    #: runner does not mirror, so fusion is ruled out for it
+    _FUSED_EXACT_HOOKS = (
+        "local_train",
+        "local_step",
+        "loss_fn",
+        "grad_postprocess",
+        "compute_update",
+        "configure_optimizer",
+        "on_round_end",
+        "export_client_state",
+        "import_client_state",
+    )
+
+    def fusion_safe(self) -> bool:
+        """True when the fused runner provably reproduces this algorithm's
+        per-turn results: no persistent algo state, none of the exactly-
+        mirrored hooks overridden, and any ``on_round_start`` override
+        ships a matching :meth:`fused_round_start_keys` describing its
+        payload-loading behavior declaratively."""
+        if self.client_state_attrs:
+            return False
+        cls = type(self)
+        for hook in self._FUSED_EXACT_HOOKS:
+            if getattr(cls, hook) is not getattr(Algorithm, hook):
+                return False
+        if cls.on_round_start is not Algorithm.on_round_start:
+            # a custom round-start is fusable only if the class defining it
+            # also declares which payload keys it loads (fedper does)
+            for definer in cls.__mro__:
+                if "on_round_start" in vars(definer):
+                    return "fused_round_start_keys" in vars(definer)
+        return True
+
+    def fused_round_start_keys(self, payload_keys: Sequence[str]) -> List[str]:
+        """Payload keys :meth:`on_round_start` loads into the model — the
+        declarative mirror the fused runner initializes batched state from.
+        The default matches the base hook: every non-side-channel key."""
+        return [k for k in payload_keys if not k.startswith("__")]
+
+    # ------------------------------------------------------------------
     # server-side lifecycle
     # ------------------------------------------------------------------
     def setup_server(self, node: "Node") -> None:

@@ -46,6 +46,14 @@ class FedPer(Algorithm):
         )
         node.model.load_state_dict(shared, strict=False)
 
+    def fused_round_start_keys(self, payload_keys):
+        # declarative mirror of on_round_start: the shared trunk loads from
+        # the payload, the personalization head stays the client's own
+        return [
+            k for k in super().fused_round_start_keys(payload_keys)
+            if k not in self._head_keys
+        ]
+
     def aggregate(self, entries: List[Dict[str, Any]], global_state, round_idx: int):
         clients = self._client_entries(entries)
         if not clients:

@@ -13,7 +13,53 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset, Dataset, Subset
 
-__all__ = ["DataLoader"]
+__all__ = ["DataLoader", "materialize_batches"]
+
+
+def materialize_batches(
+    dataset: Dataset,
+    batch_size: int,
+    rng: np.random.Generator,
+    epochs: int,
+    max_batches: Optional[int] = None,
+) -> list:
+    """Exactly the ``(x, y)`` batches that ``epochs`` passes of
+    ``DataLoader(dataset, batch_size, shuffle=True, rng=rng)`` would yield
+    (capped at ``max_batches`` per epoch), as one flat list.
+
+    Consumes ``rng`` identically to the loader — every epoch's shuffle is
+    drawn in full even when the cap truncates the epoch — but skips the
+    per-epoch loader construction and generator machinery.  This is the
+    fused-turn hot path: one call per pooled client turn.
+    """
+    loader = DataLoader(dataset, batch_size, shuffle=True, rng=rng)
+    n = len(dataset)
+    fast = loader._fast_arrays()
+    out = []
+    for _ in range(epochs):
+        if n > 1:
+            order = np.arange(n)
+            rng.shuffle(order)
+        else:
+            order = None  # a 0/1-sample shuffle draws nothing
+        for b, start in enumerate(range(0, n, batch_size)):
+            if max_batches is not None and b >= max_batches:
+                break
+            if fast is not None:
+                xs, ys = fast
+                if order is not None:
+                    xs, ys = xs[order[start:start + batch_size]], ys[order[start:start + batch_size]]
+                out.append((
+                    np.ascontiguousarray(xs, dtype=np.float32),
+                    np.ascontiguousarray(ys, dtype=np.int64),
+                ))
+            else:
+                idx = order[start:start + batch_size] if order is not None else range(n)
+                samples = [dataset[int(i)] for i in idx]
+                x = np.stack([s[0] for s in samples]).astype(np.float32, copy=False)
+                y = np.asarray([s[1] for s in samples], dtype=np.int64)
+                out.append((x, y))
+    return out
 
 
 class DataLoader:

@@ -46,6 +46,9 @@ class ClientDataProvider:
     # ------------------------------------------------------------------
     def indices(self) -> List[np.ndarray]:
         """The partition's index arrays (computed once, then cached)."""
+        cached = self._indices  # lock-free fast path: write-once, read-hot
+        if cached is not None:
+            return cached
         with self._lock:
             if self._indices is None:
                 shards = self.datamodule.partition(

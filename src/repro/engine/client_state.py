@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["ClientSnapshot", "ClientStateStore"]
+__all__ = ["ClientSnapshot", "ClientStateStore", "StateArena"]
 
 
 @dataclass
@@ -33,7 +33,12 @@ class ClientSnapshot:
 
     Contract: holders must not mutate snapshot contents in place — algorithm
     hooks replace (never mutate) the arrays they export, so snapshots can
-    hold references instead of copies.
+    hold references instead of copies.  When the store is arena-backed the
+    contract tightens by one clause: a snapshot obtained from the store is
+    valid only until that client's *next* ``put`` (its arrays are views into
+    per-client arena rows, which the next put overwrites in place).  The
+    pool serializes all turns of one client, so every in-tree consumer
+    satisfies this by construction.
     """
 
     #: algorithm attrs named by ``Algorithm.client_state_attrs``
@@ -70,25 +75,117 @@ def _deep_nbytes(value: Any) -> int:
     return 0
 
 
+class StateArena:
+    """Preallocated per-client slabs backing snapshot arrays with views.
+
+    Without an arena every pool turn's swap-out stores freshly allocated
+    state-dict copies, so a long run churns one short-lived allocation per
+    persistent key per turn.  The arena instead keeps one stacked slab per
+    state-schema *path* — shape ``(num_clients, *leaf_shape)`` — and
+    :meth:`adopt` rewrites a snapshot's array leaves into that client's row:
+    the values are copied once into stable storage and the snapshot ends up
+    holding views, so repeated turns of a client reuse the same memory
+    instead of reallocating it.  Rows of different clients are disjoint,
+    which keeps concurrent workers race-free without a lock on the write
+    path (the lock guards slab creation only).
+
+    The schema is discovered lazily from whatever snapshots actually carry
+    (plain FedAvg persists nothing and allocates nothing) and extends as new
+    paths appear.  A leaf whose shape or dtype disagrees with its slab — or
+    that is not a numpy array at all — is simply left as a plain reference:
+    per-leaf fallback, never a failure.  Leaves that already *are* this
+    client's row (an algorithm carrying an attr through unchanged) skip the
+    copy, which is what makes the swap copy-on-write for untouched keys.
+    """
+
+    #: snapshot buckets whose dict trees get arena-backed (plugin state —
+    #: compressor/dp — stays plain: shapes there may vary turn to turn)
+    _BUCKETS = ("model", "algo")
+
+    def __init__(self, num_clients: int) -> None:
+        self.num_clients = int(num_clients)
+        self._slabs: Dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def adopt(self, client: int, snapshot: ClientSnapshot) -> ClientSnapshot:
+        """Rewrite ``snapshot``'s array leaves into ``client``'s arena rows
+        (in place); returns the same snapshot."""
+        client = int(client)
+        if not 0 <= client < self.num_clients:
+            return snapshot
+        for bucket in self._BUCKETS:
+            tree = getattr(snapshot, bucket)
+            if tree:
+                self._adopt_tree(client, bucket, tree)
+        return snapshot
+
+    def _adopt_tree(self, client: int, path: str, tree: Dict[str, Any]) -> None:
+        for key, value in tree.items():
+            if isinstance(value, np.ndarray):
+                leaf = self._adopt_leaf(client, f"{path}.{key}", value)
+                if leaf is not value:
+                    tree[key] = leaf
+            elif isinstance(value, dict):
+                self._adopt_tree(client, f"{path}.{key}", value)
+            # lists/scalars/None stay plain references
+
+    def _adopt_leaf(self, client: int, path: str, arr: np.ndarray) -> np.ndarray:
+        slab = self._slabs.get(path)
+        if slab is None:
+            with self._lock:
+                slab = self._slabs.get(path)
+                if slab is None:
+                    slab = np.empty((self.num_clients,) + arr.shape, arr.dtype)
+                    self._slabs[path] = slab
+        if slab.shape[1:] != arr.shape or slab.dtype != arr.dtype:
+            return arr  # schema drifted for this leaf: keep it plain
+        # ellipsis keeps 0-d leaves (e.g. batch-norm step counters) as 0-d
+        # views — plain slab[client] would collapse them to numpy scalars
+        view = slab[client, ...]
+        if arr.base is slab:
+            return arr  # already this client's row: nothing to copy
+        view[...] = arr
+        return view
+
+    def paths(self) -> List[str]:
+        """Slab paths allocated so far (diagnostics/tests)."""
+        with self._lock:
+            return sorted(self._slabs)
+
+    def nbytes(self) -> int:
+        """Total bytes preallocated across slabs."""
+        with self._lock:
+            return sum(int(s.nbytes) for s in self._slabs.values())
+
+    def stats(self) -> Dict[str, Tuple[Tuple[int, ...], str]]:
+        with self._lock:
+            return {p: (s.shape, str(s.dtype)) for p, s in self._slabs.items()}
+
+
 class ClientStateStore:
     """Thread-safe map of logical client id -> :class:`ClientSnapshot`.
 
     Workers for *different* clients run concurrently but the pool serializes
     all turns of one client, so per-key access is race-free by construction;
-    the lock only guards the dict itself.
+    the lock only guards the dict itself.  With an ``arena``, every ``put``
+    first adopts the snapshot's arrays into the client's preallocated rows
+    (see :class:`StateArena`), making steady-state swaps allocation-free.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, arena: Optional[StateArena] = None) -> None:
         self._snapshots: Dict[int, ClientSnapshot] = {}
         self._sizes: Dict[int, int] = {}
         self._total_bytes = 0
         self._lock = threading.Lock()
+        self.arena = arena
 
     def get(self, client: int) -> Optional[ClientSnapshot]:
         with self._lock:
             return self._snapshots.get(int(client))
 
     def put(self, client: int, snapshot: ClientSnapshot) -> None:
+        if self.arena is not None:
+            snapshot = self.arena.adopt(int(client), snapshot)
         # size once per put (snapshot contents are replace-not-mutate, see
         # ClientSnapshot contract) so nbytes() stays O(1) — telemetry reads
         # it on every aggregation record

@@ -252,13 +252,17 @@ class Engine:
                     self.nodes.append(make_node(wspec, None))
                     self.actors.append(ThreadActor(self.nodes[-1], name=wspec.name))
                 broker = Broker(
-                    broker_url, engine=self, worker_positions=worker_positions
+                    broker_url,
+                    engine=self,
+                    worker_positions=worker_positions,
+                    num_clients=n_trainers,
                 )
             self.pool = ClientPool(
                 self,
                 num_clients=n_trainers,
                 broker=broker,
                 data_provider=self.data_provider,
+                batch_turns=getattr(spec, "batch_turns", None),
             )
         else:
             for nspec in node_specs:

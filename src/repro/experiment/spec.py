@@ -277,6 +277,12 @@ class ExperimentSpec:
     #: dispatches them to worker processes (``repro worker <url>``); see
     #: :mod:`repro.runtime.broker` for the scheme registry
     broker: str = "memory://"
+    #: opt-in hot path: fuse up to this many same-payload client turns into
+    #: one batched tensor pass where the algorithm/model allow (fedavg,
+    #: fedper shared trunk on MLPs); ineligible turns fall back to the exact
+    #: per-turn path, so results stay bit-identical either way.  null (the
+    #: default) keeps strictly per-turn execution
+    batch_turns: Optional[int] = None
 
     def __post_init__(self) -> None:
         _freeze(self, "topology_kwargs", _plain(self.topology_kwargs or {}))
@@ -298,6 +304,8 @@ class ExperimentSpec:
             raise SpecError("num_clients must be >= 1 (or null)")
         if self.pool_size is not None and self.pool_size < 1:
             raise SpecError("pool_size must be >= 1 (or null)")
+        if self.batch_turns is not None and self.batch_turns < 1:
+            raise SpecError("batch_turns must be >= 1 (or null)")
         if self.broker is None:
             _freeze(self, "broker", "memory://")
         # scheme registry owns URL validation (ValueError names the
@@ -338,6 +346,7 @@ class ExperimentSpec:
             "num_clients": self.num_clients,
             "pool_size": self.pool_size,
             "broker": self.broker,
+            "batch_turns": self.batch_turns,
         }
         _check_serializable(out, "spec")
         return out
@@ -457,6 +466,9 @@ class ExperimentSpec:
                 int(cfg["pool_size"]) if cfg.get("pool_size") is not None else None
             ),
             broker=str(cfg.get("broker") or "memory://"),
+            batch_turns=(
+                int(cfg["batch_turns"]) if cfg.get("batch_turns") is not None else None
+            ),
         )
 
 
@@ -500,6 +512,7 @@ def spec_from_parts(
     num_clients: Optional[int] = None,
     pool_size: Optional[int] = None,
     broker: str = "memory://",
+    batch_turns: Optional[int] = None,
 ) -> ExperimentSpec:
     """Assemble an :class:`ExperimentSpec` from flat engine-style kwargs."""
     return ExperimentSpec(
@@ -544,6 +557,7 @@ def spec_from_parts(
         num_clients=num_clients,
         pool_size=pool_size,
         broker=broker,
+        batch_turns=batch_turns,
     )
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
@@ -36,6 +36,16 @@ class FederatedModel(Module):
         """State-dict keys belonging to the personalization head."""
         prefix = self.head_module_name() + "."
         return [k for k in self.state_dict() if k.startswith(prefix)]
+
+    def fused_plan(self) -> Optional[List[Tuple[str, ...]]]:
+        """Op-by-op description of ``forward`` for the fused turn runner
+        (``batch_turns``), or ``None`` when the architecture has no exact
+        batched mirror.  Each entry is ``("linear", weight_key, bias_key)``
+        or ``("relu",)``, applied in order to the flattened input.  Models
+        with ops the runner does not mirror (BatchNorm, convolutions) must
+        return ``None`` — the default — which disables fusion for them.
+        """
+        return None
 
     def bn_parameter_names(self) -> List[str]:
         """State-dict keys (params *and* buffers) owned by BatchNorm layers."""

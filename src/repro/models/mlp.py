@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,18 @@ class MLP(FederatedModel):
 
     def classify(self, feats: Tensor) -> Tensor:
         return self.classifier(feats)
+
+    def fused_plan(self) -> Optional[List[Tuple[str, ...]]]:
+        plan: List[Tuple[str, ...]] = []
+        for i, layer in enumerate(self.backbone):
+            if isinstance(layer, Linear):
+                plan.append(("linear", f"backbone.{i}.weight", f"backbone.{i}.bias"))
+            elif isinstance(layer, ReLU):
+                plan.append(("relu",))
+            else:  # BatchNorm (running stats) has no exact batched mirror
+                return None
+        plan.append(("linear", "classifier.weight", "classifier.bias"))
+        return plan
 
 
 @MODELS.register("mlp")

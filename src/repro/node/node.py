@@ -177,8 +177,13 @@ class Node:
             if self.dp is not None:
                 self.dp.import_state(_copy.deepcopy(self._dp_pristine))
         else:
-            self._rng = np.random.default_rng()
-            self._rng.bit_generator.state = snapshot.fault_rng
+            if snapshot.fault_rng is None:
+                # stream never consumed since derivation (e.g. a fused turn):
+                # re-deriving is bit-identical to restoring the initial state
+                self._rng = client_rng(self.seed, client_id, FAULT_STREAM)
+            else:
+                self._rng = np.random.default_rng()
+                self._rng.bit_generator.state = snapshot.fault_rng
             self._loader_rng = np.random.default_rng()
             self._loader_rng.bit_generator.state = snapshot.loader_rng
             self.algorithm.import_client_state(snapshot.algo)
@@ -194,6 +199,28 @@ class Node:
             restore = {k: model_state[k] for k in keys if k in model_state}
         if restore:
             self.model.load_state_dict(restore, strict=False)
+
+    def fusion_context(self) -> Optional[Dict[str, Any]]:
+        """What the fused turn runner (``batch_turns``) needs to mirror this
+        node's ``local_update`` as batched tensor ops — or ``None`` when the
+        configuration rules exact fusion out (codec/DP plugins transform
+        per-client updates; algorithms/models vet themselves via
+        ``Algorithm.fusion_safe`` / ``FederatedModel.fused_plan``)."""
+        if self.compressor is not None or self.dp is not None:
+            return None
+        if not self.algorithm.fusion_safe():
+            return None
+        plan = self.model.fused_plan()
+        if plan is None:
+            return None
+        return {
+            "plan": plan,
+            "state_keys": list(self.model.state_dict().keys()),
+            "persistent_keys": self.algorithm.persistent_model_keys(self.model),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+        }
 
     def end_client_turn(self, turns: int = 0) -> ClientSnapshot:
         """Hand the current client's identity back as a snapshot."""

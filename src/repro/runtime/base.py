@@ -20,9 +20,11 @@ The contract, which every implementation must honor:
     submission order (per-client FIFO) — this is what makes pooled and
     dedicated execution bit-identical.  Turns for different clients may run
     in any order or in parallel.
-``evaluate_all(max_batches=None)``
+``evaluate_all(max_batches=None, timeout=None)``
     Run ``evaluate`` on every client against its own state and return the
     ``(mean_loss, mean_accuracy)`` over clients in sorted-id order.
+    ``timeout`` bounds the wait per client result; the default waits
+    indefinitely (remote substrates have no universally safe bound).
 ``shutdown()``
     Release execution resources.  Pending (unstarted) turns fail with
     ``RuntimeError``; already-running turns complete.  Idempotent.
@@ -57,7 +59,8 @@ class ClientRuntime:
         """Enqueue one turn; returns a ticket with ``result``/``exception``."""
         raise NotImplementedError
 
-    def evaluate_all(self, max_batches: Optional[int] = None) -> Tuple[float, float]:
+    def evaluate_all(self, max_batches: Optional[int] = None,
+                     timeout: Optional[float] = None) -> Tuple[float, float]:
         """Per-client ``evaluate`` fan-out -> (mean_loss, mean_accuracy)."""
         raise NotImplementedError
 
@@ -88,12 +91,13 @@ class DedicatedRuntime(ClientRuntime):
             method, *args, **kwargs
         )
 
-    def evaluate_all(self, max_batches: Optional[int] = None) -> Tuple[float, float]:
+    def evaluate_all(self, max_batches: Optional[int] = None,
+                     timeout: Optional[float] = None) -> Tuple[float, float]:
         futures = [
             self.submit(client, "evaluate", None, max_batches)
             for client in self.client_ids()
         ]
-        pairs = [f.result() for f in futures]
+        pairs = [f.result(timeout) for f in futures]
         losses = [p[0] for p in pairs]
         accs = [p[1] for p in pairs]
         return float(np.mean(losses)), float(np.mean(accs))

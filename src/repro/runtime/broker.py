@@ -22,10 +22,10 @@ their own via :func:`register_broker`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Type
 from urllib.parse import urlparse
 
-from repro.engine.client_state import ClientStateStore
+from repro.engine.client_state import ClientStateStore, StateArena
 from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -116,6 +116,10 @@ class TurnBroker:
     scheme: str = "?"
     #: True when turns execute outside this process (workers are remote)
     distributed: bool = False
+    #: True when :meth:`execute_batch` can fuse several compatible turns
+    #: into one substrate dispatch (the pool downgrades ``batch_turns``
+    #: to per-turn execution otherwise)
+    supports_batching: bool = False
 
     #: where client snapshots live between turns (brokers may shard this
     #: behind the transport; the attribute always answers locally)
@@ -145,6 +149,13 @@ class TurnBroker:
     def execute(self, ticket: "PoolTicket") -> None:
         """Dispatch one started ticket; must return without waiting."""
         raise NotImplementedError
+
+    def execute_batch(self, tickets: List["PoolTicket"]) -> None:
+        """Dispatch several started tickets as one fused unit.  Every
+        ticket must still be reported individually through
+        ``pool.turn_done`` with results bit-identical to per-turn
+        execution; brokers advertise support via ``supports_batching``."""
+        raise NotImplementedError(f"{type(self).__name__} does not batch turns")
 
     # -- introspection (telemetry reads these on the record path) ------
     @property
@@ -185,6 +196,7 @@ class MemoryBroker(TurnBroker):
     """
 
     distributed = False
+    supports_batching = True
 
     def __init__(
         self,
@@ -192,6 +204,7 @@ class MemoryBroker(TurnBroker):
         *,
         engine: "Engine",
         worker_positions,
+        num_clients: Optional[int] = None,
         **_: Any,
     ) -> None:
         super().__init__(url)
@@ -200,9 +213,17 @@ class MemoryBroker(TurnBroker):
         self._engine = engine
         self._worker_pos = [int(w) for w in worker_positions]
         self._free = list(self._worker_pos)
-        self.store = ClientStateStore()
+        # with a known cohort size, back snapshots with a preallocated
+        # per-client arena so steady-state state swaps are allocation-free
+        arena = StateArena(num_clients) if num_clients else None
+        self.store = ClientStateStore(arena=arena)
         self._baseline: Optional[Dict[str, Any]] = None
         self._inflight = 0
+        # id(node) -> FusedTurnRunner-or-None, built lazily per worker node;
+        # all runners share one scratch pool so recycled fused temporaries
+        # are bounded globally rather than per worker
+        self._runners: Dict[int, Any] = {}
+        self._scratch: Optional[Any] = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -263,6 +284,88 @@ class MemoryBroker(TurnBroker):
 
         self.pool.turn_done(ticket, future.result() if future.exception() is None
                             else None, future.exception(), release=release)
+
+    # -- batched dispatch ----------------------------------------------
+    def execute_batch(self, tickets: List["PoolTicket"]) -> None:
+        """Run several compatible turns on ONE worker as a fused pass."""
+        if self._baseline is None:
+            self.start()
+        worker = self._free.pop()
+        self._inflight += len(tickets)
+        future = self._engine.actors[worker].submit_call(self._run_batch, list(tickets))
+        future.add_done_callback(
+            lambda f, ts=tickets, w=worker: self._on_batch_done(ts, w, f)
+        )
+
+    def _runner_for(self, node) -> Any:
+        """The node's fused-turn runner, or None when the configured
+        algorithm/model/plugins rule fusion out (cached per worker node)."""
+        runner = self._runners.get(id(node))
+        if runner is None and id(node) not in self._runners:
+            context = node.fusion_context()
+            if context is not None:
+                from repro.runtime.fused import FusedTurnRunner, ScratchPool
+
+                if self._scratch is None:
+                    self._scratch = ScratchPool()
+                runner = FusedTurnRunner(context, self._scratch)
+            self._runners[id(node)] = runner
+        return runner
+
+    def _run_batch(self, node, tickets: List["PoolTicket"]) -> None:
+        """Fused batch on the worker's thread; reports each ticket itself.
+
+        The fused attempt reads snapshots/payloads without consuming or
+        mutating any of them, so on *any* failure — runner ineligible for
+        these tickets, or an unexpected error mid-math — falling back to
+        the exact sequential per-turn path reproduces per-turn execution
+        bit-identically.
+        """
+        tracer = self._engine.tracer
+        assert self._baseline is not None
+        runner = self._runner_for(node)
+        if runner is not None and all(runner.turn_eligible(t) for t in tickets):
+            jobs = [(t, self.store.get(t.client), self.pool.data_view(t))
+                    for t in tickets]
+            try:
+                with tracer.span("pool.fused_batch", cat="pool",
+                                 clients=len(tickets)):
+                    outcomes = runner.run_batch(jobs, self._baseline)
+            except Exception:  # noqa: BLE001 - fall back to the exact path
+                _LOG.exception(
+                    "fused batch failed; re-running %d turns sequentially",
+                    len(tickets),
+                )
+                outcomes = None
+            if outcomes is not None:
+                done = []
+                for ticket, (result, snapshot) in zip(tickets, outcomes):
+                    self.store.put(ticket.client, snapshot)
+                    done.append((ticket, result, None))
+                self.pool.turns_done_batch(done)
+                return
+        for ticket in tickets:
+            try:
+                value = self._run_turn(node, ticket)
+                exc: Optional[BaseException] = None
+            except BaseException as err:  # noqa: BLE001 - per-turn semantics
+                value, exc = None, err
+            self.pool.turn_done(ticket, value, exc)
+
+    def _on_batch_done(self, tickets: List["PoolTicket"], worker: int, future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            # _run_batch reports per ticket; getting here means the batch
+            # machinery itself died — fail whatever was not yet reported
+            for ticket in tickets:
+                if not ticket.done():
+                    self.pool.turn_done(ticket, None, exc)
+
+        def release() -> None:  # runs under the pool lock, before the pump
+            self._free.append(worker)
+            self._inflight -= len(tickets)
+
+        self.pool.release_capacity(release)
 
     # -- introspection -------------------------------------------------
     def queue_depth(self) -> int:

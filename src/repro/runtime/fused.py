@@ -1,0 +1,422 @@
+"""Fused client turns: several pooled ``local_update`` calls as one batched
+tensor pass (the opt-in ``batch_turns`` hot path).
+
+At bench scale the per-turn cost is dominated by fixed overheads — tape
+construction, per-layer dispatch, state-dict plumbing — on tiny matmuls.
+Stacking K clients' parameters into ``(K, ...)`` arrays and training them
+with one set of 3D ``np.matmul`` calls amortizes all of it, and because
+every op here is slice-independent (batched matmul, broadcast bias,
+elementwise relu, last-axis softmax/argmax/mean), slice ``k`` of the fused
+pass is **bitwise identical** to running client ``k`` through the regular
+autograd path.  That identity is the contract: the runner exists only for
+configurations where it can be proven —
+
+* the algorithm vets itself via :meth:`Algorithm.fusion_safe` (no persistent
+  per-client algo state, none of the exactly-mirrored hooks overridden);
+* the model describes its forward as a linear/relu plan via
+  :meth:`FederatedModel.fused_plan` (anything else — BatchNorm, convs —
+  returns None and disables fusion);
+* the node rules out codec/DP plugins in :meth:`Node.fusion_context`;
+* per ticket, :meth:`turn_eligible` checks the payload covers every model
+  key not persisted per-client (so batched init needs no worker model).
+
+Anything failing a check falls back to the exact sequential path in
+:class:`~repro.runtime.broker.MemoryBroker`, so ``batch_turns`` can never
+change results — only how fast they arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataloader import materialize_batches
+from repro.engine.client_state import ClientSnapshot
+from repro.utils.seeding import DATA_STREAM, client_rng
+
+__all__ = ["FusedTurnRunner", "ScratchPool"]
+
+
+class ScratchPool:
+    """Recycled large numpy temporaries, shareable across worker threads.
+
+    Fused groups burn through mmap-sized gradient/optimizer scratch; fresh
+    allocations of that size pay kernel page-zeroing on every group.  A
+    broker shares ONE pool across all its runners so idle buffers are
+    bounded globally rather than per worker.  Arrays are handed out
+    exclusively (a taken array is owned until given back), so the lock only
+    guards the free lists.
+    """
+
+    def __init__(self, cap_bytes: int = 16 << 20) -> None:
+        self.cap_bytes = int(cap_bytes)
+        self._free: Dict[Tuple[tuple, Any], List[np.ndarray]] = {}
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def take(self, shape: tuple, dtype) -> np.ndarray:
+        """A writable scratch array (contents undefined — callers must
+        fully overwrite it)."""
+        key = (shape, np.dtype(dtype))
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                arr = free.pop()
+                self._bytes -= arr.nbytes
+                return arr
+        return np.empty(shape, dtype)
+
+    def give(self, arr: np.ndarray) -> None:
+        if arr.base is not None:
+            return  # views don't own their memory; never recycle them
+        with self._lock:
+            if self._bytes + arr.nbytes > self.cap_bytes:
+                return
+            self._free.setdefault((arr.shape, arr.dtype), []).append(arr)
+            self._bytes += arr.nbytes
+
+
+class _ClientTurn:
+    """One job's per-client bookkeeping across the fused pass."""
+
+    __slots__ = ("ticket", "snapshot", "view", "rng", "batches",
+                 "payload", "version", "lr", "load_keys",
+                 "total_loss", "samples", "correct", "batches_run")
+
+    def __init__(self, ticket, snapshot, view, rng, batches) -> None:
+        self.ticket = ticket
+        self.snapshot = snapshot
+        self.view = view
+        self.rng = rng
+        self.batches = batches
+        self.payload = ticket.args[0]
+        self.version = int(ticket.args[1])
+        self.lr = 0.0
+        self.load_keys: Any = None
+        self.total_loss = 0.0
+        self.samples = 0
+        self.correct = 0
+        self.batches_run = 0
+
+
+class FusedTurnRunner:
+    """Runs batches of compatible ``local_update`` turns as stacked math.
+
+    Built from :meth:`Node.fusion_context`; one instance per worker node
+    (the broker caches it).  ``run_batch`` never mutates the snapshots or
+    the payload it is given — a failure at any point leaves the sequential
+    fallback an untouched starting state.
+    """
+
+    def __init__(
+        self, context: Dict[str, Any], scratch: Optional[ScratchPool] = None
+    ) -> None:
+        self.plan: List[Tuple[str, ...]] = list(context["plan"])
+        self.state_keys: List[str] = list(context["state_keys"])
+        self.persistent: Optional[List[str]] = (
+            None if context["persistent_keys"] is None
+            else list(context["persistent_keys"])
+        )
+        self.algo = context["algorithm"]
+        self.seed = int(context["seed"])
+        self.batch_size = int(context["batch_size"])
+        plan_params = {k for op in self.plan if op[0] == "linear" for k in op[1:]}
+        # every model entry must be a planned parameter: an unplanned entry
+        # (a buffer) would train differently than the autograd path
+        self._static_ok = plan_params == set(self.state_keys)
+        # payload-coverage verdict, cached per payload object (payload
+        # identity is stable per dispatch version via the scheduler cache;
+        # the strong reference also keeps id() from being recycled)
+        self._coverage: Optional[Tuple[Any, bool]] = None
+        # recycled gradient/optimizer scratch — brokers pass one shared
+        # pool so idle buffers are bounded globally, not per worker
+        self._scratch = scratch if scratch is not None else ScratchPool()
+
+    def _take(self, shape: tuple, dtype) -> np.ndarray:
+        return self._scratch.take(shape, dtype)
+
+    def _give(self, arr: np.ndarray) -> None:
+        self._scratch.give(arr)
+
+    # ------------------------------------------------------------------
+    def turn_eligible(self, ticket) -> bool:
+        """Cheap per-ticket gate (called on the dispatch path)."""
+        if not self._static_ok:
+            return False
+        if ticket.method != "local_update" or ticket.kwargs or len(ticket.args) != 3:
+            return False
+        payload = ticket.args[0]
+        if not isinstance(payload, Mapping) or not payload:
+            return False
+        cached = self._coverage
+        if cached is not None and cached[0] is payload:
+            return cached[1]
+        load = self._load_keys(payload)
+        persisted = (
+            set(self.state_keys) if self.persistent is None else set(self.persistent)
+        )
+        ok = all(k in load or k in persisted for k in self.state_keys)
+        self._coverage = (payload, ok)
+        return ok
+
+    def _load_keys(self, payload: Mapping[str, Any]) -> set:
+        """Model keys ``on_round_start`` would load from this payload."""
+        return set(self.algo.fused_round_start_keys(list(payload.keys()))) & set(payload)
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        jobs: Sequence[Tuple[Any, Optional[ClientSnapshot], Any]],
+        baseline: Dict[str, Any],
+    ) -> List[Tuple[Dict[str, Any], ClientSnapshot]]:
+        """``jobs`` is ``[(ticket, snapshot_or_None, data_view), ...]`` of
+        eligible ``local_update`` turns (payloads/versions may differ —
+        turns from several dispatch epochs fuse together); returns the
+        job-aligned ``[(local_update result, new snapshot), ...]``."""
+        algo = self.algo
+        cap = algo.max_batches_per_epoch
+
+        # materialize every client's batch sequence exactly as the per-turn
+        # DataLoader would (same rng stream, same per-epoch shuffles)
+        clients: List[_ClientTurn] = []
+        for ticket, snapshot, view in jobs:
+            if snapshot is None:
+                rng = client_rng(self.seed, ticket.client, DATA_STREAM)
+            else:
+                rng = np.random.default_rng()
+                rng.bit_generator.state = snapshot.loader_rng
+            batches = materialize_batches(
+                view, self.batch_size, rng, algo.local_epochs, cap
+            )
+            clients.append(_ClientTurn(ticket, snapshot, view, rng, batches))
+
+        # stacking needs rectangular slices: group clients that agree on
+        # per-step batch shapes, learning rate, and payload schema (uneven
+        # shards or mixed dispatch epochs split into a few groups; a
+        # singleton group runs the same fused code at K=1)
+        load_cache: Dict[tuple, frozenset] = {}
+        groups: Dict[tuple, List[_ClientTurn]] = {}
+        for ct in clients:
+            ct.lr = algo.lr_for_round(int(ct.ticket.args[2]))
+            schema = tuple(ct.payload)
+            load = load_cache.get(schema)
+            if load is None:
+                load = load_cache[schema] = frozenset(self._load_keys(ct.payload))
+            ct.load_keys = load
+            sig = (
+                ct.lr,
+                schema,
+                tuple((x.shape, x.dtype.str, y.shape, y.dtype.str)
+                      for x, y in ct.batches),
+            )
+            groups.setdefault(sig, []).append(ct)
+
+        outcomes: Dict[int, Tuple[Dict[str, Any], ClientSnapshot]] = {}
+        for group in groups.values():
+            self._run_group(group, baseline, outcomes)
+        return [outcomes[id(ct)] for ct in clients]
+
+    # ------------------------------------------------------------------
+    def _run_group(
+        self,
+        group: List[_ClientTurn],
+        baseline: Dict[str, Any],
+        outcomes: Dict[int, Tuple[Dict[str, Any], ClientSnapshot]],
+    ) -> None:
+        algo = self.algo
+        K = len(group)
+        load_keys = group[0].load_keys
+        first_payload = group[0].payload
+        shared_payload = all(ct.payload is first_payload for ct in group)
+        # stacked round-start state: payload keys broadcast (on_round_start
+        # overwrites the restore, so load wins) — one broadcast copy when
+        # the whole group shares a dispatch epoch, else per-client rows —
+        # the rest from each client's persisted snapshot (baseline on a
+        # first turn)
+        W: Dict[str, np.ndarray] = {}
+        for key in self.state_keys:
+            if key in load_keys:
+                if shared_payload:
+                    src = np.asarray(first_payload[key])
+                    slab = np.empty((K,) + src.shape, src.dtype)
+                    slab[:] = src
+                    W[key] = slab
+                else:
+                    W[key] = np.stack(
+                        [np.asarray(ct.payload[key]) for ct in group]
+                    )
+            else:
+                rows = []
+                for ct in group:
+                    snap = ct.snapshot
+                    if snap is not None and key in snap.model:
+                        rows.append(snap.model[key])
+                    else:
+                        rows.append(baseline["model"][key])
+                W[key] = np.stack(rows)
+
+        lr = group[0].lr
+        momentum = algo.momentum
+        wd = algo.weight_decay
+        bufs: Dict[str, np.ndarray] = {}  # fresh optimizer per turn
+        borrowed: List[np.ndarray] = []  # scratch to recycle at group end
+        arange_k = np.arange(K)[:, None]
+        n_steps = len(group[0].batches)
+        for t in range(n_steps):
+            x3 = np.stack([ct.batches[t][0] for ct in group])
+            y3 = np.stack([ct.batches[t][1] for ct in group])
+            if x3.ndim > 3:  # mirrors FederatedModel.features' flatten
+                x3 = x3.reshape(K, x3.shape[1], -1)
+
+            # forward, recording what backward needs (linear inputs, masks)
+            h = x3
+            acts: List[np.ndarray] = []
+            for op in self.plan:
+                if op[0] == "linear":
+                    acts.append(h)
+                    h = np.matmul(h, W[op[1]].transpose(0, 2, 1))
+                    h += W[op[2]][:, None, :]
+                else:  # relu
+                    mask = h > 0
+                    acts.append(mask)
+                    h = np.where(mask, h, 0.0).astype(h.dtype, copy=False)
+            logits = h
+            n = logits.shape[1]
+            idx_n = np.arange(n)[None, :]
+
+            # cross-entropy along the class axis, per slice == F.cross_entropy
+            shifted = logits - logits.max(axis=2, keepdims=True)
+            logsumexp = np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+            shifted -= logsumexp  # shifted is fresh: reuse it as log_probs
+            log_probs = shifted
+            losses = -log_probs[arange_k, idx_n, y3]
+            loss_vals = losses.mean(axis=1).tolist()
+            correct = (logits.argmax(axis=2) == y3).sum(axis=1).tolist()
+            for k, ct in enumerate(group):
+                ct.total_loss += loss_vals[k] * n
+                ct.samples += n
+                ct.correct += correct[k]
+                ct.batches_run += 1
+
+            # backward + SGD, walking the plan top-down; dx through a layer
+            # is taken before that layer's weights step (autograd computes
+            # every grad before optimizer.step touches anything)
+            grad = np.exp(log_probs)
+            grad[arange_k, idx_n, y3] -= 1.0
+            grad /= n
+            for op, act in zip(reversed(self.plan), reversed(acts)):
+                if op[0] == "relu":
+                    # grad is always fresh here (exp output or matmul
+                    # result), so masking in place is bitwise-safe
+                    np.multiply(grad, act, out=grad)
+                else:
+                    wkey, bkey = op[1], op[2]
+                    if grad.shape[1] == 1:
+                        # single-sample step: the weight grad is a rank-1
+                        # outer product — one multiply per element, bitwise
+                        # equal to the dgemm result, without the per-slice
+                        # batched-matmul dispatch overhead
+                        g_w = self._take(
+                            W[wkey].shape, np.result_type(grad, act)
+                        )
+                        borrowed.append(g_w)
+                        np.multiply(
+                            grad[:, 0, :, None], act[:, 0, None, :], out=g_w
+                        )
+                    else:
+                        g_w = np.matmul(
+                            act.transpose(0, 2, 1), grad
+                        ).transpose(0, 2, 1)
+                    g_b = grad.sum(axis=1)
+                    grad = np.matmul(grad, W[wkey])
+                    self._sgd(W, bufs, wkey, g_w, lr, momentum, wd)
+                    self._sgd(W, bufs, bkey, g_b, lr, momentum, wd)
+
+        for arr in borrowed:
+            self._give(arr)
+        algo_state = algo.export_client_state()
+        for k, ct in enumerate(group):
+            stats = {
+                "loss": ct.total_loss / max(ct.samples, 1),
+                "accuracy": ct.correct / max(ct.samples, 1),
+                "batches": float(ct.batches_run),
+                "samples": float(ct.samples),
+            }
+            # rows are handed out as views: the stacked slabs are exactly the
+            # K per-client states laid out contiguously, so slicing costs no
+            # copy and pins no extra bytes; nothing downstream mutates result
+            # states (replace-not-mutate contract), and snapshot rows are
+            # copied into stable storage by the arena on store.put
+            state = {key: W[key][k] for key in self.state_keys}
+            result = {
+                "state": state,
+                "meta": {"num_samples": int(len(ct.view))},
+                "stats": stats,
+                "version": ct.version,
+            }
+            if self.persistent is None:
+                model_state = OrderedDict((key, W[key][k]) for key in self.state_keys)
+            elif self.persistent:
+                model_state = OrderedDict((key, W[key][k]) for key in self.persistent)
+            else:
+                model_state = OrderedDict()
+            if ct.snapshot is not None:
+                fault_rng = ct.snapshot.fault_rng
+                turns = ct.snapshot.turns
+            else:
+                # first turn and the fault stream was never consumed: store
+                # None — begin_client_turn re-derives the identical stream
+                # lazily, saving a SeedSequence spin-up per first turn
+                fault_rng = None
+                turns = 0
+            snapshot = ClientSnapshot(
+                algo=algo_state if not algo_state else algo.export_client_state(),
+                model=model_state,
+                fault_rng=fault_rng,
+                loader_rng=ct.rng.bit_generator.state,
+                compressor=None,
+                dp=None,
+                stats=dict(stats),
+                turns=turns + 1,
+            )
+            outcomes[id(ct)] = (result, snapshot)
+
+    def _sgd(
+        self,
+        W: Dict[str, np.ndarray],
+        bufs: Dict[str, np.ndarray],
+        key: str,
+        g: np.ndarray,
+        lr: float,
+        momentum: float,
+        wd: float,
+    ) -> None:
+        """One stacked parameter step == :class:`repro.nn.optim.SGD` (the
+        base ``configure_optimizer``: dampening 0, nesterov off)."""
+        if wd:
+            g = g + wd * W[key]
+        if momentum:
+            buf = bufs.get(key)
+            if buf is None:
+                # g is always fresh here (grad matmul/outer-product output,
+                # or the wd sum above) — adopt it as the buffer instead of
+                # cloning; callers never reuse g after this step
+                buf = g if g.dtype == W[key].dtype else g.astype(W[key].dtype)
+                bufs[key] = buf
+            else:
+                buf *= momentum
+                buf += g
+            # W -= lr * buf, with the product staged in recycled scratch
+            tmp = self._take(buf.shape, buf.dtype)
+            np.multiply(buf, lr, out=tmp)
+            W[key] -= tmp
+            self._give(tmp)
+        else:
+            # g is fresh in this path (raw grad or the wd sum above), so
+            # scaling it in place is safe; the momentum buffer must never
+            # take this shortcut
+            g *= lr
+            W[key] -= g

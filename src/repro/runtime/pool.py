@@ -63,6 +63,7 @@ class PoolTicket:
         self._result: Any = None
         self._exc: Optional[BaseException] = None
         self._consumed = False
+        self._abandoned = False
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -73,6 +74,10 @@ class PoolTicket:
     def _wait(self, timeout: Optional[float]) -> None:
         self._pool._demand(self)
         if not self._event.wait(timeout):
+            # hand the admission slot back before giving up: a waiter that
+            # never returns would otherwise leave this turn permanently
+            # unconsumed, shrinking the window until the pump wedges
+            self._pool._abandon(self)
             raise TimeoutError(
                 f"pooled turn ({self.method} for client {self.client}) "
                 f"still pending after {timeout}s"
@@ -109,6 +114,7 @@ class ClientPool(ClientRuntime):
         broker: "TurnBroker",
         data_provider,
         window: Optional[int] = None,
+        batch_turns: Optional[int] = None,
     ) -> None:
         self._engine = engine
         self.num_clients = int(num_clients)
@@ -131,6 +137,22 @@ class ClientPool(ClientRuntime):
         # started-but-unconsumed turns admitted without demand: bounds how
         # many decoded results can pile up while the event queue waits
         self._window = int(window) if window is not None else broker.default_window()
+        # opt-in turn fusion: gather up to _batch compatible head turns per
+        # dispatch so the broker can run them as one batched tensor pass
+        self._batch = max(1, int(batch_turns or 1))
+        if self._batch > 1 and not getattr(broker, "supports_batching", False):
+            _LOG.warning(
+                "broker %r does not support batch_turns; running per-turn",
+                broker.scheme,
+            )
+            self._batch = 1
+        if self._batch > 1 and window is None:
+            # batches admit several turns at once; widen the default window
+            # so fused dispatch is not starved down to singleton batches by
+            # out-of-order consumption pinning _unconsumed near the bound
+            # (4x keeps a few batches in flight without admitting the whole
+            # cohort's results at once)
+            self._window = max(self._window, 4 * self._batch)
         self._unconsumed = 0
         self._stopped = False
         self._started = False
@@ -190,11 +212,21 @@ class ClientPool(ClientRuntime):
         with self._lock:
             return self._n_pending
 
-    def evaluate_all(self, max_batches: Optional[int] = None) -> tuple:
+    def evaluate_all(self, max_batches: Optional[int] = None,
+                     timeout: Optional[float] = None) -> tuple:
         """Personalized evaluation over every logical client: mean (loss,
-        accuracy) of each client's own model on the shared test set."""
+        accuracy) of each client's own model on the shared test set.
+
+        ``timeout`` bounds the wait *per ticket* (default ``None``: wait
+        indefinitely — a large cohort on a remote broker, or one cold
+        worker, legitimately takes longer than any fixed guess)."""
         tickets = [self.submit(c, "evaluate", None, max_batches) for c in self.client_ids()]
-        results = [t.result(300) for t in tickets]
+        # demand in submission order up front so the whole evaluation sweep
+        # may jump the admission window in a deterministic order instead of
+        # serializing demand behind each blocking result() in turn
+        for t in tickets:
+            self._demand(t)
+        results = [t.result(timeout) for t in tickets]
         losses = [r[0] for r in results]
         accs = [r[1] for r in results]
         return float(np.mean(losses)), float(np.mean(accs))
@@ -244,10 +276,51 @@ class ClientPool(ClientRuntime):
             self._busy_clients.discard(ticket.client)
             if ticket.client in self._queues:
                 self._mark_ready_locked(ticket.client)
+            if ticket._abandoned and not ticket._consumed:
+                # the waiter timed out and may never come back for the
+                # result: return the admission slot here instead
+                ticket._consumed = True
+                self._unconsumed -= 1
             if release is not None:
                 release()
             self._pump_locked()
         ticket._event.set()
+
+    def turns_done_batch(
+        self, outcomes: Any
+    ) -> None:
+        """Report several finished turns under one lock acquisition.
+
+        ``outcomes`` is ``[(ticket, result, exc), ...]``.  Semantics match
+        per-ticket :meth:`turn_done` calls, but a fused batch of K turns
+        pays one lock/pump cycle instead of K."""
+        for ticket, result, exc in outcomes:
+            if exc is not None:
+                ticket._exc = exc
+            else:
+                ticket._result = result
+        with self._lock:
+            for ticket, _, _ in outcomes:
+                self.turns_run += 1
+                self._busy_clients.discard(ticket.client)
+                if ticket.client in self._queues:
+                    self._mark_ready_locked(ticket.client)
+                if ticket._abandoned and not ticket._consumed:
+                    ticket._consumed = True
+                    self._unconsumed -= 1
+            self._pump_locked()
+        for ticket, _, _ in outcomes:
+            ticket._event.set()
+
+    def release_capacity(self, release: Any) -> None:
+        """Run a broker's capacity-return closure under the pool lock and
+        re-pump.  Brokers that complete several tickets per substrate slot
+        (batched dispatch) report each ticket via :meth:`turn_done` and
+        return the slot once, here."""
+        with self._lock:
+            if release is not None:
+                release()
+            self._pump_locked()
 
     # ------------------------------------------------------------------
     # internals (all under self._lock unless noted)
@@ -289,23 +362,123 @@ class ClientPool(ClientRuntime):
                 self._unconsumed -= 1
                 self._pump_locked()
 
+    def _abandon(self, ticket: PoolTicket) -> None:
+        """A waiter timed out on ``ticket`` and may never collect it: give
+        the admission slot back — now if the turn already finished, else in
+        :meth:`turn_done` when it does."""
+        with self._lock:
+            ticket._abandoned = True
+            if ticket._event.is_set() and not ticket._consumed:
+                ticket._consumed = True
+                self._unconsumed -= 1
+                self._pump_locked()
+
     def _pump_locked(self) -> None:
         """Hand startable turns to the broker (per-client FIFO, demand
         first): always a client's *head* turn, never while an earlier turn
-        of the same client is still running."""
+        of the same client is still running.  With ``batch_turns`` > 1,
+        each dispatch tries to gather more compatible head turns into one
+        batched execution."""
+        if (
+            self._batch > 1
+            and self._n_pending < self._batch
+            and not self._demand_ready
+        ):
+            # accumulating toward a full batch with nobody blocked: skip the
+            # pop/requeue walk entirely (one submit lands here per pending
+            # turn, so this gate is on the hot path)
+            return
         while not self._stopped and self.broker.capacity_free():
             client = self._pop_startable_locked()
             if client is None:
                 return
-            queue = self._queues[client]
-            ticket = queue.popleft()
-            if not queue:
-                del self._queues[client]
-            self._n_pending -= 1
-            ticket.started = True
-            self._busy_clients.add(client)
-            self._unconsumed += 1
-            self.broker.execute(ticket)
+            if (
+                self._batch > 1
+                and self._n_pending < self._batch
+                and not self._queues[client][0].demanded
+            ):
+                # batch accumulation: nobody is blocked on this turn and a
+                # full batch has not queued up yet — leave it pending so a
+                # later pump (more submissions, or a demand) starts a fused
+                # batch instead of a singleton.  Every consumed turn is
+                # demanded on read, so deferred turns can never be stranded.
+                if client not in self._ready_set:
+                    self._ready_set.add(client)
+                    self._ready.append(client)
+                return
+            seed = self._start_ticket_locked(client)
+            if self._batch > 1:
+                batch = self._gather_batch_locked(seed)
+                if len(batch) > 1:
+                    self.broker.execute_batch(batch)
+                    continue
+            self.broker.execute(seed)
+
+    def _start_ticket_locked(self, client: int) -> PoolTicket:
+        """Pop ``client``'s head turn and account it as started."""
+        queue = self._queues[client]
+        ticket = queue.popleft()
+        if not queue:
+            del self._queues[client]
+        self._n_pending -= 1
+        ticket.started = True
+        self._busy_clients.add(client)
+        self._unconsumed += 1
+        return ticket
+
+    def _gather_batch_locked(self, seed: PoolTicket) -> List[PoolTicket]:
+        """Collect head turns batchable with ``seed`` (training turns of the
+        same call shape — payloads and versions may differ, the fused runner
+        groups by dispatch epoch internally) from the ready lanes, up to
+        ``batch_turns`` tickets.
+
+        Only training turns fuse; lane entries whose head is incompatible
+        are put back (order within the lane may rotate, which perturbs only
+        throughput — per-client FIFO and per-turn math are untouched).
+        Demanded turns may overflow the window by one batch so a blocked
+        consumer's batch is never starved down to a singleton."""
+        batch = [seed]
+        if seed.method != "local_update" or seed.kwargs or len(seed.args) != 3:
+            return batch
+
+        def compatible(t: PoolTicket) -> bool:
+            return (
+                t.method == "local_update"
+                and not t.kwargs
+                and len(t.args) == 3
+            )
+
+        overflow = self._window + self._batch
+        for lane, lane_set, bound in (
+            (self._demand_ready, self._demand_set, overflow),
+            (self._ready, self._ready_set,
+             overflow if seed.demanded else self._window),
+        ):
+            skipped: List[int] = []
+            while lane and len(batch) < self._batch and self._unconsumed < bound:
+                client = lane.popleft()
+                lane_set.discard(client)
+                if client in self._busy_clients:
+                    continue  # re-enters a lane via turn_done
+                queue = self._queues.get(client)
+                if not queue:
+                    continue
+                head = queue[0]
+                if lane is self._demand_ready and not head.demanded:
+                    # the demanded turn already ran; back to the plain lane
+                    if client not in self._ready_set:
+                        self._ready_set.add(client)
+                        self._ready.append(client)
+                    continue
+                if not compatible(head):
+                    skipped.append(client)
+                    continue
+                batch.append(self._start_ticket_locked(client))
+            for client in skipped:
+                if client not in lane_set:
+                    lane_set.add(client)
+                    lane.append(client)
+        return batch
 
     def _pop_startable_locked(self) -> Optional[int]:
         """Next client whose head turn may start, validating stale lane
@@ -325,7 +498,7 @@ class ClientPool(ClientRuntime):
                     self._ready.append(client)
                 continue
             return client
-        if self._unconsumed < self._window:
+        if self._unconsumed + self._batch <= self._window:
             while self._ready:
                 client = self._ready.popleft()
                 self._ready_set.discard(client)

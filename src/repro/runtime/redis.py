@@ -25,9 +25,17 @@ The turn loop and its failure protocol::
     BRPOP results <---------------  results
     resolve ticket
 
+``local_update`` turns do not carry the global model: the engine interns
+each dispatch epoch's payload once in the ``gstate`` hash and the turn
+frame references it by key (workers keep a small decoded cache), so a
+1000-client round ships one model, not one thousand.
+
 Worker heartbeats renew active leases; the engine-side collector sweeps
 the lease table and **requeues** turns whose lease expired (dead worker
-mid-turn), up to ``max_requeues`` times.  A turn that stays unclaimed past
+mid-turn), up to ``max_requeues`` times.  Liveness and lease expiry are
+judged by change detection against the engine's *monotonic* clock — never
+by comparing worker wall-clock stamps to the engine's, which breaks under
+cross-host skew or an NTP step (see :meth:`RedisBroker._sweep`).  A turn that stays unclaimed past
 ``claim_timeout`` with no live heartbeat — or that exhausts its requeues —
 fails its ticket with :class:`~repro.runtime.broker.BrokerTurnLost`, so a
 scheduler blocked on the admission window gets a failed ticket instead of
@@ -138,6 +146,7 @@ class _Entry:
     requeues: int = 0
     submitted: float = field(default_factory=time.monotonic)
     leased: bool = False
+    gkey: Optional[int] = None  # interned global-state entry the frame references
 
 
 class RedisSnapshotStore:
@@ -217,6 +226,16 @@ class RedisBroker(TurnBroker):
         self._tally_lock = threading.Lock()
         self._snap_sizes: Dict[int, int] = {}
         self._next_turn = 0
+        # interned global-state payloads: the scheduler reuses one payload
+        # object per dispatch epoch, so identity maps cleanly onto "ship the
+        # model once per round" (strong refs keep the ids valid)
+        self._gstate_ids: Dict[int, int] = {}  # id(payload) -> gkey
+        self._gstate_refs: Dict[int, Any] = {}  # gkey -> payload
+        self._gstate_next = 0
+        # change-detection liveness state (see _sweep): raw hash values and
+        # the engine monotonic instant each value was first observed
+        self._hb_seen: Dict[Any, tuple] = {}
+        self._lease_seen: Dict[int, tuple] = {}
         self._idle_workers = 0
         self._procs: List[subprocess.Popen] = []
         self._collector: Optional[threading.Thread] = None
@@ -297,13 +316,44 @@ class RedisBroker(TurnBroker):
     def execute(self, ticket) -> None:
         turn_id = self._next_turn
         self._next_turn += 1
+        assert self._conn is not None
+        args, gkey = ticket.args, None
+        if (ticket.method == "local_update" and not ticket.kwargs
+                and len(args) == 3 and isinstance(args[0], dict)):
+            # intern the broadcast payload: ship the global state to redis
+            # once per dispatch epoch and reference it by key, instead of
+            # embedding a full model copy in every client's turn frame
+            payload = args[0]
+            gkey = self._gstate_ids.get(id(payload))
+            if gkey is None:
+                gkey = self._gstate_next
+                self._gstate_next += 1
+                # HSET must land before the turn frame is visible, so a
+                # worker can never dequeue a sentinel it cannot resolve
+                self._conn.execute("HSET", self.cfg.key("gstate"), gkey,
+                                   serde.encode_payload(payload))
+                self._gstate_ids[id(payload)] = gkey
+                self._gstate_refs[gkey] = payload
+                self._prune_gstate()
+            args = ({serde.GSTATE_KEY: gkey},) + tuple(args[1:])
         frame = serde.encode_turn(
-            turn_id, ticket.client, ticket.method, ticket.args, ticket.kwargs
+            turn_id, ticket.client, ticket.method, args, ticket.kwargs
         )
         with self._entry_lock:
-            self._entries[turn_id] = _Entry(ticket=ticket, frame=frame)
-        assert self._conn is not None
+            self._entries[turn_id] = _Entry(ticket=ticket, frame=frame, gkey=gkey)
         self._conn.execute("LPUSH", self.cfg.key("turns"), frame)
+
+    def _prune_gstate(self) -> None:
+        """Drop interned payloads no in-flight turn can still reference."""
+        latest = self._gstate_next - 1
+        with self._entry_lock:
+            live = {e.gkey for e in self._entries.values() if e.gkey is not None}
+        live.add(latest)
+        assert self._conn is not None
+        for gkey in [k for k in self._gstate_refs if k not in live]:
+            payload = self._gstate_refs.pop(gkey)
+            self._gstate_ids.pop(id(payload), None)
+            self._conn.execute("HDEL", self.cfg.key("gstate"), gkey)
 
     # -- collector thread ----------------------------------------------
     def _collect_loop(self) -> None:
@@ -361,42 +411,75 @@ class RedisBroker(TurnBroker):
             )
 
     def _sweep(self, conn: RespClient) -> None:
-        """Requeue turns whose lease died; fail turns nobody can run."""
-        now = time.time()
-        leases: Dict[int, Dict[str, Any]] = {}
+        """Requeue turns whose lease died; fail turns nobody can run.
+
+        Liveness is judged by *change detection on the engine's monotonic
+        clock*: workers stamp heartbeats and lease renewals with their own
+        wall clock, which the engine must never compare against its own
+        ``time.time()`` — across hosts (or across an NTP step) the two wall
+        clocks can disagree by more than a lease, expiring turns on live
+        workers or keeping dead ones alive.  Instead the engine records the
+        raw hash value it last saw and how long ago (monotonic) it changed:
+        a renewing worker rewrites the value every heartbeat period, so
+        "value unchanged for longer than the lease/liveness window" is a
+        clock-skew-immune death signal.
+        """
+        mono = time.monotonic()
+        raw_leases: Dict[int, Any] = {}
         for tid_b, lease_b in conn.hgetall(self.cfg.key("leases")).items():
             try:
-                leases[int(tid_b)] = json.loads(lease_b)
+                raw_leases[int(tid_b)] = lease_b
             except (ValueError, TypeError):
                 continue
         heartbeats = conn.hgetall(self.cfg.key("hb"))
         live_after = max(3.0 * self.cfg.heartbeat, 1.0)
-        live = sum(1 for ts in heartbeats.values()
-                   if now - float(ts) < live_after)
+        live = 0
+        for worker, raw in heartbeats.items():
+            seen = self._hb_seen.get(worker)
+            if seen is None or seen[0] != raw:
+                self._hb_seen[worker] = (raw, mono)
+                live += 1
+            elif mono - seen[1] < live_after:
+                live += 1
+        for worker in [w for w in self._hb_seen if w not in heartbeats]:
+            del self._hb_seen[worker]
         with self._entry_lock:
-            self._idle_workers = max(0, live - len(leases))
+            self._idle_workers = max(0, live - len(raw_leases))
             entries = dict(self._entries)
         for turn_id, entry in entries.items():
-            lease = leases.get(turn_id)
-            if lease is not None:
+            raw = raw_leases.get(turn_id)
+            if raw is not None:
                 entry.leased = True
-                if float(lease.get("deadline", 0)) < now:
+                seen = self._lease_seen.get(turn_id)
+                if seen is None or seen[0] != raw:
+                    self._lease_seen[turn_id] = (raw, mono)
+                elif mono - seen[1] > self.cfg.lease:
+                    try:
+                        holder = json.loads(raw).get("worker", "?")
+                    except (ValueError, TypeError):
+                        holder = "?"
                     conn.execute("HDEL", self.cfg.key("leases"), turn_id)
+                    self._lease_seen.pop(turn_id, None)
                     self._requeue_or_fail(conn, turn_id, entry, (
-                        f"worker {lease.get('worker', '?')} lost its lease "
-                        f"mid-turn (no renewal for {self.cfg.lease:.1f}s)"
+                        f"worker {holder} lost its lease mid-turn "
+                        f"(no renewal for {self.cfg.lease:.1f}s)"
                     ))
             elif (not live
-                  and time.monotonic() - entry.submitted > self.cfg.claim):
+                  and mono - entry.submitted > self.cfg.claim):
                 self._fail_entry(turn_id, entry, (
                     f"no live workers: turn unclaimed for more than "
                     f"{self.cfg.claim:.1f}s and no worker heartbeat within "
                     f"{live_after:.1f}s"
                 ))
         # leases for turns we no longer track are stale leftovers
-        for turn_id in leases:
+        for turn_id in raw_leases:
             if turn_id not in entries:
                 conn.execute("HDEL", self.cfg.key("leases"), turn_id)
+                self._lease_seen.pop(turn_id, None)
+        # completed turns release their lease in the worker's MULTI; drop
+        # their change-detection state so the dict tracks only live leases
+        for turn_id in [t for t in self._lease_seen if t not in raw_leases]:
+            del self._lease_seen[turn_id]
 
     def _requeue_or_fail(self, conn: RespClient, turn_id: int,
                          entry: _Entry, reason: str) -> None:
@@ -478,7 +561,7 @@ class RedisBroker(TurnBroker):
         if conn is not None:
             try:
                 for name in ("spec", "meta", "turns", "results", "snap",
-                             "done", "leases", "hb", "stop"):
+                             "done", "leases", "hb", "gstate", "stop"):
                     conn.execute("DEL", self.cfg.key(name))
             except RespError:
                 pass

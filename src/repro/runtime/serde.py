@@ -26,16 +26,27 @@ from repro.comm.wire import WireError, decode_message, encode_message
 from repro.engine.client_state import ClientSnapshot
 
 __all__ = [
+    "GSTATE_KEY",
     "pack_tree",
     "unpack_tree",
     "encode_snapshot",
     "decode_snapshot",
+    "encode_payload",
+    "decode_payload",
     "encode_turn",
     "decode_turn",
     "encode_result",
     "encode_error",
     "decode_result",
 ]
+
+#: sentinel key for an interned global-state payload: a ``local_update``
+#: turn whose first argument is ``{GSTATE_KEY: <int>}`` tells the worker to
+#: fetch the payload once from the broker's ``gstate`` hash instead of
+#: carrying a full model copy in every turn frame (the redis round-decode
+#: cache).  ``pack_tree`` passes the dict through untouched — the key is
+#: not one of its markers — so the sentinel survives the turn codec.
+GSTATE_KEY = "__gstate__"
 
 #: marker keys for JSON-hostile types; a real mapping whose key set collides
 #: is escaped under _MAP so user data can never be mistaken for a marker
@@ -140,6 +151,23 @@ def decode_snapshot(frame: bytes) -> ClientSnapshot:
     if kind != "data" or "snapshot" not in meta:
         raise WireError(f"frame is not a snapshot (kind={kind!r})")
     return ClientSnapshot(**unpack_tree(meta["snapshot"], arrays))
+
+
+# --------------------------------------------------------------------------
+# interned payloads: the per-round global state, shipped once per version
+# --------------------------------------------------------------------------
+
+def encode_payload(payload: Any) -> bytes:
+    """One broadcast payload (the server's per-round model) as a frame."""
+    tree, arrays = pack_tree(payload)
+    return encode_message("data", {"payload": tree}, arrays)
+
+
+def decode_payload(frame: bytes) -> Any:
+    kind, meta, arrays = decode_message(frame)
+    if kind != "data" or "payload" not in meta:
+        raise WireError(f"frame is not an interned payload (kind={kind!r})")
+    return unpack_tree(meta["payload"], arrays)
 
 
 # --------------------------------------------------------------------------

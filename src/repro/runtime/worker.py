@@ -34,6 +34,7 @@ import socket
 import threading
 import time
 import traceback
+from collections import OrderedDict
 from typing import Any, Optional
 
 from repro.runtime import serde
@@ -65,6 +66,11 @@ class BrokerWorker:
         self.provider: Any = None
         self.baseline: Any = None
         self.turns_run = 0
+        # decoded global-state payloads, keyed by the engine's intern key;
+        # a round's whole cohort shares one entry, async policies keep a
+        # few recent versions warm
+        self._gstate_cache: "OrderedDict[int, Any]" = OrderedDict()
+        self._gstate_cache_cap = 4
 
     # ------------------------------------------------------------------
     # startup: reconstruct an engine-identical trainer node from the spec
@@ -201,6 +207,39 @@ class BrokerWorker:
     def stop(self) -> None:
         self._stopping.set()
 
+    def _resolve_gstate(self, args: tuple) -> tuple:
+        """Swap an interned-payload sentinel for the decoded global state.
+
+        The engine ships each dispatch epoch's model to the ``gstate`` hash
+        once and sends ``{GSTATE_KEY: key}`` in the turn frame; decoding it
+        once per key (instead of once per turn) is the worker half of the
+        round-decode cache.  The decoded payload is shared across turns and
+        must be treated as read-only — same contract as the in-process
+        pool, where one payload dict fans out to the whole cohort.
+        """
+        head = args[0] if args else None
+        if not (isinstance(head, dict) and len(head) == 1
+                and serde.GSTATE_KEY in head):
+            return args
+        gkey = int(head[serde.GSTATE_KEY])
+        payload = self._gstate_cache.get(gkey)
+        if payload is None:
+            assert self._conn is not None
+            frame = self._conn.execute("HGET", self.cfg.key("gstate"), gkey)
+            if frame is None:
+                # the engine prunes only keys no in-flight turn references,
+                # so a miss means the run is gone or the namespace was wiped
+                raise RuntimeError(
+                    f"interned global state {gkey} missing from broker"
+                )
+            payload = serde.decode_payload(frame)
+            self._gstate_cache[gkey] = payload
+            while len(self._gstate_cache) > self._gstate_cache_cap:
+                self._gstate_cache.popitem(last=False)
+        else:
+            self._gstate_cache.move_to_end(gkey)
+        return (payload,) + tuple(args[1:])
+
     def _handle_turn(self, frame: bytes) -> None:
         assert self._conn is not None
         conn = self._conn
@@ -222,6 +261,7 @@ class BrokerWorker:
             time.sleep(delay)
         snap_frame: Optional[bytes] = None
         try:
+            args = self._resolve_gstate(args)
             raw = conn.execute("HGET", self.cfg.key("snap"), client)
             snapshot = None if raw is None else serde.decode_snapshot(raw)
             needs_data = method in ("local_update", "run_round")

@@ -108,6 +108,12 @@ class Scheduler:
         self._wall_anchor = 0.0
         self._eval_updates = 0  # evaluate every N applied updates (0 = never)
         self._next_eval = 0
+        # (version, global_state, payload): server_payload built once per
+        # model version instead of once per dispatch.  Consumers treat
+        # payloads as immutable, and the stable payload *object* per version
+        # is what downstream caches key on (turn fusion batches same-payload
+        # turns; the redis broker interns one wire copy per version)
+        self._payload_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # attachment
@@ -293,7 +299,12 @@ class Scheduler:
             # still occupies the client until the server would notice
             future = None
         else:
-            payload = self.server.algorithm.server_payload(self.global_state)
+            cache = self._payload_cache
+            if cache is not None and cache[0] == self.version and cache[1] is self.global_state:
+                payload = cache[2]
+            else:
+                payload = self.server.algorithm.server_payload(self.global_state)
+                self._payload_cache = (self.version, self.global_state, payload)
             assert self.runtime is not None
             future = self.runtime.submit(
                 client, "local_update", payload, self.version, self.version

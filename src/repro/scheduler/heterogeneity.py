@@ -30,6 +30,12 @@ __all__ = ["HeterogeneityModel"]
 _LATENCY_KINDS = ("lognormal", "uniform", "constant")
 
 
+def _keyed_rng(key: Tuple[int, ...]) -> np.random.Generator:
+    """``default_rng(key)`` minus its argument-dispatch overhead — the model
+    draws one fresh keyed generator per dispatch, squarely on the hot path."""
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(key)))
+
+
 class HeterogeneityModel:
     """Per-client latency distribution + dropout probability.
 
@@ -97,12 +103,12 @@ class HeterogeneityModel:
         """Persistent multiplier for this client (slow devices stay slow)."""
         if self.client_spread <= 0:
             return 1.0
-        rng = np.random.default_rng((self.seed, client, 0x5CA1E))
+        rng = _keyed_rng((self.seed, client, 0x5CA1E))
         return float(np.exp(self.client_spread * rng.standard_normal()))
 
     def sample(self, client: int, dispatch: int) -> Tuple[float, bool]:
         """(virtual latency seconds, dropped?) for a client's n-th dispatch."""
-        rng = np.random.default_rng((self.seed, client, dispatch, 0x1A7E27))
+        rng = _keyed_rng((self.seed, client, dispatch, 0x1A7E27))
         if self.latency == "lognormal":
             delay = self.mean * float(np.exp(self.sigma * rng.standard_normal()))
         elif self.latency == "uniform":
