@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Live cluster runtime: one coordinator, N real node processes, one kill.
+
+The same :class:`ExperimentSpec` that runs simulated switches to real
+processes with ``mode="live"`` plus a ``cluster`` block.  This script
+plays both roles on localhost:
+
+1. builds a live spec (TCP coordinator, quorum of ``--nodes`` members);
+2. starts the run — the coordinator binds immediately and waits for the
+   joining quorum;
+3. spawns ``--nodes`` ``python -m repro node tcp://...`` subprocesses that
+   join, rebuild the trainer from the published spec, and serve turns;
+4. optionally SIGKILLs one node mid-run (``--kill``) to demonstrate
+   phi/lease failure detection: the dead member is evicted, its clients
+   orphan out of the selection set, and the run still completes.
+
+Run:  python examples/live_cluster.py [--nodes 3] [--updates 24] [--kill]
+
+In a real deployment you skip step 3: start the coordinator with
+``python -m repro mode=live +cluster.bind=0.0.0.0:7070 +cluster.min_nodes=3``
+on one machine and ``python -m repro node tcp://host:7070`` on the others.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.experiment import Experiment, ExperimentSpec
+
+
+def make_spec(nodes: int, updates: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        topology="centralized",
+        num_clients=2 * nodes,
+        mode="live",
+        cluster={
+            "bind": "127.0.0.1:0",   # ephemeral port; printed below
+            "min_nodes": nodes,
+            "heartbeat": 0.2,
+            "lease": 1.5,
+            "detector": "phi",       # adaptive suspicion, lease as hard bound
+        },
+        data={"dataset": "blobs",
+              "kwargs": {"train_size": 512, "test_size": 128},
+              "batch_size": 32},
+        train={"algorithm": "fedavg", "model": "mlp", "global_rounds": 2},
+        scheduler="fedasync",
+        total_updates=updates,
+        seed=0,
+    )
+
+
+def spawn_node(url: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    env.setdefault("REPRO_NODE_TURN_DELAY", "0.1")  # visible kill window
+    return subprocess.Popen([sys.executable, "-m", "repro", "node", url],
+                            env=env, cwd=root)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--updates", type=int, default=24)
+    parser.add_argument("--kill", action="store_true",
+                        help="SIGKILL one node mid-run to show eviction")
+    args = parser.parse_args()
+
+    experiment = Experiment(make_spec(args.nodes, args.updates))
+    outcome = {}
+
+    def run():
+        outcome["result"] = experiment.run()
+
+    runner = threading.Thread(target=run, daemon=True)
+    runner.start()
+    while experiment.engine is None or experiment.engine.cluster is None:
+        time.sleep(0.05)
+    cluster = experiment.engine.cluster
+    print(f"coordinator: {cluster.url}  (join with `python -m repro node {cluster.url}`)")
+
+    procs = [spawn_node(cluster.url) for _ in range(args.nodes)]
+    if args.kill:
+        while cluster.membership.counts()["alive"] < args.nodes:
+            time.sleep(0.05)
+        while len(experiment.engine.metrics.history) < 3:
+            time.sleep(0.05)
+        victim = procs[0]
+        print(f"\n*** SIGKILL node pid={victim.pid} mid-run ***\n")
+        os.kill(victim.pid, signal.SIGKILL)
+
+    runner.join()
+    result = outcome["result"]
+    for proc in procs:
+        if proc.poll() is None:
+            proc.wait(timeout=30)
+
+    print(result.table())
+    print("summary:", result.summary())
+    print("\nmembership at shutdown:")
+    for row in cluster.membership.describe():
+        print(f"  {row['node_id']:24s} {row['state']:8s} "
+              f"beats={row['heartbeats']:4d} clients={row['clients']}")
+    counts = cluster.membership.counts()
+    if args.kill:
+        assert counts["evicted"] == 1, counts
+        print("\nthe killed node was evicted; its clients orphaned out of "
+              "selection and the run completed on the survivors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Live cluster runtime: real transport, membership, failure detection.
+
+The control plane that turns the simulator into a deployable system — see
+:mod:`repro.cluster.coordinator` (engine side), :mod:`repro.cluster.node`
+(the ``python -m repro node <url>`` member process), and
+:mod:`repro.cluster.runtime` (the ClientRuntime seam the schedulers drive).
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator, LiveTicket
+from repro.cluster.failure import (
+    FailureDetector,
+    PhiAccrualDetector,
+    TimeoutDetector,
+    build_detector,
+)
+from repro.cluster.heartbeat import Heartbeater
+from repro.cluster.membership import Member, Membership
+from repro.cluster.node import ClusterNode, run_node
+from repro.cluster.runtime import LiveRuntime
+
+__all__ = [
+    "ClusterCoordinator",
+    "LiveTicket",
+    "FailureDetector",
+    "TimeoutDetector",
+    "PhiAccrualDetector",
+    "build_detector",
+    "Heartbeater",
+    "Member",
+    "Membership",
+    "ClusterNode",
+    "run_node",
+    "LiveRuntime",
+]

@@ -1,0 +1,338 @@
+"""The cluster coordinator: the control plane's server half.
+
+Runs inside the engine process.  Hosts one
+:class:`~repro.comm.transport.ServerTransport` (TCP for real deployments,
+in-proc for tests), a :class:`~repro.cluster.membership.Membership`
+registry fed by the join/heartbeat/leave ops, a per-member work queue of
+pre-encoded turn frames, and a sweep thread that asks the failure detector
+who died and evicts them — failing the evicted member's queued and
+in-flight turns with :class:`~repro.runtime.broker.PeerLostError` so the
+scheduler maps them onto its dropped-dispatch path instead of stalling.
+
+Protocol handling is synchronous per connection (the transport runs one
+thread per connection), so a node's ``poll`` may long-wait on the member's
+queue condition without blocking other members.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.cluster.failure import build_detector
+from repro.cluster.membership import Member, Membership
+from repro.cluster.protocol import ProtocolError, decode_control, encode_control, peek_kind
+from repro.comm.transport import make_server_transport
+from repro.runtime import serde
+from repro.runtime.broker import PeerLostError
+from repro.utils.logging import get_logger
+
+__all__ = ["LiveTicket", "ClusterCoordinator"]
+
+_LOG = get_logger("cluster.coordinator")
+
+
+class LiveTicket:
+    """Future-like handle for one live turn (the ClientRuntime ticket shape)."""
+
+    def __init__(self, turn_id: int, client: int) -> None:
+        self.turn_id = int(turn_id)
+        self.client = int(client)
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"live turn {self.turn_id} (client {self.client}) timed out"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"live turn {self.turn_id} (client {self.client}) timed out"
+            )
+        return self._error
+
+
+class ClusterCoordinator:
+    """Membership + turn dispatch for one live run."""
+
+    def __init__(
+        self,
+        spec_yaml: str,
+        num_clients: int,
+        *,
+        transport: str = "tcp",
+        bind: str = "127.0.0.1:0",
+        min_nodes: int = 1,
+        join_timeout: float = 60.0,
+        heartbeat: float = 0.5,
+        lease: float = 3.0,
+        detector: str = "timeout",
+        phi_threshold: float = 8.0,
+    ) -> None:
+        self.spec_yaml = str(spec_yaml)
+        self.num_clients = int(num_clients)
+        self.transport_kind = str(transport)
+        self.min_nodes = int(min_nodes)
+        self.join_timeout = float(join_timeout)
+        self.heartbeat = float(heartbeat)
+        self.lease = float(lease)
+        self.membership = Membership(
+            self.num_clients,
+            build_detector(detector, lease=lease, phi_threshold=phi_threshold),
+        )
+        self._server = make_server_transport(self.transport_kind, bind)
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        # node_id -> queue of (turn_id, frame); turn_id -> ticket; in-flight
+        # turn_id -> node_id (polled, result not yet posted)
+        self._queues: Dict[str, Deque[Tuple[int, bytes]]] = {}
+        self._tickets: Dict[int, LiveTicket] = {}
+        self._in_flight: Dict[int, str] = {}
+        self._turn_seq = 0
+        self._stopping = threading.Event()
+        self._sweeper: Optional[threading.Thread] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterCoordinator":
+        """Bind the transport and start the eviction sweep (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        self._server.start(self._handle)
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="cluster-sweep", daemon=True
+        )
+        self._sweeper.start()
+        _LOG.info("cluster coordinator listening on %s", self.url)
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"{self.transport_kind}://{self._server.address}"
+
+    def wait_for_quorum(self, timeout: Optional[float] = None) -> None:
+        """Block until ``min_nodes`` members joined, then pin clients."""
+        deadline = time.monotonic() + (timeout if timeout is not None else self.join_timeout)
+        while len(self.membership.alive_members()) < self.min_nodes:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"cluster quorum not reached: {len(self.membership.alive_members())}"
+                    f"/{self.min_nodes} nodes joined within "
+                    f"{timeout if timeout is not None else self.join_timeout:.1f}s "
+                    f"(nodes dial in with `python -m repro node {self.url}`)"
+                )
+            time.sleep(0.02)
+        self.membership.assign_initial()
+        _LOG.info(
+            "cluster quorum reached: %d member(s), %d clients pinned",
+            len(self.membership.alive_members()), self.num_clients,
+        )
+
+    def close(self, grace: Optional[float] = None) -> None:
+        """Broadcast stop, give members a grace window to leave, tear down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        with self._work:
+            self._work.notify_all()
+        if grace is None:
+            grace = min(2.0, 4 * self.heartbeat)
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            if not self.membership.alive_members():
+                break
+            time.sleep(0.02)
+        self._server.stop()
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=2.0)
+        # anything still pending can never complete
+        with self._lock:
+            self._fail_tickets_locked(
+                list(self._tickets), "coordinator shut down"
+            )
+
+    # ------------------------------------------------------------------
+    # engine-facing dispatch
+    # ------------------------------------------------------------------
+    def submit_turn(self, client: int, method: str, args: tuple, kwargs: dict) -> LiveTicket:
+        """Encode one turn and queue it on the client's owning member."""
+        with self._lock:
+            self._turn_seq += 1
+            turn_id = self._turn_seq
+        ticket = LiveTicket(turn_id, client)
+        owner = self.membership.owner_of(client)
+        if owner is None or self._stopping.is_set():
+            ticket.set_exception(PeerLostError(
+                f"client {client} has no live member"
+                + (" (coordinator stopping)" if self._stopping.is_set() else "")
+            ))
+            return ticket
+        frame = serde.encode_turn(turn_id, client, method, args, kwargs)
+        with self._work:
+            # the owner may have been evicted between the lookup and here;
+            # re-check under the queue lock, where eviction drains queues
+            member = self.membership.owner_of(client)
+            if member is None:
+                ticket.set_exception(PeerLostError(f"client {client} has no live member"))
+                return ticket
+            self._tickets[turn_id] = ticket
+            self._queues.setdefault(member.node_id, deque()).append((turn_id, frame))
+            self._work.notify_all()
+        return ticket
+
+    def pending_turns(self) -> int:
+        with self._lock:
+            return len(self._tickets)
+
+    # ------------------------------------------------------------------
+    # protocol handler (runs on transport connection threads)
+    # ------------------------------------------------------------------
+    def _handle(self, frame: bytes) -> bytes:
+        kind = peek_kind(frame)
+        if kind in ("response", "error"):
+            return self._handle_result(frame)
+        op, meta = decode_control(frame)
+        if op == "join":
+            return self._handle_join(meta)
+        if op == "heartbeat":
+            return self._handle_heartbeat(meta)
+        if op == "poll":
+            return self._handle_poll(meta)
+        if op == "leave":
+            return self._handle_leave(meta)
+        if op == "status":
+            return encode_control(
+                "reply", ok=True, members=self.membership.describe(),
+                pending=self.pending_turns(), stop=self._stopping.is_set(),
+            )
+        raise ProtocolError(f"unknown cluster op {op!r}")
+
+    def _handle_join(self, meta: Dict[str, Any]) -> bytes:
+        node_id = str(meta.get("node_id") or "")
+        if not node_id:
+            return encode_control("reply", ok=False, error="join needs a node_id")
+        if self._stopping.is_set():
+            return encode_control("reply", ok=False, error="run is stopping", stop=True)
+        member = self.membership.join(node_id, dict(meta.get("caps") or {}))
+        return encode_control(
+            "reply", ok=True, node_id=member.node_id,
+            num_clients=self.num_clients, heartbeat=self.heartbeat,
+            lease=self.lease, spec=self.spec_yaml, clients=list(member.clients),
+        )
+
+    def _handle_heartbeat(self, meta: Dict[str, Any]) -> bytes:
+        node_id = str(meta.get("node_id") or "")
+        ok = self.membership.heartbeat(node_id)
+        return encode_control("reply", ok=ok, stop=self._stopping.is_set())
+
+    def _handle_poll(self, meta: Dict[str, Any]) -> bytes:
+        node_id = str(meta.get("node_id") or "")
+        wait = min(float(meta.get("wait", 0.5)), 30.0)
+        member = self.membership.get(node_id)
+        if member is None or not member.alive:
+            return encode_control("reply", ok=False, empty=True,
+                                  stop=self._stopping.is_set())
+        deadline = time.monotonic() + wait
+        with self._work:
+            while True:
+                queue = self._queues.get(node_id)
+                if queue:
+                    turn_id, frame = queue.popleft()
+                    self._in_flight[turn_id] = node_id
+                    return frame
+                if self._stopping.is_set():
+                    return encode_control("reply", ok=True, empty=True, stop=True)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return encode_control("reply", ok=True, empty=True, stop=False)
+                self._work.wait(remaining)
+
+    def _handle_leave(self, meta: Dict[str, Any]) -> bytes:
+        node_id = str(meta.get("node_id") or "")
+        orphans = self.membership.leave(node_id)
+        with self._lock:
+            self._drop_member_turns_locked(
+                node_id, f"member {node_id} left the cluster"
+            )
+        return encode_control("reply", ok=True, orphans=orphans)
+
+    def _handle_result(self, frame: bytes) -> bytes:
+        result = serde.decode_result(frame)
+        turn_id = result["turn"]
+        with self._lock:
+            ticket = self._tickets.pop(turn_id, None)
+            self._in_flight.pop(turn_id, None)
+        if ticket is None:
+            # duplicate or a turn already failed by eviction — drop it
+            return encode_control("reply", ok=True, duplicate=True)
+        if result["ok"]:
+            ticket.set_result(result["value"])
+        else:
+            err = result["error"]
+            ticket.set_exception(RuntimeError(
+                f"remote turn failed on {result['worker'] or 'unknown node'}: "
+                f"{err['type']}: {err['message']}\n{err.get('traceback', '')}"
+            ))
+        return encode_control("reply", ok=True)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _sweep_loop(self) -> None:
+        period = max(0.05, min(self.heartbeat, self.lease / 4.0))
+        while not self._stopping.wait(period):
+            for member in self.membership.sweep():
+                with self._lock:
+                    self._drop_member_turns_locked(
+                        member.node_id,
+                        f"member {member.node_id} evicted by the failure detector",
+                    )
+                with self._work:
+                    self._work.notify_all()
+
+    def _drop_member_turns_locked(self, node_id: str, reason: str) -> None:
+        queue = self._queues.pop(node_id, None)
+        doomed: List[int] = [tid for tid, _ in (queue or ())]
+        doomed.extend(
+            tid for tid, owner in self._in_flight.items() if owner == node_id
+        )
+        self._fail_tickets_locked(doomed, reason)
+
+    def _fail_tickets_locked(self, turn_ids: List[int], reason: str) -> None:
+        for tid in turn_ids:
+            self._in_flight.pop(tid, None)
+            ticket = self._tickets.pop(tid, None)
+            if ticket is not None and not ticket.done():
+                ticket.set_exception(PeerLostError(
+                    f"turn {tid} (client {ticket.client}) lost: {reason}"
+                ))
+
+    # ------------------------------------------------------------------
+    def members_lost(self) -> List[Member]:
+        """Evicted members (for status displays)."""
+        return [m for m in self.membership._members.values() if m.state == "evicted"]

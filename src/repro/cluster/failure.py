@@ -1,0 +1,149 @@
+"""Failure detection over heartbeat arrivals: lease timeout and phi-accrual.
+
+Two detectors behind one interface — ``observe(peer, now)`` on every
+heartbeat, ``suspect(peer, now) -> bool`` when the membership sweep asks
+whether a peer should be evicted:
+
+``timeout``
+    The classic lease: a peer is suspect once ``now - last_heartbeat``
+    exceeds the lease window.  Deterministic and easy to reason about; the
+    default.
+
+``phi``
+    The phi-accrual detector (Hayashibara et al., the Akka/Cassandra
+    design, also used by Fedstellar-style FL deployments): heartbeat
+    inter-arrival times feed a per-peer normal model, and suspicion is the
+    continuous value ``phi = -log10(P(arrival later than now))``.  Crossing
+    ``threshold`` (8 ≈ a 1-in-10^8 chance the peer is alive and merely
+    late) marks the peer suspect.  Adapts to jittery links instead of
+    hard-coding a window; the lease still applies as a hard upper bound so
+    a peer whose very first heartbeats never arrive cannot linger.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["FailureDetector", "TimeoutDetector", "PhiAccrualDetector", "build_detector"]
+
+DETECTOR_KINDS = ("timeout", "phi")
+
+
+class FailureDetector:
+    """Heartbeat-arrival observer answering "is this peer dead?"."""
+
+    def observe(self, peer: str, now: float) -> None:
+        raise NotImplementedError
+
+    def suspect(self, peer: str, now: float) -> bool:
+        raise NotImplementedError
+
+    def suspicion(self, peer: str, now: float) -> float:
+        """A monotone liveness score (detector-specific scale) for gauges."""
+        raise NotImplementedError
+
+    def forget(self, peer: str) -> None:
+        """Drop a peer's history (after leave/eviction)."""
+
+
+class TimeoutDetector(FailureDetector):
+    """Suspect a peer once its last heartbeat is older than the lease."""
+
+    def __init__(self, lease: float = 3.0) -> None:
+        if lease <= 0:
+            raise ValueError("lease must be > 0")
+        self.lease = float(lease)
+        self._last: Dict[str, float] = {}
+
+    def observe(self, peer: str, now: float) -> None:
+        self._last[peer] = float(now)
+
+    def suspect(self, peer: str, now: float) -> bool:
+        last = self._last.get(peer)
+        return last is not None and (now - last) > self.lease
+
+    def suspicion(self, peer: str, now: float) -> float:
+        last = self._last.get(peer)
+        if last is None:
+            return 0.0
+        return max(0.0, now - last) / self.lease
+
+    def forget(self, peer: str) -> None:
+        self._last.pop(peer, None)
+
+
+class PhiAccrualDetector(FailureDetector):
+    """Phi-accrual suspicion over a sliding window of inter-arrival times."""
+
+    def __init__(
+        self,
+        threshold: float = 8.0,
+        window: int = 100,
+        min_std: float = 0.05,
+        lease: float = 3.0,
+        first_estimate: float = 0.5,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("phi threshold must be > 0")
+        self.threshold = float(threshold)
+        self.window = int(window)
+        self.min_std = float(min_std)
+        self.lease = float(lease)
+        self.first_estimate = float(first_estimate)
+        self._last: Dict[str, float] = {}
+        self._intervals: Dict[str, List[float]] = {}
+
+    def observe(self, peer: str, now: float) -> None:
+        last = self._last.get(peer)
+        if last is not None:
+            history = self._intervals.setdefault(peer, [])
+            history.append(max(1e-6, float(now) - last))
+            if len(history) > self.window:
+                del history[: len(history) - self.window]
+        self._last[peer] = float(now)
+
+    def phi(self, peer: str, now: float) -> float:
+        last = self._last.get(peer)
+        if last is None:
+            return 0.0
+        elapsed = max(0.0, float(now) - last)
+        history = self._intervals.get(peer) or [self.first_estimate]
+        mean = sum(history) / len(history)
+        var = sum((x - mean) ** 2 for x in history) / len(history)
+        std = max(math.sqrt(var), self.min_std, 1e-6)
+        # P(interval > elapsed) under N(mean, std); phi = -log10 of it
+        z = (elapsed - mean) / std
+        p_later = 0.5 * math.erfc(z / math.sqrt(2.0))
+        if p_later <= 0.0:
+            return float("inf")
+        return -math.log10(p_later)
+
+    def suspect(self, peer: str, now: float) -> bool:
+        if self.phi(peer, now) > self.threshold:
+            return True
+        # hard bound: a peer with too little history for phi to accrue must
+        # still die within the lease window
+        last = self._last.get(peer)
+        return last is not None and (now - last) > self.lease
+
+    def suspicion(self, peer: str, now: float) -> float:
+        return self.phi(peer, now)
+
+    def forget(self, peer: str) -> None:
+        self._last.pop(peer, None)
+        self._intervals.pop(peer, None)
+
+
+def build_detector(kind: str, *, lease: float = 3.0,
+                   phi_threshold: float = 8.0,
+                   window: Optional[int] = None) -> FailureDetector:
+    kind = str(kind).strip().lower()
+    if kind == "timeout":
+        return TimeoutDetector(lease=lease)
+    if kind == "phi":
+        return PhiAccrualDetector(
+            threshold=phi_threshold, lease=lease,
+            window=int(window) if window is not None else 100,
+        )
+    raise ValueError(f"unknown failure detector {kind!r}; have {DETECTOR_KINDS}")

@@ -1,0 +1,74 @@
+"""Control-plane message codec for the live cluster runtime.
+
+The cluster speaks the framework's existing binary wire format
+(:mod:`repro.comm.wire`) over the existing transports
+(:mod:`repro.comm.transport`): every control message is one
+``encode_message("control", {...}, {})`` frame whose meta carries an ``op``
+key, and every data-plane frame (a client turn or its result) is the exact
+frame :mod:`repro.runtime.serde` already produces for the broker seam —
+``kind == "request"`` for turns, ``"response"``/``"error"`` for results.
+Reusing the serde frames verbatim is what lets a cluster node replay a
+client turn bit-identically to a pool worker.
+
+Ops (node -> coordinator, each answered synchronously on the same channel):
+
+``join``       capability exchange; the reply carries the published spec
+               YAML, the cohort size, and the heartbeat/lease contract
+``heartbeat``  lease renewal; the reply carries ``stop`` once the run ends
+``poll``       ask for work; the reply is either a raw serde turn frame
+               (kind ``request``) or a control frame with ``empty: true``
+``result``     a raw serde result frame, pushed as-is (no control wrapper)
+``leave``      graceful deregistration
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.comm.wire import MAGIC, MESSAGE_KINDS, WireError, decode_message, encode_message
+
+_KIND_NAMES = {code: name for name, code in MESSAGE_KINDS.items()}
+
+__all__ = [
+    "ProtocolError",
+    "encode_control",
+    "decode_control",
+    "is_turn_frame",
+    "peek_kind",
+]
+
+
+class ProtocolError(WireError):
+    """A cluster frame that does not follow the control-plane contract."""
+
+
+def encode_control(op: str, **meta: Any) -> bytes:
+    """One control-plane frame: ``op`` plus JSON-safe keyword payload."""
+    body: Dict[str, Any] = {"op": str(op)}
+    body.update(meta)
+    return encode_message("control", body, {})
+
+
+def decode_control(frame: bytes) -> Tuple[str, Dict[str, Any]]:
+    """-> ``(op, meta)``; raises :class:`ProtocolError` on non-control frames."""
+    kind, meta, _arrays = decode_message(frame)
+    if kind != "control" or "op" not in meta:
+        raise ProtocolError(f"expected a control frame with an op, got kind={kind!r}")
+    op = str(meta.pop("op"))
+    return op, meta
+
+
+def peek_kind(frame: bytes) -> str:
+    """The wire kind from a frame's fixed header, without decoding the body
+    (turn frames carry whole model payloads — peeking must stay O(1))."""
+    if len(frame) < 5 or frame[:4] != MAGIC:
+        raise ProtocolError("not a wire frame (bad magic)")
+    kind = _KIND_NAMES.get(frame[4])
+    if kind is None:
+        raise ProtocolError(f"unknown wire kind code {frame[4]}")
+    return kind
+
+
+def is_turn_frame(frame: bytes) -> bool:
+    """True when ``frame`` is a serde turn request (work to execute)."""
+    return peek_kind(frame) == "request"

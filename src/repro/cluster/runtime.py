@@ -1,0 +1,114 @@
+"""``LiveRuntime``: the ClientRuntime seam over real cluster members.
+
+The same contract the schedulers already drive — ``client_ids()``,
+``submit()``, ``evaluate_all()``, ``shutdown()`` — implemented by queueing
+serde turn frames on the coordinator's per-member work queues.  Because
+clients are *pinned* to members (state lives on the member, no snapshot
+shipping) and each member executes its polled turns serially, per-client
+FIFO holds exactly as it does for dedicated actors; the policies run
+unchanged.
+
+What changes relative to the simulated runtimes:
+
+* ``live = True`` — schedulers switch to wall-clock arrival times and
+  disable the scripted heterogeneity/dropout model (real networks provide
+  both for free);
+* ``live_clients()`` — the membership view; selection only picks clients a
+  live member currently serves, so an evicted node's clients stop being
+  scheduled within one lease window;
+* a turn whose member dies fails with
+  :class:`~repro.runtime.broker.PeerLostError`, which the scheduler maps
+  onto its dropped-dispatch path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.coordinator import ClusterCoordinator, LiveTicket
+from repro.runtime.base import ClientRuntime
+from repro.runtime.broker import PeerLostError
+from repro.utils.logging import get_logger
+
+__all__ = ["LiveRuntime"]
+
+_LOG = get_logger("cluster.runtime")
+
+
+class LiveRuntime(ClientRuntime):
+    """ClientRuntime over a :class:`ClusterCoordinator`'s membership."""
+
+    pooled = False
+    live = True
+
+    def __init__(self, coordinator: ClusterCoordinator) -> None:
+        self.coordinator = coordinator
+        self._started = False
+        self._down = False
+
+    # ------------------------------------------------------------------
+    @property
+    def membership(self):
+        return self.coordinator.membership
+
+    @property
+    def num_clients(self) -> int:
+        return self.coordinator.num_clients
+
+    @property
+    def url(self) -> str:
+        return self.coordinator.url
+
+    def start(self, timeout: Optional[float] = None) -> None:
+        """Wait for the joining quorum and pin clients (idempotent)."""
+        if self._started:
+            return
+        self.coordinator.start()
+        self.coordinator.wait_for_quorum(timeout)
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # the ClientRuntime contract
+    # ------------------------------------------------------------------
+    def client_ids(self) -> List[int]:
+        return list(range(self.coordinator.num_clients))
+
+    def live_clients(self) -> Optional[List[int]]:
+        return self.membership.live_clients()
+
+    def submit(self, client: int, method: str, *args, **kwargs) -> LiveTicket:
+        return self.coordinator.submit_turn(int(client), method, args, kwargs)
+
+    def evaluate_all(self, max_batches: Optional[int] = None,
+                     timeout: Optional[float] = None) -> Tuple[float, float]:
+        clients = self.live_clients() or []
+        if not clients:
+            raise RuntimeError(
+                "no live cluster members to evaluate on — every node left or "
+                "was evicted"
+            )
+        tickets = [
+            (c, self.submit(c, "evaluate", None, max_batches)) for c in clients
+        ]
+        losses, accs = [], []
+        for client, ticket in tickets:
+            try:
+                loss, acc = ticket.result(timeout)
+            except PeerLostError:
+                # the member died mid-evaluation: skip its clients, the
+                # surviving cohort still yields a mean
+                _LOG.warning("evaluation turn for client %d lost to peer failure", client)
+                continue
+            losses.append(float(loss))
+            accs.append(float(acc))
+        if not losses:
+            raise RuntimeError("every evaluation turn was lost to peer failures")
+        return float(np.mean(losses)), float(np.mean(accs))
+
+    def shutdown(self) -> None:
+        if self._down:
+            return
+        self._down = True
+        self.coordinator.close()

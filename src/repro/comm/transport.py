@@ -18,9 +18,11 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from typing import Callable, Dict, Optional, Tuple
 
 __all__ = [
+    "TransportError",
     "ServerTransport",
     "ClientChannel",
     "InProcServerTransport",
@@ -30,9 +32,20 @@ __all__ = [
     "make_server_transport",
     "make_channel",
     "reset_inproc_registry",
+    "MAX_FRAME_BYTES",
 ]
 
 Handler = Callable[[bytes], bytes]
+
+#: refuse frames larger than this (a corrupt or hostile length prefix would
+#: otherwise make ``_read_exact`` try to buffer gigabytes before failing)
+MAX_FRAME_BYTES = 1 << 30
+
+
+class TransportError(ConnectionError):
+    """A typed transport failure: connect retries exhausted, an oversized
+    frame, or a peer that vanished mid-call.  Subclasses ``ConnectionError``
+    so existing ``except (ConnectionError, OSError)`` sites keep working."""
 
 _INPROC: Dict[str, "InProcServerTransport"] = {}
 _INPROC_LOCK = threading.Lock()
@@ -135,17 +148,23 @@ def _send_frame(sock: socket.socket, frame: bytes) -> None:
     sock.sendall(struct.pack("<I", len(frame)) + frame)
 
 
-def _recv_frame(sock: socket.socket) -> bytes:
+def _recv_frame(sock: socket.socket, max_frame: int = MAX_FRAME_BYTES) -> bytes:
     (length,) = struct.unpack("<I", _read_exact(sock, 4))
+    if length > max_frame:
+        raise TransportError(
+            f"incoming frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
     return _read_exact(sock, length)
 
 
 class TcpServerTransport(ServerTransport):
     """Localhost TCP server; one thread per connection."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = MAX_FRAME_BYTES) -> None:
         self.host = host
         self.port = port
+        self.max_frame = int(max_frame)
         self._sock: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._running = False
@@ -179,7 +198,10 @@ class TcpServerTransport(ServerTransport):
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while self._running:
                 try:
-                    frame = _recv_frame(conn)
+                    # an oversized frame raises TransportError (a
+                    # ConnectionError), dropping just this connection — the
+                    # stream offset is unrecoverable past a bad length prefix
+                    frame = _recv_frame(conn, self.max_frame)
                 except (ConnectionError, OSError):
                     return
                 handler = self._handler
@@ -213,20 +235,49 @@ class TcpServerTransport(ServerTransport):
 
 
 class TcpChannel(ClientChannel):
-    """Persistent client connection with one in-flight request at a time."""
+    """Persistent client connection with one in-flight request at a time.
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 5.0) -> None:
+    ``connect_retries`` bounds how many *additional* connection attempts are
+    made after the first refusal/timeout, with exponential backoff starting
+    at ``connect_backoff`` seconds (capped at 2s per wait); exhaustion
+    raises :class:`TransportError` naming the endpoint.  The default of 0
+    retries preserves the historical fail-fast behavior; cluster nodes dial
+    with a generous budget so they can start before their coordinator.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0,
+                 connect_retries: int = 0, connect_backoff: float = 0.1,
+                 call_timeout: float = 120.0,
+                 max_frame: int = MAX_FRAME_BYTES) -> None:
         self.host = host
         self.port = port
+        self.max_frame = int(max_frame)
         self._lock = threading.Lock()
-        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock = self._connect(
+            connect_timeout, int(connect_retries), float(connect_backoff)
+        )
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock.settimeout(120.0)
+        self._sock.settimeout(call_timeout)
+
+    def _connect(self, timeout: float, retries: int, backoff: float) -> socket.socket:
+        attempts = max(1, retries + 1)
+        last: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                return socket.create_connection((self.host, self.port), timeout=timeout)
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < attempts:
+                    time.sleep(min(backoff * (2 ** attempt), 2.0))
+        raise TransportError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{attempts} attempt(s): {last}"
+        ) from last
 
     def call(self, frame: bytes) -> bytes:
         with self._lock:
             _send_frame(self._sock, frame)
-            return _recv_frame(self._sock)
+            return _recv_frame(self._sock, self.max_frame)
 
     def close(self) -> None:
         try:
@@ -250,12 +301,14 @@ def make_server_transport(kind: str, address: str) -> ServerTransport:
     raise ValueError(f"unknown transport kind {kind!r}")
 
 
-def make_channel(kind: str, address: str) -> ClientChannel:
+def make_channel(kind: str, address: str, **options) -> ClientChannel:
+    """Create a client channel; ``options`` reach the TCP constructor
+    (``connect_timeout``, ``connect_retries``, ``connect_backoff``, ...)."""
     if kind == "inproc":
         return InProcChannel(address)
     if kind == "tcp":
         host, port = _split_hostport(address)
-        return TcpChannel(host, port)
+        return TcpChannel(host, port, **options)
     raise ValueError(f"unknown transport kind {kind!r}")
 
 

@@ -186,9 +186,18 @@ class Engine:
             raise ValueError("pool_size must be >= 1 (or null for dedicated nodes)")
         broker_url = getattr(spec, "broker", None) or "memory://"
         distributed = broker_class(broker_url).distributed
+        live = spec.run_mode() == "live"
+        if live and topology.pattern != "server":
+            raise ValueError(
+                f"live cluster execution needs a server-pattern topology; "
+                f"{topology.pattern!r} topologies require dedicated in-process "
+                "nodes (run them simulated)"
+            )
         # a distributed broker always pools (its workers live out-of-process);
         # the memory broker pools only when the cohort exceeds the pool
-        pooled = distributed or (pool_size is not None and int(pool_size) < n_trainers)
+        pooled = not live and (
+            distributed or (pool_size is not None and int(pool_size) < n_trainers)
+        )
         if pooled and topology.pattern != "server":
             raise ValueError(
                 f"client-pool execution (broker={broker_url!r}, "
@@ -218,7 +227,42 @@ class Engine:
         self.nodes: List[Node] = []
         self.actors: List[ThreadActor] = []
         self.pool: Optional[ClientPool] = None
-        if pooled:
+        self.cluster = None  # LiveRuntime in live mode
+        if live:
+            # live control plane: aggregators/relays materialize in-process,
+            # the cohort's trainers live in `repro node` member processes
+            # that rebuild themselves from the published spec
+            for nspec in node_specs:
+                if nspec.role.trains():
+                    continue
+                self.nodes.append(make_node(nspec, None))
+                self.actors.append(ThreadActor(self.nodes[-1], name=nspec.name))
+            # trainer nodes live elsewhere: probe the algorithm's evaluation
+            # convention directly (mirrors the distributed-broker branch)
+            self._personalized_eval = bool(algorithm_fn().personalized_eval)
+            from repro.cluster.coordinator import ClusterCoordinator
+            from repro.cluster.runtime import LiveRuntime
+
+            cl = spec.cluster
+            coordinator = ClusterCoordinator(
+                spec.to_yaml(),
+                n_trainers,
+                transport=cl.transport,
+                bind=cl.bind,
+                min_nodes=cl.min_nodes,
+                join_timeout=cl.join_timeout,
+                heartbeat=cl.heartbeat,
+                lease=cl.lease,
+                detector=cl.detector,
+                phi_threshold=cl.phi_threshold,
+            ).start()  # listen immediately: nodes may dial before run()
+            self.cluster = LiveRuntime(coordinator)
+            _LOG.info(
+                "live cluster coordinator at %s (quorum %d, lease %.1fs): "
+                "join with `python -m repro node %s`",
+                coordinator.url, cl.min_nodes, cl.lease, coordinator.url,
+            )
+        elif pooled:
             # aggregators/relays materialize as real nodes; the cohort's
             # trainers become logical clients served by broker workers (no
             # communicator groups: pooled execution runs on the scheduler
@@ -365,9 +409,12 @@ class Engine:
     # client runtimes: how logical client ids reach node actors
     # ------------------------------------------------------------------
     def client_runtime(self) -> ClientRuntime:
-        """The runtime for flat scheduler bindings: the client pool when one
-        is configured, otherwise one dedicated actor per logical client
-        (ids are data-shard indices, identical across both modes)."""
+        """The runtime for flat scheduler bindings: the live cluster or the
+        client pool when configured, otherwise one dedicated actor per
+        logical client (ids are data-shard indices, identical across all
+        modes)."""
+        if self.cluster is not None:
+            return self.cluster
         if self.pool is not None:
             return self.pool
         mapping = {}
@@ -430,6 +477,10 @@ class Engine:
         wait_all(futures, timeout=60)
         if self.pool is not None:
             self.pool.start()
+        if self.cluster is not None:
+            # block until the joining quorum is reached and clients are
+            # pinned to members (idempotent across repeated runs)
+            self.cluster.start()
         self._fire_setup_callbacks()
 
     # ------------------------------------------------------------------
@@ -622,6 +673,8 @@ class Engine:
         self._shutdown_done = True
         if self.pool is not None:
             self.pool.shutdown()
+        if self.cluster is not None:
+            self.cluster.shutdown()
         futures = []
         for actor in self.actors:
             try:

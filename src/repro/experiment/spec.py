@@ -40,10 +40,11 @@ __all__ = [
     "PluginSpec",
     "FaultSpec",
     "SchedulerSpec",
+    "ClusterSpec",
     "ExperimentSpec",
 ]
 
-_MODES = ("rounds", "async", "auto")
+_MODES = ("rounds", "async", "auto", "live")
 
 
 class SpecError(ValueError):
@@ -246,6 +247,49 @@ class SchedulerSpec:
 
 
 @dataclass(frozen=True)
+class ClusterSpec:
+    """The live control plane: where the coordinator listens and how member
+    liveness is judged (``mode: live`` runs; see :mod:`repro.cluster`).
+
+    ``bind`` is the coordinator's listen address (``host:port``; port 0
+    binds ephemeral), ``transport`` picks real TCP sockets or the in-proc
+    registry (tests), ``min_nodes`` is the joining quorum ``run()`` waits
+    for (up to ``join_timeout`` seconds), and ``heartbeat``/``lease`` set
+    the liveness contract: members renew every ``heartbeat`` seconds and
+    the ``detector`` (``timeout`` or phi-accrual ``phi``) evicts them once
+    their silence outlives the ``lease``.
+    """
+
+    bind: str = "127.0.0.1:0"
+    transport: str = "tcp"
+    min_nodes: int = 1
+    join_timeout: float = 60.0
+    heartbeat: float = 0.5
+    lease: float = 3.0
+    detector: str = "timeout"
+    phi_threshold: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("tcp", "inproc"):
+            raise SpecError("cluster.transport must be 'tcp' or 'inproc'")
+        if self.min_nodes < 1:
+            raise SpecError("cluster.min_nodes must be >= 1")
+        if self.join_timeout <= 0:
+            raise SpecError("cluster.join_timeout must be > 0")
+        if self.heartbeat <= 0:
+            raise SpecError("cluster.heartbeat must be > 0")
+        if self.lease <= self.heartbeat:
+            raise SpecError(
+                "cluster.lease must exceed cluster.heartbeat (a lease shorter "
+                "than one heartbeat period evicts healthy members)"
+            )
+        if self.detector not in ("timeout", "phi"):
+            raise SpecError("cluster.detector must be 'timeout' or 'phi'")
+        if self.phi_threshold <= 0:
+            raise SpecError("cluster.phi_threshold must be > 0")
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One complete, validated federated experiment."""
 
@@ -283,6 +327,10 @@ class ExperimentSpec:
     #: per-turn path, so results stay bit-identical either way.  null (the
     #: default) keeps strictly per-turn execution
     batch_turns: Optional[int] = None
+    #: the live control plane (``mode: live``): coordinator bind address,
+    #: joining quorum, heartbeat/lease contract, and failure detector.
+    #: null keeps every run simulated; a mapping builds a :class:`ClusterSpec`
+    cluster: Any = None
 
     def __post_init__(self) -> None:
         _freeze(self, "topology_kwargs", _plain(self.topology_kwargs or {}))
@@ -296,8 +344,40 @@ class ExperimentSpec:
             _freeze(self, "faults", _from_dict(FaultSpec, self.faults, "faults"))
         if isinstance(self.scheduler, (str, Mapping)):
             _freeze(self, "scheduler", SchedulerSpec.from_value(self.scheduler))
+        if isinstance(self.cluster, Mapping):
+            _freeze(self, "cluster", _from_dict(ClusterSpec, self.cluster, "cluster"))
         if self.mode not in _MODES:
             raise SpecError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.mode == "live":
+            if self.cluster is None:
+                raise SpecError(
+                    "mode='live' needs a cluster spec (where the coordinator "
+                    "listens and how liveness is judged); set cluster: {} for "
+                    "the localhost defaults"
+                )
+            if self.faults.drop_prob > 0 or self.faults.straggler_prob > 0:
+                raise SpecError(
+                    "live mode replaces the scripted fault model with real "
+                    "membership: set faults.drop_prob and "
+                    "faults.straggler_prob to 0 (kill node processes instead)"
+                )
+            if self.pool_size is not None:
+                raise SpecError(
+                    "live mode serves clients from cluster members, not a "
+                    "worker pool; leave pool_size null"
+                )
+            if self.batch_turns is not None:
+                raise SpecError("live mode does not support batch_turns fusion")
+            if self.broker is not None and not str(self.broker).startswith("memory:"):
+                raise SpecError(
+                    "live mode owns turn transport (the cluster coordinator); "
+                    "leave broker at memory://"
+                )
+        elif self.cluster is not None and self.mode != "auto":
+            raise SpecError(
+                f"a cluster spec only runs under mode='live' (or 'auto'), "
+                f"got mode={self.mode!r}"
+            )
         if self.total_updates is not None and self.total_updates < 1:
             raise SpecError("total_updates must be >= 1 (or null)")
         if self.num_clients is not None and self.num_clients < 1:
@@ -318,6 +398,10 @@ class ExperimentSpec:
     def run_mode(self) -> str:
         """Resolve ``mode='auto'`` to the concrete execution mode."""
         if self.mode == "auto":
+            # a cluster spec means the cohort lives in real processes: the
+            # live control plane is the only path that can reach them
+            if self.cluster is not None:
+                return "live"
             # pooled cohorts have no collective rounds: the scheduler
             # runtime (default policy if none is named) is the only path
             if (
@@ -347,6 +431,7 @@ class ExperimentSpec:
             "pool_size": self.pool_size,
             "broker": self.broker,
             "batch_turns": self.batch_turns,
+            "cluster": asdict(self.cluster) if is_dataclass(self.cluster) else self.cluster,
         }
         _check_serializable(out, "spec")
         return out
@@ -469,6 +554,7 @@ class ExperimentSpec:
             batch_turns=(
                 int(cfg["batch_turns"]) if cfg.get("batch_turns") is not None else None
             ),
+            cluster=_plain(cfg.get("cluster")) if cfg.get("cluster") is not None else None,
         )
 
 
@@ -513,6 +599,7 @@ def spec_from_parts(
     pool_size: Optional[int] = None,
     broker: str = "memory://",
     batch_turns: Optional[int] = None,
+    cluster: Any = None,
 ) -> ExperimentSpec:
     """Assemble an :class:`ExperimentSpec` from flat engine-style kwargs."""
     return ExperimentSpec(
@@ -558,6 +645,7 @@ def spec_from_parts(
         pool_size=pool_size,
         broker=broker,
         batch_turns=batch_turns,
+        cluster=cluster,
     )
 
 

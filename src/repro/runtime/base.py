@@ -51,9 +51,20 @@ class ClientRuntime:
     #: True when clients share execution slots and state is swapped per turn
     pooled: bool = False
 
+    #: True when turns execute on live remote processes under wall-clock
+    #: time (schedulers then disable the simulated fault/latency model and
+    #: consult :meth:`live_clients` before selection)
+    live: bool = False
+
     def client_ids(self) -> List[int]:
         """Sorted logical client ids this runtime executes."""
         raise NotImplementedError
+
+    def live_clients(self) -> Optional[List[int]]:
+        """Sorted ids currently served by a live peer, or ``None`` when the
+        runtime has no liveness notion (every client is always available —
+        the simulated substrates)."""
+        return None
 
     def submit(self, client: int, method: str, *args, **kwargs):
         """Enqueue one turn; returns a ticket with ``result``/``exception``."""

@@ -43,6 +43,7 @@ __all__ = [
     "BrokerError",
     "BrokerTurnLost",
     "BrokerUnavailable",
+    "PeerLostError",
 ]
 
 _LOG = get_logger("broker")
@@ -64,6 +65,14 @@ class BrokerTurnLost(BrokerError):
 
 class BrokerUnavailable(BrokerError, ConnectionError):
     """The broker backend cannot be reached."""
+
+
+class PeerLostError(BrokerError):
+    """A live cluster member serving this turn's client left or was evicted
+    by the failure detector.  Unlike :class:`BrokerTurnLost` (a fatal loss
+    on a substrate that promised delivery), peer loss is an *expected* event
+    in live mode: the scheduler maps it onto the dropped-dispatch path, so
+    the run continues on the surviving membership."""
 
 
 def register_broker(scheme: str) -> Callable[[Type["TurnBroker"]], Type["TurnBroker"]]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import socket
 import threading
 import time
@@ -62,6 +63,10 @@ class BrokerWorker:
         self._hb_conn: Optional[RespClient] = None
         self._current_turn: Optional[int] = None
         self._stopping = threading.Event()
+        # a graceful stop request (signal or stop()) is separate from
+        # _stopping: the heartbeat thread must keep renewing the in-flight
+        # turn's lease until that turn actually completes
+        self._stop_requested = threading.Event()
         self.node: Any = None
         self.provider: Any = None
         self.baseline: Any = None
@@ -184,6 +189,11 @@ class BrokerWorker:
         _LOG.info("worker %s serving namespace %s", self.worker_id, self.cfg.namespace())
         try:
             while max_turns is None or self.turns_run < max_turns:
+                if self._stop_requested.is_set() or self._stopping.is_set():
+                    # graceful shutdown (SIGTERM/SIGINT or stop()): the
+                    # in-flight turn already completed — _handle_turn's MULTI
+                    # released its lease — so exit and deregister below
+                    break
                 if self._conn.execute("GET", self.cfg.key("stop")) is not None:
                     break
                 item = self._conn.brpop(self.cfg.key("turns"), timeout=1.0)
@@ -205,7 +215,13 @@ class BrokerWorker:
         return self.turns_run
 
     def stop(self) -> None:
-        self._stopping.set()
+        """Request a graceful shutdown: finish the in-flight turn, then exit.
+
+        Sets ``_stop_requested`` rather than ``_stopping`` so the heartbeat
+        thread keeps renewing the worker's lease until the current turn has
+        actually been committed back to the broker.
+        """
+        self._stop_requested.set()
 
     def _resolve_gstate(self, args: tuple) -> tuple:
         """Swap an interned-payload sentinel for the decoded global state.
@@ -308,6 +324,22 @@ def run_worker(url: str, worker_id: Optional[str] = None,
     except (RespError, ValueError) as exc:
         _LOG.error("worker startup failed: %s", exc)
         return 2
+
+    # graceful shutdown: SIGTERM/SIGINT finish the in-flight turn (its MULTI
+    # releases the lease and acks the result), then the run loop exits and
+    # deregisters the heartbeat — no dead-worker requeue needed for a turn
+    # that actually completed
+    def _graceful(signum, frame):  # noqa: ARG001 - signal handler signature
+        _LOG.info(
+            "worker %s received signal %d, finishing current turn",
+            worker.worker_id, signum,
+        )
+        worker.stop()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+
     worker.run(max_turns=max_turns)
     _LOG.info("worker %s exiting after %d turns", worker.worker_id, worker.turns_run)
     return 0

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
-from repro.runtime.broker import BrokerTurnLost
+from repro.runtime.broker import BrokerTurnLost, PeerLostError
 from repro.scheduler.events import EventQueue, PendingUpdate
 from repro.scheduler.heterogeneity import HeterogeneityModel
 from repro.scheduler.selection import SelectionStrategy, build_selector
@@ -106,6 +106,11 @@ class Scheduler:
         self._server_idx: Optional[int] = None
         self._node_pos: Dict[int, int] = {}
         self._wall_anchor = 0.0
+        # live (wall-clock) execution: set at bind time from the runtime's
+        # ``live`` flag; arrival times then track real elapsed seconds and
+        # the scripted heterogeneity model is disabled
+        self._live = False
+        self._live_epoch = 0.0
         self._eval_updates = 0  # evaluate every N applied updates (0 = never)
         self._next_eval = 0
         # (version, global_state, payload): server_payload built once per
@@ -204,6 +209,13 @@ class Scheduler:
             # bit-reproduce dedicated ones.
             self.runtime = engine.client_runtime()
             self.clients = list(self.runtime.client_ids())
+        self._live = bool(getattr(self.runtime, "live", False))
+        if self._live:
+            # wall-clock execution: real processes provide latency and
+            # failures, so the scripted model degenerates to "arrives now"
+            # (mean must stay > 0; a nanosecond never orders ahead of real
+            # elapsed time) and dropouts come only from membership
+            self.hetero = HeterogeneityModel(latency="constant", mean=1e-9, seed=seed)
         if server_idx is not None:
             self._server_idx = int(server_idx)
             if not engine.nodes[self._server_idx].role.aggregates():
@@ -273,7 +285,13 @@ class Scheduler:
         self.server.global_state = state
 
     def idle_clients(self) -> List[int]:
-        return [c for c in self.clients if c not in self._in_flight]
+        live = self.runtime.live_clients() if self.runtime is not None else None
+        if live is None:
+            return [c for c in self.clients if c not in self._in_flight]
+        # live runtime: selection only sees clients a live member serves, so
+        # an evicted peer's clients stop being picked within one sweep
+        alive = set(live)
+        return [c for c in self.clients if c in alive and c not in self._in_flight]
 
     def select_idle(self, k: int) -> List[int]:
         """Pick up to ``k`` idle clients via the selection strategy."""
@@ -340,6 +358,16 @@ class Scheduler:
             return {}
         try:
             result = event.result(_TRAIN_TIMEOUT)
+        except PeerLostError as exc:
+            # a live member serving this client left or was evicted: map the
+            # loss onto the dropped-dispatch path (every policy already
+            # skips dropped events) so the run continues on the survivors
+            _LOG.warning("dispatch for client %d lost: %s", event.client, exc)
+            event.dropped = True
+            self.dropped += 1
+            if self._live:
+                self.now = max(self.now, time.perf_counter() - self._live_epoch)
+            return {}
         except BrokerTurnLost as exc:
             # a broker-backed runtime lost the turn (dead worker, retries
             # exhausted): fail the run with the dispatch pinned, instead of
@@ -348,6 +376,10 @@ class Scheduler:
                 f"dispatch for client {event.client} (version "
                 f"{event.version}) failed at the broker: {exc}"
             ) from exc
+        if self._live:
+            # virtual arrival stamps only order events; the clock itself
+            # tracks real elapsed time once the result is actually here
+            self.now = max(self.now, time.perf_counter() - self._live_epoch)
         stats = result.get("stats", {})
         if "loss" in stats:
             self.last_loss[event.client] = float(stats["loss"])
@@ -441,6 +473,10 @@ class Scheduler:
             # so they skip the fleet-wide actor round-trip
             self.engine.setup_async()
         self._wall_anchor = time.perf_counter()
+        if self._live:
+            # anchor wall time so self.now continues monotonically across
+            # repeated run() calls on the same federation
+            self._live_epoch = time.perf_counter() - self.now
         if total_updates is None:
             total_updates = self.engine.global_rounds * len(self.clients)
         if total_updates < 1:

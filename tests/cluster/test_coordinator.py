@@ -1,0 +1,309 @@
+"""Coordinator protocol: join/poll/result flow, eviction, leave, close.
+
+These tests drive the coordinator through real transport channels (the
+in-proc transport — same code path as TCP minus the kernel) with a
+hand-rolled protocol client, so the control plane is exercised without
+training anything.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.protocol import decode_control, encode_control, peek_kind
+from repro.comm.transport import make_channel
+from repro.runtime import serde
+from repro.runtime.broker import PeerLostError
+
+SPEC_YAML = "seed: 7\n"  # echoed opaquely through the join handshake
+
+
+def make_coordinator(name, **kw):
+    kw.setdefault("transport", "inproc")
+    kw.setdefault("bind", name)
+    kw.setdefault("min_nodes", 1)
+    kw.setdefault("heartbeat", 0.05)
+    kw.setdefault("lease", 0.4)
+    coord = ClusterCoordinator(SPEC_YAML, kw.pop("num_clients", 4), **kw)
+    return coord.start()
+
+
+class FakeNode:
+    """Minimal protocol client: join/heartbeat/poll/post-result/leave."""
+
+    def __init__(self, coord, node_id):
+        self.node_id = node_id
+        kind, address = coord.url.split("://", 1)
+        self.chan = make_channel(kind, address)
+
+    def control(self, op, **meta):
+        _op, reply = decode_control(self.chan.call(encode_control(op, node_id=self.node_id, **meta)))
+        return reply
+
+    def join(self, **caps):
+        return self.control("join", caps=caps)
+
+    def poll(self, wait=0.05):
+        return self.chan.call(encode_control("poll", node_id=self.node_id, wait=wait))
+
+    def serve_one(self, wait=1.0, value=None):
+        frame = self.poll(wait=wait)
+        assert peek_kind(frame) == "request"
+        turn_id, client, method, args, kwargs = serde.decode_turn(frame)
+        result = serde.encode_result(
+            turn_id, client,
+            {"method": method, "client": client} if value is None else value,
+            worker=self.node_id,
+        )
+        return decode_control(self.chan.call(result))[1]
+
+
+# ------------------------------------------------------------ join
+def test_join_handshake_carries_contract():
+    coord = make_coordinator("coord-join", num_clients=3)
+    try:
+        reply = FakeNode(coord, "n1").join(host="h", pid=1)
+        assert reply["ok"]
+        assert reply["spec"] == SPEC_YAML
+        assert reply["num_clients"] == 3
+        assert reply["heartbeat"] == pytest.approx(0.05)
+        assert reply["lease"] == pytest.approx(0.4)
+        assert coord.membership.get("n1").caps["host"] == "h"
+    finally:
+        coord.close()
+
+
+def test_join_without_node_id_rejected():
+    coord = make_coordinator("coord-noid")
+    try:
+        node = FakeNode(coord, "")
+        assert not node.join()["ok"]
+    finally:
+        coord.close()
+
+
+def test_quorum_blocks_until_enough_members():
+    coord = make_coordinator("coord-quorum", min_nodes=2, num_clients=4)
+    try:
+        with pytest.raises(TimeoutError, match="quorum not reached"):
+            coord.wait_for_quorum(timeout=0.2)
+        FakeNode(coord, "n1").join()
+        FakeNode(coord, "n2").join()
+        coord.wait_for_quorum(timeout=5)
+        assert coord.membership.live_clients() == [0, 1, 2, 3]
+    finally:
+        coord.close()
+
+
+# ------------------------------------------------------------ turn flow
+def test_submit_poll_result_roundtrip():
+    coord = make_coordinator("coord-flow", num_clients=2)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        ticket = coord.submit_turn(0, "local_update", (), {})
+        assert not ticket.done()
+        node.serve_one()
+        value = ticket.result(timeout=5)
+        assert value == {"method": "local_update", "client": 0}
+        assert coord.pending_turns() == 0
+    finally:
+        coord.close()
+
+
+def test_remote_error_surfaces_with_traceback():
+    coord = make_coordinator("coord-err", num_clients=1)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        ticket = coord.submit_turn(0, "local_update", (), {})
+        frame = node.poll(wait=1.0)
+        turn_id, client, *_ = serde.decode_turn(frame)
+        node.chan.call(serde.encode_error(
+            turn_id, client, ValueError("exploded"),
+            traceback_text="Traceback: ...", worker="n1",
+        ))
+        with pytest.raises(RuntimeError, match="exploded"):
+            ticket.result(timeout=5)
+    finally:
+        coord.close()
+
+
+def test_poll_empty_when_no_work():
+    coord = make_coordinator("coord-empty", num_clients=1)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        reply = node.poll(wait=0.01)
+        assert peek_kind(reply) == "control"
+        _op, meta = decode_control(reply)
+        assert meta["empty"] and meta["ok"]
+    finally:
+        coord.close()
+
+
+def test_poll_from_unknown_member_rejected():
+    coord = make_coordinator("coord-ghost")
+    try:
+        node = FakeNode(coord, "ghost")
+        _op, meta = decode_control(node.poll(wait=0.01))
+        assert not meta["ok"]
+    finally:
+        coord.close()
+
+
+def test_submit_for_unowned_client_fails_fast():
+    coord = make_coordinator("coord-unowned", num_clients=2)
+    try:
+        ticket = coord.submit_turn(0, "local_update", (), {})
+        with pytest.raises(PeerLostError, match="no live member"):
+            ticket.result(timeout=1)
+    finally:
+        coord.close()
+
+
+def test_duplicate_result_is_dropped():
+    coord = make_coordinator("coord-dup", num_clients=1)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        ticket = coord.submit_turn(0, "m", (), {})
+        frame = node.poll(wait=1.0)
+        turn_id, client, *_ = serde.decode_turn(frame)
+        result = serde.encode_result(turn_id, client, 1, worker="n1")
+        first = decode_control(node.chan.call(result))[1]
+        second = decode_control(node.chan.call(result))[1]
+        assert first.get("duplicate") is None
+        assert second.get("duplicate") is True
+        assert ticket.result(timeout=1) == 1
+    finally:
+        coord.close()
+
+
+# ------------------------------------------------------------ failure handling
+def test_eviction_fails_queued_and_in_flight_turns():
+    coord = make_coordinator("coord-evict", num_clients=2, lease=0.3, heartbeat=0.05)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        in_flight = coord.submit_turn(0, "m", (), {})
+        node.poll(wait=1.0)  # claim it, never answer
+        queued = coord.submit_turn(1, "m", (), {})
+        # stop heartbeating entirely: the sweep must evict within the lease
+        with pytest.raises(PeerLostError, match="evicted"):
+            in_flight.result(timeout=5)
+        with pytest.raises(PeerLostError, match="evicted"):
+            queued.result(timeout=5)
+        assert coord.membership.counts()["evicted"] == 1
+        assert coord.membership.live_clients() == []
+        # post-eviction submits fail fast instead of queueing forever
+        with pytest.raises(PeerLostError):
+            coord.submit_turn(0, "m", (), {}).result(timeout=1)
+    finally:
+        coord.close()
+
+
+def test_heartbeats_prevent_eviction():
+    coord = make_coordinator("coord-alive", num_clients=1, lease=0.3, heartbeat=0.05)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        stop = threading.Event()
+
+        def beat_loop():
+            while not stop.is_set():
+                node.control("heartbeat")
+                time.sleep(0.05)
+
+        t = threading.Thread(target=beat_loop, daemon=True)
+        t.start()
+        try:
+            time.sleep(1.0)  # several lease windows
+            assert coord.membership.counts()["alive"] == 1
+        finally:
+            stop.set()
+            t.join(timeout=2)
+    finally:
+        coord.close()
+
+
+def test_leave_orphans_clients_and_fails_pending():
+    coord = make_coordinator("coord-leave", num_clients=2)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        pending = coord.submit_turn(0, "m", (), {})
+        reply = node.control("leave")
+        assert reply["orphans"] == [0, 1]
+        with pytest.raises(PeerLostError, match="left"):
+            pending.result(timeout=1)
+        assert coord.membership.live_clients() == []
+    finally:
+        coord.close()
+
+
+def test_heartbeat_reply_carries_stop_after_close():
+    coord = make_coordinator("coord-stop", num_clients=1)
+    node = FakeNode(coord, "n1")
+    node.join()
+    coord.wait_for_quorum(timeout=5)
+
+    closer = threading.Thread(target=coord.close, daemon=True)
+    closer.start()
+    # while close() waits its grace period the control plane still answers
+    deadline = time.monotonic() + 2
+    saw_stop = False
+    while time.monotonic() < deadline:
+        try:
+            if node.control("heartbeat").get("stop"):
+                saw_stop = True
+                break
+        except (ConnectionError, OSError):
+            break  # transport already torn down: close() proceeded
+        time.sleep(0.02)
+    node.control("leave") if saw_stop else None
+    closer.join(timeout=5)
+    assert not closer.is_alive()
+
+
+def test_close_fails_outstanding_tickets():
+    coord = make_coordinator("coord-close", num_clients=1, heartbeat=0.05)
+    node = FakeNode(coord, "n1")
+    node.join()
+    coord.wait_for_quorum(timeout=5)
+    ticket = coord.submit_turn(0, "m", (), {})
+    coord.close(grace=0.1)
+    with pytest.raises(PeerLostError):
+        ticket.result(timeout=1)
+
+
+def test_join_rejected_while_stopping():
+    coord = make_coordinator("coord-latejoin", num_clients=1)
+    coord.close(grace=0.0)
+    # the transport is stopped; a second coordinator on the same name can
+    # bind, proving close released the address
+    coord2 = make_coordinator("coord-latejoin", num_clients=1)
+    coord2.close(grace=0.0)
+
+
+def test_status_op_reports_members_and_pending():
+    coord = make_coordinator("coord-status", num_clients=2)
+    try:
+        node = FakeNode(coord, "n1")
+        node.join()
+        coord.wait_for_quorum(timeout=5)
+        coord.submit_turn(0, "m", (), {})
+        meta = node.control("status")
+        assert meta["ok"]
+        assert meta["pending"] == 1
+        assert meta["members"][0]["node_id"] == "n1"
+    finally:
+        coord.close()

@@ -1,0 +1,139 @@
+"""Unit tests for the lease-timeout and phi-accrual failure detectors."""
+
+import math
+
+import pytest
+
+from repro.cluster.failure import (
+    PhiAccrualDetector,
+    TimeoutDetector,
+    build_detector,
+)
+
+
+# ------------------------------------------------------------ timeout lease
+def test_timeout_not_suspect_within_lease():
+    det = TimeoutDetector(lease=2.0)
+    det.observe("a", 10.0)
+    assert not det.suspect("a", 11.9)
+
+
+def test_timeout_suspect_past_lease():
+    det = TimeoutDetector(lease=2.0)
+    det.observe("a", 10.0)
+    assert det.suspect("a", 12.1)
+
+
+def test_timeout_unknown_peer_never_suspect():
+    det = TimeoutDetector(lease=2.0)
+    assert not det.suspect("ghost", 100.0)
+    assert det.suspicion("ghost", 100.0) == 0.0
+
+
+def test_timeout_suspicion_is_lease_fraction():
+    det = TimeoutDetector(lease=4.0)
+    det.observe("a", 0.0)
+    assert det.suspicion("a", 2.0) == pytest.approx(0.5)
+    assert det.suspicion("a", 8.0) == pytest.approx(2.0)
+
+
+def test_timeout_forget_clears_history():
+    det = TimeoutDetector(lease=1.0)
+    det.observe("a", 0.0)
+    det.forget("a")
+    assert not det.suspect("a", 100.0)
+
+
+def test_timeout_rejects_bad_lease():
+    with pytest.raises(ValueError):
+        TimeoutDetector(lease=0.0)
+
+
+# ------------------------------------------------------------ phi accrual
+def _feed_regular(det, peer, period=0.5, beats=30, start=0.0):
+    t = start
+    for _ in range(beats):
+        det.observe(peer, t)
+        t += period
+    return t - period  # time of the last beat
+
+
+def test_phi_low_right_after_heartbeat():
+    det = PhiAccrualDetector(threshold=8.0)
+    last = _feed_regular(det, "a")
+    assert det.phi("a", last + 0.01) < 1.0
+    assert not det.suspect("a", last + 0.01)
+
+
+def test_phi_grows_monotonically_with_silence():
+    det = PhiAccrualDetector(threshold=8.0)
+    last = _feed_regular(det, "a")
+    values = [det.phi("a", last + dt) for dt in (0.5, 1.0, 2.0, 4.0)]
+    assert values == sorted(values)
+    assert values[-1] > values[0]
+
+
+def test_phi_crosses_threshold_after_long_silence():
+    det = PhiAccrualDetector(threshold=8.0, lease=1000.0)  # lease out of the way
+    last = _feed_regular(det, "a", period=0.5)
+    # many periods of silence: the normal model finds this absurdly late
+    assert det.suspect("a", last + 30.0)
+
+
+def test_phi_adapts_to_slow_cadence():
+    """The same absolute silence is suspicious at 0.1s cadence, normal at 2s."""
+    fast = PhiAccrualDetector(threshold=8.0, lease=1000.0)
+    slow = PhiAccrualDetector(threshold=8.0, lease=1000.0)
+    last_fast = _feed_regular(fast, "a", period=0.1, beats=60)
+    last_slow = _feed_regular(slow, "a", period=2.0, beats=60)
+    silence = 3.0
+    assert fast.phi("a", last_fast + silence) > slow.phi("a", last_slow + silence)
+
+
+def test_phi_lease_hard_bound_with_sparse_history():
+    """A peer with one heartbeat ever must still die within the lease."""
+    det = PhiAccrualDetector(threshold=1e9, lease=2.0)  # phi can never fire
+    det.observe("a", 0.0)
+    assert not det.suspect("a", 1.5)
+    assert det.suspect("a", 2.5)
+
+
+def test_phi_window_bounds_history():
+    det = PhiAccrualDetector(window=10)
+    _feed_regular(det, "a", beats=50)
+    assert len(det._intervals["a"]) == 10
+
+
+def test_phi_unknown_peer_is_zero():
+    det = PhiAccrualDetector()
+    assert det.phi("ghost", 5.0) == 0.0
+    assert not det.suspect("ghost", 5.0)
+
+
+def test_phi_forget_clears_everything():
+    det = PhiAccrualDetector()
+    _feed_regular(det, "a")
+    det.forget("a")
+    assert det.phi("a", 1e6) == 0.0
+
+
+def test_phi_infinite_when_probability_underflows():
+    det = PhiAccrualDetector(min_std=1e-6)
+    det.observe("a", 0.0)
+    det.observe("a", 0.5)
+    assert math.isinf(det.phi("a", 1e9)) or det.phi("a", 1e9) > 100
+
+
+# ------------------------------------------------------------ factory
+def test_build_detector_kinds():
+    assert isinstance(build_detector("timeout", lease=1.0), TimeoutDetector)
+    phi = build_detector("phi", lease=1.0, phi_threshold=4.0, window=7)
+    assert isinstance(phi, PhiAccrualDetector)
+    assert phi.threshold == 4.0
+    assert phi.window == 7
+    assert phi.lease == 1.0
+
+
+def test_build_detector_unknown_kind():
+    with pytest.raises(ValueError, match="unknown failure detector"):
+        build_detector("seance")

@@ -1,0 +1,101 @@
+"""Heartbeater: periodic beats, stop propagation, failure accounting."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.heartbeat import Heartbeater
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def test_beats_flow_and_counter_advances():
+    beats = []
+
+    def beat():
+        beats.append(1)
+        return {"ok": True}
+
+    hb = Heartbeater(beat, period=0.02).start()
+    try:
+        assert wait_for(lambda: hb.beats_sent >= 3)
+    finally:
+        hb.stop()
+    assert not hb.stopped.is_set()
+    assert not hb.lost.is_set()
+
+
+def test_stop_flag_in_reply_fires_on_stop_once():
+    calls = []
+    hb = Heartbeater(lambda: {"ok": True, "stop": True}, period=0.02,
+                     on_stop=lambda: calls.append(1)).start()
+    try:
+        assert wait_for(hb.stopped.is_set)
+    finally:
+        hb.stop()
+    assert calls == [1]
+    assert not hb.lost.is_set()
+
+
+def test_membership_revoked_sets_lost():
+    stopped = threading.Event()
+    hb = Heartbeater(lambda: {"ok": False}, period=0.02,
+                     on_stop=stopped.set).start()
+    try:
+        assert wait_for(hb.lost.is_set)
+        assert stopped.is_set()
+    finally:
+        hb.stop()
+
+
+def test_transient_failures_are_forgiven():
+    state = {"n": 0}
+
+    def flaky():
+        state["n"] += 1
+        if state["n"] % 2:  # every other beat fails
+            raise ConnectionError("blip")
+        return {"ok": True}
+
+    hb = Heartbeater(flaky, period=0.01, max_failures=3).start()
+    try:
+        assert wait_for(lambda: hb.beats_sent >= 4)
+        assert not hb.lost.is_set()
+    finally:
+        hb.stop()
+
+
+def test_consecutive_failures_declare_coordinator_lost():
+    def dead():
+        raise ConnectionError("gone")
+
+    hb = Heartbeater(dead, period=0.01, max_failures=3).start()
+    try:
+        assert wait_for(hb.lost.is_set)
+    finally:
+        hb.stop()
+
+
+def test_rejects_non_positive_period():
+    with pytest.raises(ValueError):
+        Heartbeater(lambda: {"ok": True}, period=0.0)
+
+
+def test_on_stop_exception_is_contained():
+    def boom():
+        raise RuntimeError("hook bug")
+
+    hb = Heartbeater(lambda: {"ok": True, "stop": True}, period=0.01,
+                     on_stop=boom).start()
+    try:
+        assert wait_for(hb.stopped.is_set)
+    finally:
+        hb.stop()

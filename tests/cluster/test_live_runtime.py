@@ -1,0 +1,157 @@
+"""End-to-end live runs over the in-proc transport.
+
+Real ClusterNode instances (threads instead of processes — the protocol
+path is identical minus the kernel) join an engine-owned coordinator, the
+experiment runs to completion on the live scheduler runtime, and members
+leave gracefully at shutdown.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.node import ClusterNode, parse_cluster_url
+from repro.conf import builtin_store
+from repro.config import compose
+from repro.experiment import Experiment, ExperimentSpec
+
+
+def make_live_spec(bind, min_nodes=2, scheduler="fedasync", total_updates=6,
+                   num_clients=4, extra=()):
+    overrides = [
+        "mode=live", "+cluster.transport=inproc", f"+cluster.bind={bind}",
+        f"+cluster.min_nodes={min_nodes}", "+cluster.heartbeat=0.1",
+        "+cluster.lease=1.0", f"num_clients={num_clients}",
+        "model=mlp", "datamodule=blobs",
+    ]
+    if scheduler is not None:
+        overrides.append(f"scheduler={scheduler}")
+    if total_updates is not None:
+        overrides.append(f"+total_updates={total_updates}")
+    overrides.extend(extra)
+    cfg = compose(builtin_store(), "experiment", overrides=overrides)
+    return ExperimentSpec.from_config(cfg)
+
+
+def run_live(spec, node_ids, node_timeout=60):
+    """Run the experiment with in-thread ClusterNodes; returns (result, exp)."""
+    exp = Experiment(spec)
+    box = {}
+
+    def run_exp():
+        try:
+            box["result"] = exp.run()
+        except BaseException as exc:  # noqa: BLE001 - surfaced in the test
+            box["error"] = exc
+
+    runner = threading.Thread(target=run_exp, daemon=True)
+    runner.start()
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        if exp.engine is not None and getattr(exp.engine, "cluster", None) is not None:
+            break
+        time.sleep(0.02)
+    else:
+        raise AssertionError("coordinator never came up")
+    url = exp.engine.cluster.url
+    nodes = [ClusterNode(url, node_id=nid, poll_wait=0.2) for nid in node_ids]
+    threads = [threading.Thread(target=n.run, daemon=True) for n in nodes]
+    for t in threads:
+        t.start()
+    runner.join(timeout=node_timeout)
+    assert not runner.is_alive(), "live run hung"
+    if "error" in box:
+        raise box["error"]
+    for t in threads:
+        t.join(timeout=10)
+        assert not t.is_alive(), "node thread failed to exit"
+    return box["result"], exp, nodes
+
+
+def test_parse_cluster_url():
+    assert parse_cluster_url("tcp://10.0.0.1:7070") == ("tcp", "10.0.0.1:7070")
+    assert parse_cluster_url("inproc://x") == ("inproc", "x")
+    for bad in ("http://x", "tcp://", "justtext"):
+        with pytest.raises(ValueError):
+            parse_cluster_url(bad)
+
+
+def test_live_run_completes_across_members():
+    spec = make_live_spec("live-e2e", min_nodes=2)
+    result, exp, nodes = run_live(spec, ["n1", "n2"])
+    assert result.mode == "live"
+    assert len(result.history) == 6
+    assert result.final_accuracy() is not None
+    # work actually spread across real members
+    assert sum(n.turns_run for n in nodes) > 0
+    membership = exp.engine.cluster.membership
+    # both members deregistered gracefully at close
+    assert membership.counts() == {"alive": 0, "left": 2, "evicted": 0}
+
+
+def test_live_run_single_member_default_policy():
+    # mode=live with no scheduler named: auto falls back to the topology's
+    # default async policy, same as pooled execution
+    spec = make_live_spec("live-one", min_nodes=1, scheduler=None,
+                          total_updates=4, num_clients=2)
+    result, exp, nodes = run_live(spec, ["solo"])
+    assert result.mode == "live"
+    assert len(result.history) == 4
+    assert nodes[0].turns_run > 0
+
+
+def test_live_clients_tracks_membership_during_run():
+    spec = make_live_spec("live-view", min_nodes=2)
+    result, exp, _ = run_live(spec, ["a", "b"])
+    runtime = exp.engine.cluster
+    # after shutdown everyone left, so the live view is empty while the
+    # full logical cohort is still enumerable
+    assert runtime.client_ids() == [0, 1, 2, 3]
+    assert runtime.live_clients() == []
+
+
+def test_quorum_timeout_fails_loudly():
+    spec = make_live_spec("live-nobody", min_nodes=1, extra=("+cluster.join_timeout=0.3",))
+    exp = Experiment(spec)
+    with pytest.raises(TimeoutError, match="quorum not reached"):
+        exp.run()
+
+
+def test_telemetry_binds_cluster_gauges():
+    from repro.telemetry import Telemetry
+    from repro.telemetry.registry import MetricsRegistry
+    from repro.telemetry.runs import RunRegistry
+
+    registry = MetricsRegistry()
+    tel = Telemetry(trace=False, registry=registry, runs=RunRegistry())
+    spec = make_live_spec("live-metrics", min_nodes=2)
+
+    exp = Experiment(spec, callbacks=[tel])
+    box = {}
+
+    def run_exp():
+        try:
+            box["result"] = exp.run()
+        except BaseException as exc:  # noqa: BLE001
+            box["error"] = exc
+
+    runner = threading.Thread(target=run_exp, daemon=True)
+    runner.start()
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        if exp.engine is not None and getattr(exp.engine, "cluster", None) is not None:
+            break
+        time.sleep(0.02)
+    url = exp.engine.cluster.url
+    nodes = [ClusterNode(url, node_id=f"m{i}", poll_wait=0.2) for i in range(2)]
+    for n in nodes:
+        threading.Thread(target=n.run, daemon=True).start()
+    runner.join(timeout=60)
+    assert not runner.is_alive()
+    if "error" in box:
+        raise box["error"]
+    text = registry.exposition()
+    assert "repro_cluster_joins_total 2" in text
+    assert 'repro_cluster_members{state="left"} 2' in text
+    assert "repro_cluster_live_clients 0" in text

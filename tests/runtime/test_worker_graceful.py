@@ -1,0 +1,185 @@
+"""Worker graceful shutdown: finish the in-flight turn, release, deregister.
+
+``BrokerWorker.stop()`` (the SIGTERM/SIGINT path) must not abandon a
+claimed turn: the in-flight turn commits normally — its MULTI releases the
+lease — the worker deregisters its heartbeat entry, and the remaining
+queue drains to surviving workers so the run completes bit-identically.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.experiment import Experiment, ExperimentSpec
+from repro.runtime.miniredis import MiniRedis
+from repro.runtime.resp import connect_url
+from repro.runtime.worker import BrokerWorker
+
+_WALL_FIELDS = ("wall_seconds",)
+
+
+@pytest.fixture(scope="module")
+def miniredis():
+    with MiniRedis() as server:
+        yield server
+
+
+def make_spec(broker, pool_size=None, total_updates=8):
+    return ExperimentSpec(
+        topology="centralized",
+        num_clients=4,
+        pool_size=pool_size,
+        broker=broker,
+        data={
+            "dataset": "blobs",
+            "kwargs": {"train_size": 192, "test_size": 48},
+            "partition": "dirichlet",
+            "partition_alpha": 0.5,
+            "batch_size": 32,
+        },
+        train={
+            "algorithm": "fedavg",
+            "algorithm_kwargs": {"lr": 0.05, "local_epochs": 1},
+            "model": "mlp",
+            "global_rounds": 2,
+        },
+        scheduler={"name": "fedasync", "heterogeneity": {
+            "latency": "lognormal", "mean": 0.5, "sigma": 0.5,
+        }},
+        total_updates=total_updates,
+        mode="async",
+        seed=0,
+    )
+
+
+def records_of(result):
+    out = []
+    for rec in result.history:
+        d = rec.as_dict()
+        for f in _WALL_FIELDS:
+            d.pop(f, None)
+        out.append(d)
+    return out
+
+
+def _run_in_thread(experiment):
+    outcome = {}
+
+    def target():
+        try:
+            outcome["result"] = experiment.run()
+        except BaseException as exc:  # noqa: BLE001 - reported to the test
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, outcome
+
+
+def _wait_for_published_broker(experiment, url, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        engine = experiment.engine
+        pool = getattr(engine, "pool", None) if engine is not None else None
+        if pool is not None and getattr(pool.broker, "cfg", None) is not None:
+            with connect_url(url) as conn:
+                if conn.execute("GET", pool.broker.cfg.key("spec")) is not None:
+                    return pool.broker
+        time.sleep(0.02)
+    raise AssertionError("broker never published the experiment")
+
+
+def test_stop_finishes_in_flight_turn_and_deregisters(miniredis, monkeypatch):
+    # each turn sleeps after claiming, so stop() reliably lands mid-turn
+    monkeypatch.setenv("REPRO_WORKER_TURN_DELAY", "0.3")
+    memory = Experiment(make_spec("memory://", pool_size=2)).run()
+    monkeypatch.delenv("REPRO_WORKER_TURN_DELAY")
+
+    monkeypatch.setenv("REPRO_WORKER_TURN_DELAY", "0.3")
+    experiment = Experiment(make_spec(f"{miniredis.url}?lease=30"))
+    thread, outcome = _run_in_thread(experiment)
+    broker = _wait_for_published_broker(experiment, miniredis.url)
+    worker_url = broker.cfg.with_run(broker.cfg.run)
+
+    stopper = BrokerWorker(worker_url, worker_id="stopper")
+    survivor = BrokerWorker(worker_url, worker_id="survivor")
+    threads = [
+        threading.Thread(target=w.run, daemon=True) for w in (stopper, survivor)
+    ]
+    for t in threads:
+        t.start()
+
+    # wait until the stopper holds a lease, then request a graceful stop
+    lease_key = broker.cfg.key("leases")
+    deadline = time.monotonic() + 30
+    with connect_url(miniredis.url) as conn:
+        while time.monotonic() < deadline:
+            leases = [json.loads(v) for v in conn.hgetall(lease_key).values()]
+            if any(entry.get("worker") == "stopper" for entry in leases):
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("stopper never claimed a turn")
+        stopper.stop()
+        threads[0].join(timeout=30)
+        assert not threads[0].is_alive(), "stop() did not interrupt the pull loop"
+        # the in-flight turn committed (its lease is gone, nothing requeued
+        # under the stopper's name) and the heartbeat entry is deregistered
+        leases = [json.loads(v) for v in conn.hgetall(lease_key).values()]
+        assert not any(entry.get("worker") == "stopper" for entry in leases)
+        assert b"stopper" not in conn.hgetall(broker.cfg.key("hb"))
+
+    assert stopper.turns_run > 0, "stopper exited without finishing its turn"
+
+    thread.join(timeout=120)
+    assert not thread.is_alive(), "run stalled after a graceful worker stop"
+    assert "error" not in outcome, f"run failed: {outcome.get('error')!r}"
+    for t in threads:
+        t.join(timeout=30)
+    # the stopped worker's turns committed normally: identical outcome
+    assert records_of(outcome["result"]) == records_of(memory)
+
+
+def test_sigterm_to_worker_process_is_graceful(miniredis, monkeypatch):
+    # spawned worker *processes* get the signal handler; SIGTERM mid-run
+    # must exit 0 after committing the in-flight turn, and the survivor
+    # finishes the run
+    monkeypatch.setenv("REPRO_WORKER_TURN_DELAY", "0.3")
+    experiment = Experiment(make_spec(
+        f"{miniredis.url}?workers=2&lease=30", total_updates=6,
+    ))
+    thread, outcome = _run_in_thread(experiment)
+
+    deadline = time.monotonic() + 30
+    broker = None
+    while time.monotonic() < deadline:
+        engine = experiment.engine
+        pool = getattr(engine, "pool", None) if engine is not None else None
+        if pool is not None and getattr(pool.broker, "_procs", None):
+            broker = pool.broker
+            break
+        time.sleep(0.02)
+    assert broker is not None, "broker never spawned worker processes"
+
+    # wait until the victim holds a lease so SIGTERM lands mid-turn
+    victim = broker._procs[0]
+    lease_key = broker.cfg.key("leases")
+    deadline = time.monotonic() + 30
+    with connect_url(miniredis.url) as conn:
+        while time.monotonic() < deadline:
+            leases = [json.loads(v) for v in conn.hgetall(lease_key).values()]
+            if any(e.get("worker", "").endswith(f"-{victim.pid}") for e in leases):
+                break
+            time.sleep(0.01)
+    os.kill(victim.pid, signal.SIGTERM)
+
+    thread.join(timeout=120)
+    assert not thread.is_alive(), "run stalled after SIGTERM to a worker"
+    assert "error" not in outcome, f"run failed: {outcome.get('error')!r}"
+    assert len(outcome["result"].history) == 6
+    # graceful exit: returncode 0, not a signal death
+    assert victim.wait(timeout=10) == 0
