@@ -1,0 +1,278 @@
+"""Adversarial robustness — accuracy under attack, aggregator by aggregator.
+
+Ten clients train a blobs/MLP federation under synchronized rounds while 30%
+of them run a sign-flip attack (each byzantine update is the honest update
+mirrored through the dispatched global and amplified).  The arms differ only
+in the server's merge rule:
+
+``mean``          the undefended FedAvg weighted mean — the attack owns it;
+``median``        coordinate-wise median;
+``trimmed_mean``  drop the tails, average the rest;
+``krum``          pick the update(s) closest to their peers;
+``norm_clip``     clip every delta into an L2 ball before averaging.
+
+The headline (the paper-style robustness claim): with 30% sign-flip
+attackers, at least one robust rule retains >= 80% of the no-attack
+accuracy while the plain mean retains < 50%.
+
+A second experiment pits a **moving-target defense** against a backdoor:
+on a gossip ring, one peer poisons its batches with a trigger patch; the
+MTD arm re-samples the overlay every few updates, the static arm keeps the
+ring.  The metric is the backdoor's *reach*: the worst honest peer's
+trigger success (non-target test samples predicted as the target once the
+trigger is applied).  On a static ring the attacker's fixed neighbors
+saturate (reach ~1.0); under MTD exposure rotates and dilutes, and the
+worst honest peer must end up measurably less backdoored.
+
+Emits ``BENCH_robustness.json`` at the repo root (the accuracy-under-attack
+curves CI uploads as an artifact).
+
+Run:    pytest benchmarks/bench_robustness.py --benchmark-only
+Smoke:  BENCH_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/bench_robustness.py -q
+"""
+
+import itertools
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import DataSpec, Experiment, ExperimentSpec, SchedulerSpec, TrainSpec
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+
+CLIENTS = 10
+ATTACK_FRACTION = 0.3  # 3 of 10 clients are byzantine
+ROUNDS = 3 if SMOKE else 8
+TRAIN_SIZE = 512 if SMOKE else 2048
+
+AGGREGATORS = {
+    "mean": None,
+    "median": {"robust": "median"},
+    "trimmed_mean": {"robust": "trimmed_mean", "kwargs": {"trim_ratio": 0.3}},
+    "krum": {"robust": "krum"},
+    "norm_clip": {"robust": "norm_clip", "kwargs": {"clip_norm": 2.0}},
+}
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+
+_RESULTS = {
+    "config": {
+        "clients": CLIENTS,
+        "attack_fraction": ATTACK_FRACTION,
+        "rounds": ROUNDS,
+        "smoke": SMOKE,
+        "attack": "sign_flip",
+    },
+    "accuracy_under_attack": [],
+    "backdoor_mtd": [],
+}
+
+
+def make_spec(port: int, aggregator: str, attack: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        topology="centralized",
+        topology_kwargs={
+            "num_clients": CLIENTS,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(
+            dataset="blobs",
+            kwargs={"train_size": TRAIN_SIZE, "test_size": 256, "num_classes": 4},
+            partition="iid",
+        ),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=ROUNDS,
+            eval_every=1,
+        ),
+        scheduler=SchedulerSpec(name="sync"),
+        attack=(
+            {"kind": "sign_flip", "fraction": ATTACK_FRACTION, "scale": 10.0}
+            if attack else None
+        ),
+        aggregation=AGGREGATORS[aggregator],
+        total_updates=ROUNDS * CLIENTS,
+        seed=0,
+    )
+
+
+def run_accuracy(port: int, aggregator: str, attack: bool):
+    experiment = Experiment(make_spec(port, aggregator, attack))
+    result = experiment.run()
+    accuracy = result.final_accuracy()
+    assert accuracy is not None
+    counters = experiment.engine.scheduler.robust_counters()
+    return float(accuracy), counters
+
+
+def _flush():
+    OUT_PATH.write_text(json.dumps(_RESULTS, indent=2) + "\n", encoding="utf8")
+
+
+#: rendezvous ports for the lazily-computed baseline (disjoint from the
+#: conftest counter, which starts at 40000 and is shared across bench files)
+_BASE_PORTS = itertools.count(46300, 53)
+_BASELINE: dict = {}
+
+
+@pytest.fixture
+def baseline_accuracy():
+    if "acc" not in _BASELINE:
+        _BASELINE["acc"], _ = run_accuracy(next(_BASE_PORTS), "mean", attack=False)
+    return _BASELINE["acc"]
+
+
+@pytest.mark.parametrize("aggregator", list(AGGREGATORS))
+def test_accuracy_under_attack(benchmark, aggregator, baseline_accuracy, fresh_port):
+    holder = {}
+    ports = iter(range(fresh_port, fresh_port + 10_000, 41))
+
+    def once():
+        holder["out"] = run_accuracy(next(ports), aggregator, attack=True)
+
+    benchmark.group = "robustness"
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    accuracy, counters = holder["out"]
+    retained = accuracy / baseline_accuracy if baseline_accuracy > 0 else 0.0
+    row = {
+        "aggregator": aggregator,
+        "attacked_accuracy": round(accuracy, 4),
+        "clean_accuracy": round(baseline_accuracy, 4),
+        "retained": round(retained, 4),
+        "attacked_updates": counters["attacked"],
+        "clipped": counters["clipped"],
+        "rejected": counters["rejected"],
+    }
+    _RESULTS["accuracy_under_attack"].append(row)
+    _flush()
+    benchmark.extra_info.update(row)
+    assert counters["attacked"] > 0  # the byzantine cohort really ran
+
+
+def test_robust_beats_mean_under_sign_flip(fresh_port):
+    """The acceptance check: 30% sign-flip attackers, the mean collapses
+    below half its clean accuracy while some robust rule keeps >= 80%."""
+    rows = {r["aggregator"]: r for r in _RESULTS["accuracy_under_attack"]}
+    if len(rows) < len(AGGREGATORS):  # run standalone (-k), fill in the arms
+        ports = iter(range(fresh_port, fresh_port + 10_000, 43))
+        clean, _ = run_accuracy(next(ports), "mean", attack=False)
+        for aggregator in AGGREGATORS:
+            acc, counters = run_accuracy(next(ports), aggregator, attack=True)
+            rows[aggregator] = {
+                "aggregator": aggregator,
+                "attacked_accuracy": acc,
+                "clean_accuracy": clean,
+                "retained": acc / clean if clean > 0 else 0.0,
+            }
+    assert rows["mean"]["retained"] < 0.5, rows["mean"]
+    robust = {k: v for k, v in rows.items() if k != "mean"}
+    best = max(robust.values(), key=lambda r: r["retained"])
+    assert best["retained"] >= 0.8, robust
+
+
+# ----------------------------------------------------------------------------
+# moving-target defense vs. a gossip backdoor
+# ----------------------------------------------------------------------------
+MTD_PEERS = 6
+MTD_UPDATES = 12 if SMOKE else 36
+BACKDOOR = {
+    "kind": "backdoor",
+    "fraction": 0.17,  # exactly one byzantine peer on the ring
+    "target_label": 0,
+    "trigger_value": 3.0,
+    "trigger_frac": 0.25,
+    "poison_frac": 1.0,
+}
+
+
+def make_gossip_spec(port: int, mtd: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        topology="ring",
+        topology_kwargs={
+            "num_clients": MTD_PEERS,
+            "inner_comm": {"backend": "torchdist", "master_port": port},
+        },
+        data=DataSpec(
+            dataset="blobs",
+            kwargs={"train_size": TRAIN_SIZE, "test_size": 256, "num_classes": 4},
+            partition="iid",
+        ),
+        train=TrainSpec(
+            algorithm="fedavg",
+            algorithm_kwargs={"lr": 0.05, "local_epochs": 1},
+            model="mlp",
+            global_rounds=max(1, MTD_UPDATES // MTD_PEERS),
+            eval_every=0,
+        ),
+        scheduler=SchedulerSpec(name="gossip_async"),
+        attack=dict(BACKDOOR),
+        mtd={"degree": 4, "reshuffle_every": 3} if mtd else None,
+        total_updates=MTD_UPDATES,
+        seed=0,
+    )
+
+
+def backdoor_reach(spec: ExperimentSpec, engine) -> dict:
+    """Trigger success across honest peers' own models (mean and worst)."""
+    from repro.experiment import spec as spec_mod
+    from repro.nn.tensor import Tensor
+    from repro.robust.attacks import apply_trigger
+
+    datamodule = spec_mod.resolve_datamodule(spec)
+    model_fn = spec_mod.resolve_model_fn(spec, datamodule)
+    x = np.asarray(datamodule.test.x, dtype=np.float64)
+    y = np.asarray(datamodule.test.y)
+    target = int(BACKDOOR["target_label"])
+    triggered = apply_trigger(
+        x[y != target], float(BACKDOOR["trigger_frac"]), float(BACKDOOR["trigger_value"])
+    ).astype(np.float32)
+    scheduler, nodes = engine.scheduler, engine.nodes
+    success = []
+    for peer in scheduler.peers:
+        if nodes[scheduler._node_pos[peer]].is_attacker:
+            continue
+        model = model_fn()
+        model.load_state_dict(scheduler.peer_states[peer], strict=False)
+        model.eval()
+        preds = np.argmax(model(Tensor(triggered)).data, axis=1)
+        success.append(float(np.mean(preds == target)))
+    return {"mean": float(np.mean(success)), "worst": float(np.max(success))}
+
+
+def run_backdoor(port: int, mtd: bool) -> dict:
+    spec = make_gossip_spec(port, mtd)
+    experiment = Experiment(spec)
+    experiment.run()
+    return backdoor_reach(spec, experiment.engine)
+
+
+def test_mtd_reduces_backdoor_reach(benchmark, fresh_port):
+    holder = {}
+
+    def once():
+        static = run_backdoor(fresh_port + 100, mtd=False)
+        moving = run_backdoor(fresh_port + 200, mtd=True)
+        holder["out"] = (static, moving)
+
+    benchmark.group = "robustness-mtd"
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    static, moving = holder["out"]
+    row = {
+        "static_worst_trigger_success": round(static["worst"], 4),
+        "mtd_worst_trigger_success": round(moving["worst"], 4),
+        "static_mean_trigger_success": round(static["mean"], 4),
+        "mtd_mean_trigger_success": round(moving["mean"], 4),
+        "updates": MTD_UPDATES,
+        "peers": MTD_PEERS,
+    }
+    _RESULTS["backdoor_mtd"].append(row)
+    _flush()
+    benchmark.extra_info.update(row)
+    # the acceptance check: the worst-backdoored honest peer under MTD is
+    # strictly less backdoored than under the static ring
+    assert moving["worst"] < static["worst"], row

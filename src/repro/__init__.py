@@ -23,10 +23,13 @@ from repro.config import ConfigStore, compose, instantiate
 from repro.data import DATAMODULES, build_datamodule
 from repro.engine import Callback, Checkpoint, CSVLogger, EarlyStopping, Engine
 from repro.experiment import (
+    AggregationSpec,
+    AttackSpec,
     DataSpec,
     Experiment,
     ExperimentSpec,
     FaultSpec,
+    MTDSpec,
     PluginSpec,
     RunResult,
     SchedulerSpec,
@@ -48,6 +51,9 @@ __all__ = [
     "PluginSpec",
     "FaultSpec",
     "SchedulerSpec",
+    "AttackSpec",
+    "AggregationSpec",
+    "MTDSpec",
     "Callback",
     "EarlyStopping",
     "Checkpoint",

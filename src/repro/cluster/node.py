@@ -73,6 +73,9 @@ def build_trainer_node(spec_yaml: str, num_clients: int, name: str):
     algorithm_fn = spec_mod.resolve_algorithm_fn(spec)
     compressor_fn, outer_compressor_fn, dp_fn = spec_mod.resolve_plugin_fns(spec)
     seed = int(spec.seed)
+    # same pure derivation as the engine and broker workers: a live member
+    # reconstructs the attacker set from the published spec alone
+    attack_plan = spec_mod.resolve_attack_plan(spec, int(num_clients), datamodule.num_classes)
 
     provider = ClientDataProvider(
         datamodule,
@@ -98,6 +101,8 @@ def build_trainer_node(spec_yaml: str, num_clients: int, name: str):
         drop_prob=0.0,
         straggler_prob=0.0,
         straggler_delay=0.0,
+        attack=attack_plan.attack if attack_plan is not None else None,
+        attacker_ids=attack_plan.attacker_ids if attack_plan is not None else (),
     )
     node.setup_local()
     return node, provider, node.pool_baseline()

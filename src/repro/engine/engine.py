@@ -172,6 +172,26 @@ class Engine:
 
         node_specs = topology.specs()
         n_trainers = topology.trainer_count()
+        # adversarial-robustness wiring: the attack plan is a pure function
+        # of (spec, cohort, classes) so broker workers and live nodes derive
+        # the identical attacker set from the published spec; the robust
+        # factory hands every scheduler binding (each hierarchical site
+        # tier included) its own counter-carrying aggregator instance
+        self.attack_plan = spec_mod.resolve_attack_plan(spec, n_trainers, datamodule.num_classes)
+        self.robust_factory = spec_mod.resolve_robust_fn(spec)
+        self.mtd = getattr(spec, "mtd", None)
+        if self.mtd is not None and topology.pattern != "gossip":
+            raise ValueError(
+                f"moving-target defense re-samples a gossip overlay; the "
+                f"{topology.pattern!r} topology pattern has none (drop the "
+                "mtd block or switch to a gossip topology)"
+            )
+        if self.robust_factory is not None and spec.run_mode() == "rounds":
+            raise ValueError(
+                "robust aggregation plugs into the scheduler runtime; the "
+                "synchronous rounds loop would silently ignore it — name a "
+                "scheduler policy (e.g. scheduler: sync) or set mode: async"
+            )
         self.data_provider = ClientDataProvider(
             datamodule,
             n_trainers,
@@ -222,6 +242,14 @@ class Engine:
                 drop_prob=spec.faults.drop_prob if nspec.role.trains() else 0.0,
                 straggler_prob=spec.faults.straggler_prob if nspec.role.trains() else 0.0,
                 straggler_delay=spec.faults.straggler_delay,
+                attack=(
+                    self.attack_plan.attack
+                    if self.attack_plan is not None and nspec.role.trains()
+                    else None
+                ),
+                attacker_ids=(
+                    self.attack_plan.attacker_ids if self.attack_plan is not None else ()
+                ),
             )
 
         self.nodes: List[Node] = []

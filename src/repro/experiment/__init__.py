@@ -24,9 +24,12 @@ See :mod:`repro.experiment.spec` for the spec tree,
 from repro.experiment.experiment import Experiment
 from repro.experiment.result import RunResult
 from repro.experiment.spec import (
+    AggregationSpec,
+    AttackSpec,
     DataSpec,
     ExperimentSpec,
     FaultSpec,
+    MTDSpec,
     PluginSpec,
     SchedulerSpec,
     SpecError,
@@ -42,5 +45,8 @@ __all__ = [
     "PluginSpec",
     "FaultSpec",
     "SchedulerSpec",
+    "AttackSpec",
+    "AggregationSpec",
+    "MTDSpec",
     "SpecError",
 ]

@@ -41,6 +41,9 @@ __all__ = [
     "FaultSpec",
     "SchedulerSpec",
     "ClusterSpec",
+    "AttackSpec",
+    "AggregationSpec",
+    "MTDSpec",
     "ExperimentSpec",
 ]
 
@@ -289,6 +292,94 @@ class ClusterSpec:
             raise SpecError("cluster.phi_threshold must be > 0")
 
 
+_ATTACK_KINDS = ("label_flip", "sign_flip", "scaled_update", "backdoor")
+_ROBUST_NAMES = ("median", "trimmed_mean", "krum", "multi_krum", "norm_clip")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Byzantine client roles: which attack, and how much of the cohort.
+
+    ``fraction`` of the logical clients (at least one when > 0) run the
+    ``kind`` behavior; assignment is a pure function of ``(seed, fraction,
+    num_clients)`` (``seed`` defaults to the run seed) so broker workers and
+    live nodes derive the identical attacker set from the published spec.
+    ``scale`` drives the update attacks (``sign_flip``/``scaled_update``);
+    the ``target_label``/``trigger_*``/``poison_frac`` knobs drive
+    ``backdoor``.  ``fraction: 0`` is byte-identical to no attack block.
+    """
+
+    kind: str = "sign_flip"
+    fraction: float = 0.0
+    scale: float = 10.0
+    seed: Optional[int] = None
+    target_label: int = 0
+    trigger_value: float = 2.5
+    trigger_frac: float = 0.1
+    poison_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ATTACK_KINDS:
+            raise SpecError(
+                f"attack.kind must be one of {_ATTACK_KINDS}, got {self.kind!r}"
+            )
+        if not (0.0 <= self.fraction <= 1.0):
+            raise SpecError("attack.fraction must be in [0, 1]")
+        if self.scale <= 0:
+            raise SpecError("attack.scale must be > 0")
+        if self.target_label < 0:
+            raise SpecError("attack.target_label must be >= 0")
+        for name in ("trigger_frac", "poison_frac"):
+            p = getattr(self, name)
+            if not (0.0 < p <= 1.0):
+                raise SpecError(f"attack.{name} must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class AggregationSpec:
+    """Server/peer-side aggregation hardening.
+
+    ``robust`` names a robust combination rule (coordinate-wise ``median``,
+    ``trimmed_mean``, ``krum``, ``multi_krum``, ``norm_clip``) that replaces
+    the weighted mean inside every scheduler policy — sync/semi-sync rounds,
+    the fedasync interpolation target, the fedbuff flush, hierarchical
+    site/outer tiers, and gossip neighbor mixing.  ``kwargs`` go to the
+    rule's constructor (``trim_ratio``, ``f``, ``multi``, ``clip_norm``).
+    """
+
+    robust: Optional[str] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _freeze(self, "kwargs", _plain(self.kwargs or {}))
+        if self.robust is not None and self.robust not in _ROBUST_NAMES:
+            raise SpecError(
+                f"aggregation.robust must be one of {_ROBUST_NAMES}, got {self.robust!r}"
+            )
+
+
+@dataclass(frozen=True)
+class MTDSpec:
+    """Moving-target defense for gossip runs: re-sample the neighbor map
+    and mixing matrix per epoch from a seeded stream.
+
+    ``degree`` is the target overlay degree (2 = a re-permuted ring),
+    ``reshuffle_every`` the epoch length in applied updates (null: once per
+    ``len(peers)`` updates, i.e. roughly per round), ``seed`` the sampling
+    seed (null: the run seed).  Only meaningful with a gossip topology.
+    """
+
+    degree: int = 2
+    reshuffle_every: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.degree < 2:
+            raise SpecError("mtd.degree must be >= 2 (ring connectivity)")
+        if self.reshuffle_every is not None and self.reshuffle_every < 1:
+            raise SpecError("mtd.reshuffle_every must be >= 1 (or null)")
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One complete, validated federated experiment."""
@@ -331,6 +422,16 @@ class ExperimentSpec:
     #: joining quorum, heartbeat/lease contract, and failure detector.
     #: null keeps every run simulated; a mapping builds a :class:`ClusterSpec`
     cluster: Any = None
+    #: byzantine client roles (:class:`AttackSpec`): null runs an honest
+    #: cohort; a mapping assigns ``attack.fraction`` of the clients the
+    #: ``attack.kind`` behavior at the client-update seam
+    attack: Any = None
+    #: aggregation hardening (:class:`AggregationSpec`): ``robust`` swaps a
+    #: robust combination rule in for the weighted mean on every policy
+    aggregation: Any = None
+    #: moving-target defense (:class:`MTDSpec`) for gossip runs: re-sample
+    #: the overlay per epoch from a seeded stream; null keeps it static
+    mtd: Any = None
 
     def __post_init__(self) -> None:
         _freeze(self, "topology_kwargs", _plain(self.topology_kwargs or {}))
@@ -346,6 +447,12 @@ class ExperimentSpec:
             _freeze(self, "scheduler", SchedulerSpec.from_value(self.scheduler))
         if isinstance(self.cluster, Mapping):
             _freeze(self, "cluster", _from_dict(ClusterSpec, self.cluster, "cluster"))
+        if isinstance(self.attack, Mapping):
+            _freeze(self, "attack", _from_dict(AttackSpec, self.attack, "attack"))
+        if isinstance(self.aggregation, Mapping):
+            _freeze(self, "aggregation", _from_dict(AggregationSpec, self.aggregation, "aggregation"))
+        if isinstance(self.mtd, Mapping):
+            _freeze(self, "mtd", _from_dict(MTDSpec, self.mtd, "mtd"))
         if self.mode not in _MODES:
             raise SpecError(f"mode must be one of {_MODES}, got {self.mode!r}")
         if self.mode == "live":
@@ -432,6 +539,11 @@ class ExperimentSpec:
             "broker": self.broker,
             "batch_turns": self.batch_turns,
             "cluster": asdict(self.cluster) if is_dataclass(self.cluster) else self.cluster,
+            "attack": asdict(self.attack) if is_dataclass(self.attack) else self.attack,
+            "aggregation": (
+                asdict(self.aggregation) if is_dataclass(self.aggregation) else self.aggregation
+            ),
+            "mtd": asdict(self.mtd) if is_dataclass(self.mtd) else self.mtd,
         }
         _check_serializable(out, "spec")
         return out
@@ -555,6 +667,11 @@ class ExperimentSpec:
                 int(cfg["batch_turns"]) if cfg.get("batch_turns") is not None else None
             ),
             cluster=_plain(cfg.get("cluster")) if cfg.get("cluster") is not None else None,
+            attack=_plain(cfg.get("attack")) if cfg.get("attack") is not None else None,
+            aggregation=(
+                _plain(cfg.get("aggregation")) if cfg.get("aggregation") is not None else None
+            ),
+            mtd=_plain(cfg.get("mtd")) if cfg.get("mtd") is not None else None,
         )
 
 
@@ -600,6 +717,9 @@ def spec_from_parts(
     broker: str = "memory://",
     batch_turns: Optional[int] = None,
     cluster: Any = None,
+    attack: Any = None,
+    aggregation: Any = None,
+    mtd: Any = None,
 ) -> ExperimentSpec:
     """Assemble an :class:`ExperimentSpec` from flat engine-style kwargs."""
     return ExperimentSpec(
@@ -646,6 +766,9 @@ def spec_from_parts(
         broker=broker,
         batch_turns=batch_turns,
         cluster=cluster,
+        attack=attack,
+        aggregation=aggregation,
+        mtd=mtd,
     )
 
 
@@ -819,3 +942,35 @@ def resolve_scheduler_value(spec: ExperimentSpec) -> Any:
     if isinstance(sched, SchedulerSpec):
         return sched.to_value()
     return sched
+
+
+def resolve_attack_plan(spec: ExperimentSpec, num_clients: int, num_classes: int) -> Any:
+    """The executable attack plan for this spec, or ``None`` (honest run).
+
+    Pure in ``(spec, num_clients, num_classes)``: the engine, broker
+    workers, and live cluster nodes all call this against the same published
+    spec and derive the identical attacker set.
+    """
+    if getattr(spec, "attack", None) is None:
+        return None
+    from repro.robust.roles import build_attack_plan
+
+    return build_attack_plan(spec.attack, int(num_clients), int(num_classes), int(spec.seed))
+
+
+def resolve_robust_fn(spec: ExperimentSpec) -> Optional[Callable[[], Any]]:
+    """A factory of fresh robust-aggregator instances, or ``None``.
+
+    A *factory* rather than an instance: every scheduler binding (including
+    each hierarchical site tier) gets its own instance so clip/reject
+    counters stay per-tier.  The name and kwargs are validated eagerly so a
+    bad spec fails at engine construction, not mid-run.
+    """
+    agg = getattr(spec, "aggregation", None)
+    if agg is None or agg.robust is None:
+        return None
+    from repro.robust.aggregators import build_robust_aggregator
+
+    name, kwargs = str(agg.robust), dict(agg.kwargs)
+    build_robust_aggregator(name, **kwargs)  # validate eagerly
+    return lambda: build_robust_aggregator(name, **kwargs)

@@ -54,6 +54,8 @@ class Node:
         drop_prob: float = 0.0,
         straggler_prob: float = 0.0,
         straggler_delay: float = 0.0,
+        attack: Optional[Any] = None,
+        attacker_ids: Any = (),
     ) -> None:
         self.spec = spec
         self.model = model
@@ -67,6 +69,11 @@ class Node:
         self.drop_prob = float(drop_prob)
         self.straggler_prob = float(straggler_prob)
         self.straggler_delay = float(straggler_delay)
+        # byzantine roles: the attack applies only on turns where the
+        # *logical client id* is in attacker_ids — pool workers and broker
+        # workers flip between honest and byzantine per adopted client
+        self.attack = attack
+        self.attacker_ids = frozenset(int(i) for i in attacker_ids)
         self.comms: Dict[str, Communicator] = {}
         self.seed = int(seed)
         # random streams are keyed by the *logical client id* — the data
@@ -103,10 +110,23 @@ class Node:
     def num_samples(self) -> int:
         return len(self.train_dataset) if self.train_dataset is not None else 0
 
-    def train_loader(self) -> DataLoader:
+    @property
+    def is_attacker(self) -> bool:
+        """Is the *current* logical client byzantine?  Re-evaluated per pool
+        turn, since ``begin_client_turn`` re-keys ``client_id``."""
+        return self.attack is not None and self.client_id in self.attacker_ids
+
+    def train_loader(self) -> Any:
         if self.train_dataset is None:
             raise RuntimeError(f"node {self.name} has no training data")
-        return DataLoader(self.train_dataset, self.batch_size, shuffle=True, rng=self._loader_rng)
+        loader = DataLoader(self.train_dataset, self.batch_size, shuffle=True, rng=self._loader_rng)
+        if self.is_attacker and self.attack.corrupts_data:
+            from repro.robust.attacks import PoisonedLoader
+
+            # wraps after the batch is drawn: honest clients' shuffle
+            # streams advance identically whether or not an attack is set
+            return PoisonedLoader(loader, self.attack)
+        return loader
 
     def setup(self) -> None:
         for comm in self.comms.values():
@@ -206,6 +226,10 @@ class Node:
         configuration rules exact fusion out (codec/DP plugins transform
         per-client updates; algorithms/models vet themselves via
         ``Algorithm.fusion_safe`` / ``FederatedModel.fused_plan``)."""
+        if self.attack is not None:
+            # byzantine turns diverge per client; the fused fast path
+            # cannot reproduce them, so attacked runs stay strictly per-turn
+            return None
         if self.compressor is not None or self.dp is not None:
             return None
         if not self.algorithm.fusion_safe():
@@ -325,6 +349,10 @@ class Node:
             if self.algorithm.uploads_full_state
             else None
         )
+        if self.is_attacker and self.attack.corrupts_update:
+            # after compute_update, before the codec: poisoned uploads ride
+            # compression/DP/delta encoding exactly like honest ones
+            update = self.attack.corrupt_update(update, reference)
         with tracer.span("codec.encode", cat="codec", client=self.client_id) as span:
             wire, extra = encode_update(update, compressor, self.dp, reference)
             if tracer.enabled:
@@ -454,6 +482,13 @@ class Node:
             stats = self.algorithm.local_train(self, step)
             self.algorithm.on_round_end(self, step)
         self.last_train_stats = stats
+        if self.is_attacker and self.attack.corrupts_update:
+            # a byzantine peer *becomes* its poisoned state: subsequent
+            # publishes and mixes all start from the corrupted model
+            corrupted = self.attack.corrupt_update(
+                self.model.state_dict(), self.algorithm._strip_payload(dict(payload))
+            )
+            self.model.load_state_dict(corrupted, strict=False)
         return {
             "state": self.model.state_dict(),
             "stats": stats,

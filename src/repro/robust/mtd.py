@@ -1,0 +1,79 @@
+"""Moving-target defense: re-sample the gossip overlay from a seeded stream.
+
+A static gossip topology gives an attacker a fixed victim set: its poisoned
+states land on the same neighbors every round, and a backdoor accumulates
+along stable mixing paths.  The defense re-samples the neighbor map (and
+the matching Metropolis-Hastings mixing matrix) once per *epoch* — by
+default every ``len(peers)`` applied updates, i.e. roughly once per
+virtual round — so attacker reach is re-randomized faster than influence
+can accumulate.
+
+Sampling is keyed ``(seed, _MTD_STREAM, epoch)``: every epoch's overlay is
+a pure function of the spec seed and the epoch index, which keeps MTD runs
+bit-identical on re-run and identical across pooled/broker/live execution
+(the scheduler is the only consumer; nodes never see the overlay).
+
+Each epoch's overlay is a ring over a fresh permutation of the peers
+(connectivity guaranteed) plus random chords up to the configured target
+degree — symmetric, so the MH matrix stays doubly stochastic and the
+stationary distribution uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MovingTargetDefense"]
+
+_MTD_STREAM = 0x307D
+
+
+class MovingTargetDefense:
+    """Per-epoch sampler for (neighbor map, mixing matrix) pairs."""
+
+    def __init__(self, peers: Sequence[int], degree: int = 2, seed: int = 0) -> None:
+        self.peers = sorted(int(p) for p in peers)
+        if len(self.peers) < 2:
+            raise ValueError(f"moving-target defense needs >= 2 peers, got {len(self.peers)}")
+        if int(degree) < 2:
+            raise ValueError(f"mtd degree must be >= 2 (ring connectivity), got {degree}")
+        self.degree = int(degree)
+        self.seed = int(seed)
+        # stable directed-edge ids for the whole run: u * span + v.  Epochs
+        # share ids for re-visited edges, so per-edge heterogeneity streams
+        # stay pinned to the physical link, not to the epoch.
+        self.span = max(self.peers) + 1
+
+    def edge_id(self, u: int, v: int) -> int:
+        return int(u) * self.span + int(v)
+
+    def sample(self, epoch: int) -> Tuple[Dict[int, List[int]], np.ndarray]:
+        """(neighbor_map, mixing matrix) for one epoch."""
+        rng = np.random.default_rng((self.seed, _MTD_STREAM, int(epoch)))
+        n = len(self.peers)
+        order = [self.peers[i] for i in rng.permutation(n)]
+        adjacency: Dict[int, set] = {p: set() for p in self.peers}
+        for i, p in enumerate(order):
+            q = order[(i + 1) % n]
+            if q != p:
+                adjacency[p].add(q)
+                adjacency[q].add(p)
+        extra = max(0, (self.degree - 2) * n // 2)
+        for _ in range(extra):
+            u, v = rng.choice(n, size=2, replace=False)
+            pu, pv = order[int(u)], order[int(v)]
+            if pu != pv:
+                adjacency[pu].add(pv)
+                adjacency[pv].add(pu)
+
+        neighbor_map = {p: sorted(adjacency[p]) for p in self.peers}
+        degrees = {p: len(neighbor_map[p]) for p in self.peers}
+        w = np.zeros((self.span, self.span))
+        for p in self.peers:
+            for q in neighbor_map[p]:
+                # Metropolis-Hastings: symmetric, doubly stochastic
+                w[p, q] = 1.0 / (1.0 + max(degrees[p], degrees[q]))
+            w[p, p] = 1.0 - w[p].sum()
+        return neighbor_map, w

@@ -115,6 +115,11 @@ class BrokerWorker:
         num_clients = meta.get("num_clients")
         if num_clients is None:
             num_clients = spec_mod.resolve_topology(spec).trainer_count()
+        # pure function of (spec, cohort, classes): this process derives the
+        # same attacker set the engine (and every other worker) derived
+        attack_plan = spec_mod.resolve_attack_plan(
+            spec, int(num_clients), datamodule.num_classes
+        )
         self.provider = ClientDataProvider(
             datamodule,
             int(num_clients),
@@ -144,6 +149,8 @@ class BrokerWorker:
             drop_prob=spec.faults.drop_prob,
             straggler_prob=spec.faults.straggler_prob,
             straggler_delay=spec.faults.straggler_delay,
+            attack=attack_plan.attack if attack_plan is not None else None,
+            attacker_ids=attack_plan.attacker_ids if attack_plan is not None else (),
         )
         self.node.setup_local()
         self.baseline = self.node.pool_baseline()

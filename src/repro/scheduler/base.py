@@ -106,6 +106,13 @@ class Scheduler:
         self._server_idx: Optional[int] = None
         self._node_pos: Dict[int, int] = {}
         self._wall_anchor = 0.0
+        # adversarial robustness (bound from the engine): the robust
+        # aggregator instance for this tier (None: plain staleness-weighted
+        # aggregation), the attacker id set for arrival counting, and the
+        # count of byzantine updates that reached this scheduler
+        self.robust: Optional[Any] = None
+        self._attacker_ids: frozenset = frozenset()
+        self.attacked = 0
         # live (wall-clock) execution: set at bind time from the runtime's
         # ``live`` flag; arrival times then track real elapsed seconds and
         # the scripted heterogeneity model is disabled
@@ -218,10 +225,20 @@ class Scheduler:
             self.hetero = HeterogeneityModel(latency="constant", mean=1e-9, seed=seed)
         if server_idx is not None:
             self._server_idx = int(server_idx)
-            if not engine.nodes[self._server_idx].role.aggregates():
+            if self._server_idx < 0 or self._server_idx >= len(engine.nodes):
                 raise ValueError(
-                    f"node {self._server_idx} cannot serve a site tier: role "
-                    f"{engine.nodes[self._server_idx].role.value!r} does not aggregate"
+                    f"server_idx {self._server_idx} is out of range for this "
+                    f"engine ({len(engine.nodes)} nodes on a "
+                    f"{engine.topology.pattern!r}-pattern topology)"
+                )
+            node = engine.nodes[self._server_idx]
+            if not node.role.aggregates():
+                raise ValueError(
+                    f"node {self._server_idx} ({node.name!r}) cannot serve a "
+                    f"site tier for scheduler {self.name!r}: its role "
+                    f"{node.role.value!r} does not aggregate on this "
+                    f"{engine.topology.pattern!r}-pattern topology — bind "
+                    "server_idx to an aggregator or relay (site-head) node"
                 )
         elif self.requires_aggregator:
             try:
@@ -238,9 +255,43 @@ class Scheduler:
                     f"needs a full-state-uploading algorithm; {algo.name!r} "
                     "uploads deltas/variates — use semi_sync or sync instead"
                 )
+        plan = getattr(engine, "attack_plan", None)
+        self._attacker_ids = frozenset(plan.attacker_ids) if plan is not None else frozenset()
+        robust_factory = getattr(engine, "robust_factory", None)
+        self.robust = robust_factory() if robust_factory is not None else None
+        if self.robust is not None and self._server_idx is not None:
+            from repro.algorithms.base import Algorithm
+
+            algo = engine.nodes[self._server_idx].algorithm
+            if not algo.uploads_full_state:
+                raise ValueError(
+                    f"robust aggregation ({self.robust.name!r}) operates on raw "
+                    f"model states; algorithm {algo.name!r} uploads deltas/"
+                    "control variates — use a full-state algorithm (the "
+                    "fedavg family) or drop aggregation.robust"
+                )
+            uses_algo_aggregate = (
+                self.name in ("sync", "semi_sync") or getattr(self, "outer", None) == "sync"
+            )
+            if uses_algo_aggregate and type(algo).aggregate is not Algorithm.aggregate:
+                # never silently ignore a robustness request: a custom
+                # aggregate() and a robust rule cannot both own the merge
+                raise ValueError(
+                    f"robust aggregator {self.robust.name!r} would replace "
+                    f"{algo.name!r}'s custom aggregate(); pick a plain "
+                    "weighted-mean algorithm or drop aggregation.robust"
+                )
         self._node_pos = {
             n.spec.index: i for i, n in enumerate(engine.nodes) if n.role.trains()
         }
+        if self._attacker_ids and clients is not None:
+            # scoped (site-tier) bindings address engine node indices, not
+            # logical client ids; translate the attacker set through each
+            # node's pinned data shard so arrival counting stays correct
+            self._attacker_ids = frozenset(
+                c for c in self.clients
+                if engine.nodes[self._node_pos[c]].client_id in self._attacker_ids
+            )
         if self.concurrency is None:
             # honor the engine's partial-participation knob: at most
             # client_fraction of the pool is in flight (round policies also
@@ -383,10 +434,25 @@ class Scheduler:
         stats = result.get("stats", {})
         if "loss" in stats:
             self.last_loss[event.client] = float(stats["loss"])
+        if event.client in self._attacker_ids:
+            # a byzantine update actually reached this tier (dropped and
+            # lost dispatches return earlier and never count)
+            self.attacked += 1
         return result
 
     def staleness_of(self, event: PendingUpdate) -> int:
         return max(0, self.version - event.version)
+
+    def robust_counters(self) -> Dict[str, int]:
+        """Attack/defense counters for telemetry: byzantine updates that
+        arrived, plus the robust aggregator's clip/reject totals.
+        Hierarchical coordinators override this to fold in their site tiers.
+        """
+        out = {"attacked": int(self.attacked), "clipped": 0, "rejected": 0}
+        if self.robust is not None:
+            out["clipped"] = int(self.robust.counters.get("clipped", 0))
+            out["rejected"] = int(self.robust.counters.get("rejected", 0))
+        return out
 
     # ------------------------------------------------------------------
     # metrics

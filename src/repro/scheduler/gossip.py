@@ -144,6 +144,12 @@ class GossipScheduler(Scheduler):
         self._gossip_rng: Optional[np.random.Generator] = None
         self._bytes_seen = 0
         self._edge_seen: Dict[Tuple[int, int], int] = {}
+        # moving-target defense: per-epoch overlay resampling (bind() wires
+        # these from the engine's mtd spec; None means a static topology)
+        self.mtd: Optional[Any] = None
+        self._mtd_epoch = 0
+        self._mtd_every = 0
+        self._mtd_applied_mark = 0
 
     # ------------------------------------------------------------------
     # attachment
@@ -196,21 +202,58 @@ class GossipScheduler(Scheduler):
             self._edge_hetero_cfg, seed=seed + 104729
         )
         self._gossip_rng = np.random.default_rng((seed, 0x9055))
-        self._edge_ids = {
-            edge: i
-            for i, edge in enumerate(
-                sorted((u, v) for u in self.peers for v in self._neighbors[u])
+        mtd_spec = getattr(engine, "mtd", None)
+        if mtd_spec is not None:
+            from repro.robust.mtd import MovingTargetDefense  # cycle guard
+
+            self.mtd = MovingTargetDefense(
+                self.peers,
+                degree=int(mtd_spec.degree),
+                seed=int(mtd_spec.seed if mtd_spec.seed is not None else seed),
             )
-        }
+            self._mtd_every = int(mtd_spec.reshuffle_every or len(self.peers))
+            self._install_mtd_epoch()
+        else:
+            # static-topology edge ids keep their historical enumeration so
+            # existing runs stay byte-identical; MTD uses stable u*span+v ids
+            # instead (any pair can become an edge in some epoch)
+            self._edge_ids = {
+                edge: i
+                for i, edge in enumerate(
+                    sorted((u, v) for u in self.peers for v in self._neighbors[u])
+                )
+            }
         self.steps = {p: 0 for p in self.peers}
         self.inbox = {p: [] for p in self.peers}
         _LOG.info(
             "gossip scheduler bound: %d peers, %d directed edges, "
-            "selection=%s mixing=%s barrier=%s",
-            len(self.peers), len(self._edge_ids),
-            self.neighbor_selection, self.mixing, self.barrier,
+            "selection=%s mixing=%s barrier=%s mtd=%s",
+            len(self.peers), sum(len(ns) for ns in self._neighbors.values()),
+            self.neighbor_selection, self.mixing, self.barrier, self.mtd is not None,
         )
         return self
+
+    def _install_mtd_epoch(self) -> None:
+        """Adopt the overlay sampled for the current MTD epoch."""
+        assert self.mtd is not None
+        neighbor_map, w = self.mtd.sample(self._mtd_epoch)
+        self._neighbors = {
+            p: [j for j in neighbor_map.get(p, []) if j != p] for p in self.peers
+        }
+        self._w = w
+        self._pi = stationary_distribution(w)
+
+    def _maybe_reshuffle(self) -> None:
+        """Advance the MTD epoch once enough updates have applied."""
+        if self.mtd is None:
+            return
+        if self.applied - self._mtd_applied_mark >= self._mtd_every:
+            self._mtd_applied_mark = self.applied
+            self._mtd_epoch += 1
+            self._install_mtd_epoch()
+
+    def _edge_stream_id(self, edge: Tuple[int, int]) -> int:
+        return self.mtd.edge_id(*edge) if self.mtd is not None else self._edge_ids[edge]
 
     # ------------------------------------------------------------------
     # the ledger (no server: consensus state stands in for the global model)
@@ -326,7 +369,7 @@ class GossipScheduler(Scheduler):
             self.msgs_sent += 1
             count = self._edge_count.get(edge, 0)
             self._edge_count[edge] = count + 1
-            latency, lost = self.edge_hetero.sample(self._edge_ids[edge], count)
+            latency, lost = self.edge_hetero.sample(self._edge_stream_id(edge), count)
             if lost:
                 self.msgs_lost += 1
                 continue
@@ -381,16 +424,22 @@ class GossipScheduler(Scheduler):
                 entries = [(s, w / total) for s, w in entries]
                 total = 1.0
             self_weight = 1.0 - total
-            mixed: Dict[str, np.ndarray] = {}
-            for key, v in state.items():
-                arr = np.asarray(v)
-                if _is_float(arr):
-                    acc = self_weight * arr.astype(np.float64)
-                    for neighbor_state, weight in entries:
-                        acc = acc + weight * np.asarray(neighbor_state[key], dtype=np.float64)
-                    mixed[key] = acc.astype(arr.dtype)
-                else:
-                    mixed[key] = np.copy(arr)
+            if self.robust is not None and entries:
+                # robust neighbor mixing: the peer's own state competes with
+                # its neighbors' under the robust rule instead of trusting
+                # the staleness-discounted convex combination outright
+                mixed = self.robust.mix(state, self_weight, entries)
+            else:
+                mixed = {}
+                for key, v in state.items():
+                    arr = np.asarray(v)
+                    if _is_float(arr):
+                        acc = self_weight * arr.astype(np.float64)
+                        for neighbor_state, weight in entries:
+                            acc = acc + weight * np.asarray(neighbor_state[key], dtype=np.float64)
+                        mixed[key] = acc.astype(arr.dtype)
+                    else:
+                        mixed[key] = np.copy(arr)
             self.peer_states[peer] = mixed
             self.mixed_in += len(entries)
             span.set(merged=len(entries))
@@ -450,6 +499,8 @@ class GossipScheduler(Scheduler):
                 continue
             result = event.result(_TRAIN_TIMEOUT)
             self.steps[peer] += 1
+            if self.engine.nodes[self._node_pos[peer]].is_attacker:
+                self.attacked += 1
             stats = result.get("stats", {})
             if "loss" in stats:
                 self.last_loss[peer] = float(stats["loss"])
@@ -459,6 +510,7 @@ class GossipScheduler(Scheduler):
             self.version += 1
             record = self.record_aggregation([result], taus)
             self._annotate(record)
+            self._maybe_reshuffle()
             self._dispatch_train(peer, self.now)
 
     def _barrier_round(self) -> None:
@@ -494,6 +546,8 @@ class GossipScheduler(Scheduler):
                 continue
             result = event.result(_TRAIN_TIMEOUT)
             self.steps[peer] += 1
+            if self.engine.nodes[self._node_pos[peer]].is_attacker:
+                self.attacked += 1
             stats = result.get("stats", {})
             if "loss" in stats:
                 self.last_loss[peer] = float(stats["loss"])
@@ -510,6 +564,7 @@ class GossipScheduler(Scheduler):
         if merged:
             record = self.record_aggregation(merged, taus)
             self._annotate(record)
+        self._maybe_reshuffle()
 
     def drain(self) -> None:
         """Retire in-flight training without mixing it; discard queued

@@ -39,7 +39,12 @@ import numpy as np
 from repro.scheduler.base import SCHEDULERS, Scheduler, build_scheduler
 from repro.scheduler.events import PendingUpdate
 from repro.scheduler.heterogeneity import HeterogeneityModel
-from repro.scheduler.policies import _apply_buffered_deltas, _float_delta, _interpolate
+from repro.scheduler.policies import (
+    _apply_buffered_deltas,
+    _float_delta,
+    _interpolate,
+    _robust_flush_deltas,
+)
 from repro.utils.logging import get_logger
 
 __all__ = ["HierarchicalScheduler"]
@@ -149,6 +154,7 @@ class HierarchicalScheduler(Scheduler):
         self._site_by_head: Dict[int, _Site] = {}
         self._outer_buffer: List[Dict[str, Any]] = []
         self.outer_flushes = 0
+        self._robust_window: List[Dict[str, np.ndarray]] = []
 
     # ------------------------------------------------------------------
     # attachment
@@ -289,7 +295,21 @@ class HierarchicalScheduler(Scheduler):
                 weight = self.outer_alpha * self.discount(tau)
                 with self.tracer.span("outer.merge", cat="hier", sim_time=self.now,
                                       policy=self.outer, site=upload["site"]):
-                    self.global_state = _interpolate(self.global_state, self._decode(event), weight)
+                    target = self._decode(event)
+                    if self.robust is not None:
+                        # robust outer fedasync: interpolate toward a robust
+                        # combination of the recent site uploads rather than
+                        # trusting the latest arrival alone
+                        self._robust_window.append(target)
+                        cap = max(3, len(self.sites))
+                        while len(self._robust_window) > cap:
+                            self._robust_window.pop(0)
+                        target = self.robust.combine(
+                            list(self._robust_window),
+                            [1.0] * len(self._robust_window),
+                            base=self.global_state,
+                        )
+                    self.global_state = _interpolate(self.global_state, target, weight)
                 self.version += 1
                 site.merged_rounds += 1
                 self._record_outer([upload], [tau])
@@ -334,7 +354,14 @@ class HierarchicalScheduler(Scheduler):
             algo = self.server.algorithm
             with self.tracer.span("outer.merge", cat="hier", sim_time=self.now,
                                   policy=self.outer, merged=len(entries)):
-                self.global_state = algo.aggregate(entries, self.global_state, self.version)
+                if self.robust is not None:
+                    self.global_state = self.robust.combine(
+                        [e["state"] for e in entries],
+                        [float(e["meta"].get("num_samples", 1.0)) for e in entries],
+                        base=self.global_state,
+                    )
+                else:
+                    self.global_state = algo.aggregate(entries, self.global_state, self.version)
             self.version += 1
             self._record_outer(uploads, staleness)
         for site in self.sites:
@@ -349,9 +376,14 @@ class HierarchicalScheduler(Scheduler):
         buffer, self._outer_buffer = self._outer_buffer, []
         with self.tracer.span("outer.merge", cat="hier", sim_time=self.now,
                               policy=self.outer, merged=len(buffer)):
-            self.global_state = _apply_buffered_deltas(
-                self.global_state, buffer, self.outer_server_lr
-            )
+            if self.robust is not None:
+                self.global_state = _robust_flush_deltas(
+                    self.global_state, buffer, self.outer_server_lr, self.robust
+                )
+            else:
+                self.global_state = _apply_buffered_deltas(
+                    self.global_state, buffer, self.outer_server_lr
+                )
         self.version += 1
         self.outer_flushes += 1
         self._record_outer(
@@ -411,6 +443,16 @@ class HierarchicalScheduler(Scheduler):
     def site_metrics(self) -> List["MetricsCollector"]:  # noqa: F821
         """Per-site inner-tier histories, site-major."""
         return [s.collector for s in self.sites]
+
+    def robust_counters(self) -> Dict[str, int]:
+        """Root counters plus every site tier's (attacked updates retire at
+        the inner schedulers; robust rejections can happen at either tier)."""
+        out = super().robust_counters()
+        for site in self.sites:
+            inner = site.inner.robust_counters()
+            for key in out:
+                out[key] += inner[key]
+        return out
 
     # ------------------------------------------------------------------
     # entry point

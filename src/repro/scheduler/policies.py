@@ -90,6 +90,28 @@ def _apply_buffered_deltas(
     return new_state
 
 
+def _robust_flush_deltas(
+    global_state: Dict[str, np.ndarray],
+    buffer: List[Dict[str, Any]],
+    server_lr: float,
+    robust: Any,
+) -> Dict[str, np.ndarray]:
+    """A FedBuff flush through a robust rule: combine the discount-weighted
+    deltas robustly (median/trimmed mean/Krum screen out poisoned steps,
+    norm-clip bounds them at zero base), then apply one ``server_lr`` step.
+    With a plain weighted mean this reduces to :func:`_apply_buffered_deltas`.
+    """
+    weighted = [
+        {key: item["weight"] * d for key, d in item["delta"].items()} for item in buffer
+    ]
+    combined = robust.combine(weighted, [1.0] * len(weighted), base=None)
+    new_state = clone_state(global_state)
+    for key, d in combined.items():
+        if key in new_state:
+            new_state[key] = (new_state[key] + server_lr * d).astype(new_state[key].dtype)
+    return new_state
+
+
 # ----------------------------------------------------------------------
 # round-based policies
 # ----------------------------------------------------------------------
@@ -194,7 +216,18 @@ class SemiSyncScheduler(Scheduler):
             algo = self.server.algorithm
             with self.tracer.span("sched.aggregate", cat="sched", sim_time=self.now,
                                   policy=self.name, merged=len(entries)):
-                self.global_state = algo.aggregate(entries, self.global_state, self.version)
+                if self.robust is not None:
+                    # the robust rule replaces the weighted mean; the
+                    # staleness discount still enters through each entry's
+                    # effective sample weight, exactly as it does for the
+                    # algorithm aggregators
+                    self.global_state = self.robust.combine(
+                        [e["state"] for e in entries],
+                        [float(e["meta"].get("num_samples", 1.0)) for e in entries],
+                        base=self.global_state,
+                    )
+                else:
+                    self.global_state = algo.aggregate(entries, self.global_state, self.version)
             self.version += 1
         return merged, staleness
 
@@ -261,14 +294,30 @@ class FedAsyncScheduler(_ContinuousScheduler):
         if not (0.0 < alpha <= 1.0):
             raise ValueError("fedasync alpha must be in (0, 1]")
         self.alpha = float(alpha)
+        # robust mode keeps a sliding window of recent arrivals and
+        # interpolates toward their robust combination instead of the raw
+        # (possibly byzantine) arrival — one poisoned state then moves the
+        # target only as far as the robust rule lets it
+        self._robust_window: List[Dict[str, np.ndarray]] = []
 
     def ingest(self, event: PendingUpdate, result: Dict[str, Any]) -> None:
         assert self.discount is not None
         tau = self.staleness_of(event)
         weight = self.alpha * self.discount(tau)
+        target = result["state"]
+        if self.robust is not None:
+            self._robust_window.append(result["state"])
+            cap = max(3, int(self.concurrency or 1))
+            if len(self._robust_window) > cap:
+                self._robust_window.pop(0)
+            target = self.robust.combine(
+                list(self._robust_window),
+                [1.0] * len(self._robust_window),
+                base=self.global_state,
+            )
         with self.tracer.span("sched.aggregate", cat="sched", sim_time=self.now,
                               policy=self.name, client=event.client, staleness=tau):
-            self.global_state = _interpolate(self.global_state, result["state"], weight)
+            self.global_state = _interpolate(self.global_state, target, weight)
         self.version += 1
         self.applied += 1
         self.record_aggregation([result], [tau])
@@ -317,7 +366,14 @@ class FedBuffScheduler(_ContinuousScheduler):
         buffer, self._buffer = self._buffer, []
         with self.tracer.span("sched.aggregate", cat="sched", sim_time=self.now,
                               policy=self.name, merged=len(buffer)):
-            self.global_state = _apply_buffered_deltas(self.global_state, buffer, self.server_lr)
+            if self.robust is not None:
+                self.global_state = _robust_flush_deltas(
+                    self.global_state, buffer, self.server_lr, self.robust
+                )
+            else:
+                self.global_state = _apply_buffered_deltas(
+                    self.global_state, buffer, self.server_lr
+                )
         self.version += 1
         self.applied += len(buffer)
         self.flush_count += 1

@@ -107,6 +107,11 @@ class Telemetry(Callback):
             buckets=_STALENESS_BUCKETS,
         )
         self._runtime_gauges: Optional[tuple] = None
+        # robust-aggregation counters are cumulative on the scheduler side;
+        # the registry counters advance by deltas so re-sampling never
+        # double-counts
+        self._robust_ctrs: Optional[Dict[str, Any]] = None
+        self._robust_seen: Dict[str, int] = {"attacked": 0, "clipped": 0, "rejected": 0}
 
     # ------------------------------------------------------------------
     # span -> registry bridge
@@ -257,6 +262,31 @@ class Telemetry(Callback):
             counts = getattr(sched, "_dispatch_count", None)
             if counts:
                 turns_g.set(sum(counts.values()))
+        if sched is not None and getattr(sched, "engine", None) is engine:
+            counters_fn = getattr(sched, "robust_counters", None)
+            if counters_fn is not None:
+                if self._robust_ctrs is None:
+                    reg = self.registry
+                    self._robust_ctrs = {
+                        "attacked": reg.counter(
+                            "repro_attacked_updates_total",
+                            "Updates merged that came from byzantine clients",
+                        ),
+                        "clipped": reg.counter(
+                            "repro_robust_clipped_total",
+                            "Updates norm-clipped by the robust aggregator",
+                        ),
+                        "rejected": reg.counter(
+                            "repro_robust_rejected_total",
+                            "Updates trimmed or rejected by the robust aggregator",
+                        ),
+                    }
+                counts = counters_fn()
+                for key, ctr in self._robust_ctrs.items():
+                    delta = int(counts.get(key, 0)) - self._robust_seen[key]
+                    if delta > 0:
+                        ctr.inc(delta)
+                        self._robust_seen[key] += delta
         pool = engine.pool
         if pool is not None:
             pending_g.set(pool.pending_turns())

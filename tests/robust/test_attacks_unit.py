@@ -1,0 +1,129 @@
+"""Unit contracts for the byzantine behaviors themselves.
+
+Every corruption is a pure, deterministic function of its inputs — no RNG
+draws, integer buffers passed through untouched — which is the property the
+bit-identical parity and fraction-0 suites lean on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiment.spec import AttackSpec
+from repro.robust.attacks import (
+    Attack,
+    BackdoorAttack,
+    LabelFlipAttack,
+    PoisonedLoader,
+    ScaledUpdateAttack,
+    SignFlipAttack,
+    apply_trigger,
+    build_attack,
+)
+
+UPDATE = {
+    "w": np.array([1.0, -2.0], dtype=np.float64),
+    "steps": np.array(7, dtype=np.int64),
+}
+REF = {"w": np.array([0.5, 0.5], dtype=np.float64)}
+
+
+def test_base_attack_is_the_identity():
+    x, y = np.ones((2, 3)), np.array([0, 1])
+    attack = Attack()
+    out_x, out_y = attack.corrupt_batch(x, y)
+    assert out_x is x and out_y is y
+    assert attack.corrupt_update(UPDATE, REF) is UPDATE
+    assert attack.describe() == {"kind": "base"}
+
+
+def test_label_flip_is_an_involution():
+    attack = LabelFlipAttack(num_classes=4)
+    y = np.array([0, 1, 2, 3], dtype=np.int64)
+    _, flipped = attack.corrupt_batch(np.zeros((4, 2)), y)
+    np.testing.assert_array_equal(flipped, [3, 2, 1, 0])
+    _, twice = attack.corrupt_batch(np.zeros((4, 2)), flipped)
+    np.testing.assert_array_equal(twice, y)
+    assert flipped.dtype == y.dtype
+
+
+def test_sign_flip_mirrors_through_the_reference():
+    out = SignFlipAttack(scale=2.0).corrupt_update(UPDATE, REF)
+    # ref - scale * (state - ref): honest progress exactly reversed, amplified
+    np.testing.assert_allclose(out["w"], [0.5 - 2.0 * 0.5, 0.5 - 2.0 * (-2.5)])
+    assert out["steps"] is UPDATE["steps"]  # integer buffers never corrupted
+
+
+def test_sign_flip_negates_raw_deltas_without_reference():
+    out = SignFlipAttack(scale=3.0).corrupt_update(UPDATE, None)
+    np.testing.assert_allclose(out["w"], [-3.0, 6.0])
+
+
+def test_scaled_update_boosts_the_honest_direction():
+    out = ScaledUpdateAttack(scale=2.0).corrupt_update(UPDATE, REF)
+    np.testing.assert_allclose(out["w"], [0.5 + 2.0 * 0.5, 0.5 + 2.0 * (-2.5)])
+    assert out["steps"] is UPDATE["steps"]
+    raw = ScaledUpdateAttack(scale=2.0).corrupt_update(UPDATE, None)
+    np.testing.assert_allclose(raw["w"], [2.0, -4.0])
+
+
+def test_update_attacks_reject_nonpositive_scale():
+    with pytest.raises(ValueError, match="sign_flip scale"):
+        SignFlipAttack(scale=0.0)
+    with pytest.raises(ValueError, match="scaled_update scale"):
+        ScaledUpdateAttack(scale=-1.0)
+
+
+def test_backdoor_stamps_prefix_and_relabels():
+    attack = BackdoorAttack(
+        num_classes=4, target_label=2, trigger_value=9.0,
+        trigger_frac=0.5, poison_frac=0.5,
+    )
+    x = np.zeros((4, 4), dtype=np.float32)
+    y = np.array([0, 1, 2, 3], dtype=np.int64)
+    out_x, out_y = attack.corrupt_batch(x, y)
+    np.testing.assert_array_equal(out_y, [2, 2, 2, 3])  # ceil(0.5*4)=2... prefix
+    assert np.all(out_x[:2, :2] == 9.0) and np.all(out_x[:2, 2:] == 0.0)
+    np.testing.assert_array_equal(out_x[2:], x[2:])
+    assert out_x.dtype == x.dtype
+    # poison_frac=1.0 hits the whole batch (the count == len(y) branch)
+    full = BackdoorAttack(num_classes=4, poison_frac=1.0)
+    fx, fy = full.corrupt_batch(x, y)
+    assert np.all(fy == 0) and np.all(fx[:, 0] == 2.5)
+
+
+def test_backdoor_rejects_target_outside_label_space():
+    with pytest.raises(ValueError, match="target_label"):
+        BackdoorAttack(num_classes=4, target_label=4)
+
+
+def test_apply_trigger_preserves_shape_and_input():
+    x = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+    out = apply_trigger(x, trigger_frac=0.25, trigger_value=-1.0)
+    assert out.shape == x.shape
+    assert np.all(out.reshape(2, -1)[:, :3] == -1.0)
+    assert x[0, 0, 0] == 0.0  # the input is copied, never mutated
+
+
+def test_poisoned_loader_delegates_len_and_corrupts_batches():
+    batches = [(np.zeros((2, 2)), np.array([0, 1]))] * 3
+    loader = PoisonedLoader(batches, LabelFlipAttack(num_classes=2))
+    assert len(loader) == 3
+    for _, y in loader:
+        np.testing.assert_array_equal(y, [1, 0])
+
+
+def test_build_attack_covers_every_kind_and_rejects_unknown():
+    assert isinstance(build_attack(AttackSpec(kind="label_flip"), 4), LabelFlipAttack)
+    built = build_attack(AttackSpec(kind="sign_flip", scale=3.0), 4)
+    assert isinstance(built, SignFlipAttack) and built.scale == 3.0
+    assert isinstance(
+        build_attack(AttackSpec(kind="scaled_update"), 4), ScaledUpdateAttack
+    )
+    backdoor = build_attack(AttackSpec(kind="backdoor", target_label=1), 4)
+    assert isinstance(backdoor, BackdoorAttack) and backdoor.target_label == 1
+
+    class Bogus:
+        kind = "gradient_eating"
+
+    with pytest.raises(ValueError, match="unknown attack kind"):
+        build_attack(Bogus(), 4)

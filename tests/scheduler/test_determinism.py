@@ -194,7 +194,7 @@ def _topology_kwargs(policy, port):
             "inner_comm": {"backend": "torchdist", "master_port": port}}
 
 
-def _run_policy(policy, port, telemetry=None):
+def _run_policy(policy, port, telemetry=None, **spec_kwargs):
     eng = Engine.from_names(
         topology=_TOPO_FOR[policy],
         algorithm="fedavg",
@@ -207,6 +207,7 @@ def _run_policy(policy, port, telemetry=None):
         batch_size=32,
         seed=0,
         scheduler=dict(_SCHED_FOR[policy]),
+        **spec_kwargs,
     )
     if telemetry is not None:
         eng.metrics.callbacks.append(telemetry)
@@ -225,3 +226,30 @@ def test_traced_run_is_bit_identical_to_untraced(fresh_port, policy):
     traced = _run_policy(policy, fresh_port + 11, telemetry=tel)
     assert len(tel.tracer) > 0  # the traced arm really recorded spans
     _assert_identical(untraced, traced)
+
+
+# ----------------------------------------------------------------------------
+# byzantine scenarios replay bit-identically too: attacker assignment, the
+# deterministic corruptions, and the robust merge arithmetic all key off
+# (seed, client, dispatch#) streams, never wall-clock or arrival races.
+# ----------------------------------------------------------------------------
+_ATTACKED = {
+    "attack": {"kind": "sign_flip", "fraction": 0.3, "scale": 5.0},
+    "aggregation": {"robust": "median"},
+}
+
+
+@pytest.mark.parametrize("policy", sorted(_SCHED_FOR))
+def test_attacked_robust_runs_are_bitwise_deterministic(fresh_port, policy):
+    run_a = _run_policy(policy, fresh_port, **_ATTACKED)
+    run_b = _run_policy(policy, fresh_port + 13, **_ATTACKED)
+    _assert_identical(run_a, run_b)
+
+
+def test_attacked_mtd_gossip_is_bitwise_deterministic(fresh_port):
+    # the moving-target overlay re-samples from its own seeded stream;
+    # re-running the same config must replay the identical epoch sequence
+    kwargs = {**_ATTACKED, "mtd": {"degree": 3, "reshuffle_every": 4}}
+    run_a = _run_policy("gossip_async", fresh_port, **kwargs)
+    run_b = _run_policy("gossip_async", fresh_port + 17, **kwargs)
+    _assert_identical(run_a, run_b)
